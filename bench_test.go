@@ -1,0 +1,421 @@
+// Benchmarks regenerating the paper's evaluation, one benchmark family per
+// table/figure, plus ablations of the design choices listed in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+//
+// Wall-clock parallel speedup requires parallel hardware; on single-core
+// hosts use cmd/schedbench, which additionally reports the simulated-
+// multicore speedups (see EXPERIMENTS.md).
+package repro
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/exper"
+	"repro/internal/listsched"
+	"repro/internal/multifit"
+	"repro/internal/par"
+	"repro/internal/sahni"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// benchCores are the worker counts exercised by the per-figure benchmarks
+// (the paper sweeps 2..16).
+var benchCores = []int{1, 2, 4, 8, 16}
+
+// benchExactNodeLimit bounds each exact solve inside benchmarks so that a
+// CPLEX-style blow-up (the paper saw >100s solves) does not stall the whole
+// bench run; schedbench runs the unbounded version.
+const benchExactNodeLimit = 2_000_000
+
+func speedupInstance(b *testing.B, fam workload.Family, m, n int) *pcmax.Instance {
+	b.Helper()
+	in, err := workload.Generate(workload.Spec{Family: fam, M: m, N: n, Seed: 2017})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+// benchFigure runs the paper's speedup-figure workload (fig 2, 3 or 4):
+// the parallel PTAS per family per core count, the sequential PTAS, and the
+// IP baseline.
+func benchFigure(b *testing.B, m, n int) {
+	for _, fam := range workload.SpeedupFamilies {
+		in := speedupInstance(b, fam, m, n)
+		b.Run(fmt.Sprintf("seqPTAS/%v", fam), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 1}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, c := range benchCores[1:] {
+			b.Run(fmt.Sprintf("parPTAS/%v/workers=%d", fam, c), func(b *testing.B) {
+				pool := par.NewPool(c)
+				defer pool.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: c, Pool: pool}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+		b.Run(fmt.Sprintf("IP/%v", fam), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exact.SolveAssignment(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig2 reproduces Figure 2's workload: m=20, n=100.
+func BenchmarkFig2(b *testing.B) { benchFigure(b, 20, 100) }
+
+// BenchmarkFig3 reproduces Figure 3's workload: m=10, n=50.
+func BenchmarkFig3(b *testing.B) { benchFigure(b, 10, 50) }
+
+// BenchmarkFig4 reproduces Figure 4's workload: m=10, n=30.
+func BenchmarkFig4(b *testing.B) { benchFigure(b, 10, 30) }
+
+// BenchmarkFig5Ratios reproduces Figure 5's workload (Tables II and III):
+// the three approximation algorithms on the best/worst-case instance sets,
+// with the certified-optimal baseline.
+func BenchmarkFig5Ratios(b *testing.B) {
+	for _, ri := range append(exper.TableII(), exper.TableIII()...) {
+		in, err := workload.Generate(workload.Spec{Family: ri.Fam, M: ri.M, N: ri.N, Seed: 2017})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(ri.ID+"/parPTAS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(ri.ID+"/LPT", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				listsched.LPT(in)
+			}
+		})
+		b.Run(ri.ID+"/LS", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				listsched.LS(in)
+			}
+		})
+		b.Run(ri.ID+"/exact", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ablationInstance is a mid-sized adversarial-family instance whose DP table
+// (tens of thousands of entries) makes fill-strategy differences visible.
+func ablationInstance(b *testing.B) *pcmax.Instance {
+	return speedupInstance(b, workload.Um_2m1, 20, 41)
+}
+
+// BenchmarkAblationLevelMode compares the paper-faithful per-level full
+// table scan with the bucketed level index.
+func BenchmarkAblationLevelMode(b *testing.B) {
+	in := ablationInstance(b)
+	for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
+		b.Run(mode.String(), func(b *testing.B) {
+			pool := par.NewPool(4)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{
+					Epsilon: 0.3, Workers: 4, Pool: pool, LevelMode: mode,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationParFor compares the three level-scheduling strategies
+// (OpenMP static,1 / static / dynamic equivalents).
+func BenchmarkAblationParFor(b *testing.B) {
+	in := ablationInstance(b)
+	for _, strategy := range par.Strategies {
+		b.Run(strategy.String(), func(b *testing.B) {
+			pool := par.NewPool(4)
+			defer pool.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{
+					Epsilon: 0.3, Workers: 4, Pool: pool, Strategy: strategy,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationShortRule compares the paper's LPT short-job placement
+// against the original Hochbaum–Shmoys LS rule.
+func BenchmarkAblationShortRule(b *testing.B) {
+	in := speedupInstance(b, workload.U1_100, 20, 100)
+	for rule, name := range map[core.ShortRule]string{core.ShortLPT: "LPT", core.ShortLS: "LS"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, ShortRule: rule}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSeqFill compares the bottom-up sweep with the
+// paper-faithful memoized recursion (Algorithm 2).
+func BenchmarkAblationSeqFill(b *testing.B) {
+	in := ablationInstance(b)
+	for fill, name := range map[core.SeqFill]string{core.SeqBottomUp: "bottom-up", core.SeqRecursive: "recursive"} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, SeqFill: fill}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationConfigEnum compares the shared filtered configuration
+// list against the paper-faithful per-entry re-enumeration (Algorithm 3
+// Line 17).
+func BenchmarkAblationConfigEnum(b *testing.B) {
+	in := ablationInstance(b)
+	for _, perEntry := range []bool{false, true} {
+		name := "shared"
+		if perEntry {
+			name = "per-entry"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, PerEntryConfigs: perEntry}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIncumbent measures the exact solver with and without the
+// MultiFit incumbent.
+func BenchmarkAblationIncumbent(b *testing.B) {
+	in := speedupInstance(b, workload.U1_100, 10, 50)
+	for _, disable := range []bool{false, true} {
+		name := "lpt+multifit"
+		if disable {
+			name = "lpt-only"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exact.Solve(in, exact.Options{
+					NodeLimit: benchExactNodeLimit, DisableMultiFitIncumbent: disable,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkDPFillScaling isolates the DP fill on progressively larger tables
+// to expose the parallel fill's scaling independent of the bisection.
+func BenchmarkDPFillScaling(b *testing.B) {
+	shapes := []struct {
+		name   string
+		sizes  []pcmax.Time
+		counts []int
+		T      pcmax.Time
+	}{
+		{"paper-example", []pcmax.Time{6, 11}, []int{2, 3}, 30},
+		{"small", []pcmax.Time{5, 7, 9}, []int{8, 8, 8}, 40},
+		{"medium", []pcmax.Time{11, 13, 17, 19}, []int{10, 10, 10, 10}, 90},
+		{"large", []pcmax.Time{11, 13, 17, 19, 23}, []int{12, 12, 12, 12, 12}, 110},
+	}
+	for _, shape := range shapes {
+		for _, workers := range benchCores {
+			b.Run(fmt.Sprintf("%s/workers=%d", shape.name, workers), func(b *testing.B) {
+				pool := par.NewPool(workers)
+				defer pool.Close()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tbl, err := dp.New(shape.sizes, shape.counts, shape.T, 0, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if workers == 1 {
+						tbl.FillSequential()
+					} else {
+						tbl.FillParallel(pool, dp.LevelBuckets, par.RoundRobin)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkBaselines measures the classical algorithms at the paper's
+// largest scale.
+func BenchmarkBaselines(b *testing.B) {
+	in := speedupInstance(b, workload.U1_100, 20, 100)
+	b.Run("LS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			listsched.LS(in)
+		}
+	})
+	b.Run("LPT", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			listsched.LPT(in)
+		}
+	})
+	b.Run("MultiFit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := multifit.Solve(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionSahni compares Sahni's fixed-m DP (exact) with the
+// general branch-and-bound and the PTAS on a small-m instance.
+func BenchmarkExtensionSahni(b *testing.B) {
+	in := speedupInstance(b, workload.U1_10, 3, 30)
+	b.Run("sahni-exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sahni.Solve(in, sahni.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sahni-fptas-0.2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sahni.Solve(in, sahni.Options{Epsilon: 0.2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("exact-bb", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("ptas-0.2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkExtensionSpeculative compares the paper's bisection with the
+// speculative multi-probe extension on a wide-interval instance.
+func BenchmarkExtensionSpeculative(b *testing.B) {
+	in := speedupInstance(b, workload.U1_10n, 10, 50)
+	b.Run("sequential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, probes := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("probes=%d", probes), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, SpeculativeProbes: probes}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkExactTriplets stresses the exact solvers on the 3-partition-like
+// triplet family, the known hard case for branch-and-bound.
+func BenchmarkExactTriplets(b *testing.B) {
+	for _, m := range []int{4, 6, 8} {
+		in, err := workload.Triplets(m, 400, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("bin-completion/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("assignment-IP/m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := exact.SolveAssignment(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDataflow compares the paper's level-synchronous parallel
+// fill against the barrier-free dataflow fill.
+func BenchmarkAblationDataflow(b *testing.B) {
+	in := ablationInstance(b)
+	b.Run("level-sync", func(b *testing.B) {
+		pool := par.NewPool(4)
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("dataflow", func(b *testing.B) {
+		pool := par.NewPool(4)
+		defer pool.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool, Dataflow: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationMultiFitHeuristic compares the FFD and BFD inner packing
+// rules under MultiFit's capacity search.
+func BenchmarkAblationMultiFitHeuristic(b *testing.B) {
+	in := speedupInstance(b, workload.U1_100, 20, 100)
+	for _, h := range []multifit.Heuristic{multifit.FFD, multifit.BFD} {
+		b.Run(h.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := multifit.SolveHeuristic(in, h); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

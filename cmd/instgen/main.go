@@ -1,0 +1,67 @@
+// Command instgen generates random P||Cmax instances from the paper's
+// distribution families and writes them in the text format read by
+// cmd/psched.
+//
+// Usage:
+//
+//	instgen -family "U(1,100)" -m 20 -n 100 -seed 7 > instance.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "instgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("instgen", flag.ContinueOnError)
+	var (
+		family = fs.String("family", "U(1,100)", `distribution family: "U(1,2m-1)", "U(1,100)", "U(1,10)", "U(1,10n)", "U(m,2m-1)", "U(95,105)"`)
+		m      = fs.Int("m", 10, "number of machines")
+		n      = fs.Int("n", 50, "number of jobs (ignored with -lpt-adversarial)")
+		seed   = fs.Uint64("seed", 1, "RNG seed")
+		adv    = fs.Bool("lpt-adversarial", false, "emit the deterministic LPT worst-case instance for m machines (n=2m+1)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: instgen [flags] > instance.txt")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments %v", fs.Args())
+	}
+
+	var (
+		in  *pcmax.Instance
+		err error
+	)
+	if *adv {
+		in, err = workload.AdversarialLPT(*m)
+	} else {
+		var fam workload.Family
+		fam, err = workload.ParseFamily(*family)
+		if err != nil {
+			return err
+		}
+		in, err = workload.Generate(workload.Spec{Family: fam, M: *m, N: *n, Seed: *seed})
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "# P||Cmax instance: family=%s m=%d n=%d seed=%d\n", *family, in.M, in.N(), *seed)
+	return pcmax.WriteText(stdout, in)
+}

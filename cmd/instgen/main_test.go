@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pcmax"
+)
+
+func TestGenerateDefault(t *testing.T) {
+	var out strings.Builder
+	if err := run(nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	in, err := pcmax.ReadText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v\n%s", err, out.String())
+	}
+	if in.M != 10 || in.N() != 50 {
+		t.Fatalf("got m=%d n=%d", in.M, in.N())
+	}
+}
+
+func TestGenerateFamilyAndDims(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-family", "U(1,10)", "-m", "4", "-n", "20", "-seed", "9"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in, err := pcmax.ReadText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 4 || in.N() != 20 {
+		t.Fatalf("got m=%d n=%d", in.M, in.N())
+	}
+	for _, tt := range in.Times {
+		if tt < 1 || tt > 10 {
+			t.Fatalf("time %d outside U(1,10)", tt)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := run([]string{"-seed", "5"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-seed", "5"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed, different output")
+	}
+}
+
+func TestGenerateAdversarial(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-lpt-adversarial", "-m", "5"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	in, err := pcmax.ReadText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.M != 5 || in.N() != 11 {
+		t.Fatalf("adversarial: m=%d n=%d, want 5/11", in.M, in.N())
+	}
+}
+
+func TestGenerateUnknownFamily(t *testing.T) {
+	if err := run([]string{"-family", "U(2,4)"}, &strings.Builder{}); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}
+
+func TestGenerateExtraArgs(t *testing.T) {
+	if err := run([]string{"positional"}, &strings.Builder{}); err == nil {
+		t.Fatal("want error for positional args")
+	}
+}

@@ -1,0 +1,182 @@
+// Command psched schedules a P||Cmax instance read from a file (or stdin)
+// with a chosen algorithm and prints the schedule, makespan and, optionally,
+// the approximation ratio against the exact optimum.
+//
+// Usage:
+//
+//	psched -algo ptas -eps 0.3 -workers 4 instance.txt
+//
+// The instance format is the one written by cmd/instgen:
+//
+//	m 4
+//	10 7 7 5 5 4 4 3
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/pcmax"
+	"repro/solver"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "psched:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("psched", flag.ContinueOnError)
+	var (
+		algo    = fs.String("algo", "ptas", "algorithm: ls, lpt, multifit, ptas, exact, or all (comparison table)")
+		eps     = fs.Float64("eps", 0.3, "PTAS relative error")
+		workers = fs.Int("workers", 0, "PTAS workers (0 = all cores, 1 = sequential)")
+		ratio   = fs.Bool("ratio", false, "also solve exactly and print the actual approximation ratio")
+		gantt   = fs.Bool("gantt", false, "print the per-machine job lists")
+		asJSON  = fs.Bool("json", false, "emit the schedule as JSON instead of text")
+		timeout = fs.Duration("exact-timeout", time.Minute, "time limit for exact solves")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: psched [flags] [instance-file]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var r io.Reader = stdin
+	switch fs.NArg() {
+	case 0:
+	case 1:
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	default:
+		fs.Usage()
+		return fmt.Errorf("at most one instance file, got %d args", fs.NArg())
+	}
+	in, err := pcmax.ReadText(r)
+	if err != nil {
+		return err
+	}
+
+	if *algo == "all" {
+		return compareAll(stdout, in, *eps, *workers, *timeout)
+	}
+
+	start := time.Now()
+	var sched *pcmax.Schedule
+	switch *algo {
+	case "ls":
+		sched, err = solver.LS(in)
+	case "lpt":
+		sched, err = solver.LPT(in)
+	case "multifit":
+		sched, err = solver.MultiFit(in)
+	case "ptas":
+		opts := solver.DefaultPTASOptions()
+		opts.Epsilon = *eps
+		opts.Workers = *workers
+		var st *solver.PTASStats
+		sched, st, err = solver.PTAS(in, opts)
+		if err == nil {
+			fmt.Fprintf(stdout, "ptas: k=%d iterations=%d finalT=%d table=%d entries, %d configs\n",
+				st.K, st.Iterations, st.FinalT, st.TableEntries, st.Configs)
+		}
+	case "exact":
+		var res solver.ExactResult
+		sched, res, err = solver.Exact(in, solver.ExactOptions{TimeLimit: *timeout})
+		if err == nil && !res.Optimal {
+			fmt.Fprintf(stdout, "exact: limit reached, best incumbent shown (lower bound %d)\n", res.LowerBound)
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q (want ls, lpt, multifit, ptas, exact or all)", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	if *asJSON {
+		out := struct {
+			Algorithm string          `json:"algorithm"`
+			Makespan  int64           `json:"makespan"`
+			Seconds   float64         `json:"seconds"`
+			Schedule  *pcmax.Schedule `json:"schedule"`
+		}{*algo, int64(sched.Makespan(in)), elapsed.Seconds(), sched}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d max=%d (lower bound %d)\n",
+		in.M, in.N(), in.TotalTime(), in.MaxTime(), in.LowerBound())
+	fmt.Fprintf(stdout, "%s makespan: %d (%.3fms)\n", *algo, sched.Makespan(in), elapsed.Seconds()*1000)
+	if *gantt {
+		fmt.Fprint(stdout, sched.Gantt(in))
+	}
+	if *ratio {
+		_, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: *timeout})
+		if err != nil {
+			return err
+		}
+		qual := "optimal"
+		if !res.Optimal {
+			qual = "best known (limit reached)"
+		}
+		fmt.Fprintf(stdout, "exact makespan: %d (%s), actual ratio %.4f\n",
+			res.Makespan, qual, sched.Ratio(in, res.Makespan))
+	}
+	return nil
+}
+
+// compareAll runs every algorithm on the instance and prints one comparison
+// row per algorithm, with ratios against the exact makespan.
+func compareAll(stdout io.Writer, in *pcmax.Instance, eps float64, workers int, timeout time.Duration) error {
+	exactSched, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: timeout})
+	if err != nil {
+		return err
+	}
+	opt := res.Makespan
+	qual := "optimal"
+	if !res.Optimal {
+		qual = "best known (limit reached)"
+	}
+	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d lower-bound=%d\n", in.M, in.N(), in.TotalTime(), in.LowerBound())
+	fmt.Fprintf(stdout, "reference: exact makespan %d (%s)\n\n", opt, qual)
+	fmt.Fprintf(stdout, "%-10s %-10s %-8s %-12s\n", "algorithm", "makespan", "ratio", "time")
+
+	type runFn func() (*pcmax.Schedule, error)
+	ptasOpts := solver.DefaultPTASOptions()
+	ptasOpts.Epsilon = eps
+	ptasOpts.Workers = workers
+	rows := []struct {
+		name string
+		fn   runFn
+	}{
+		{"ls", func() (*pcmax.Schedule, error) { return solver.LS(in) }},
+		{"lpt", func() (*pcmax.Schedule, error) { return solver.LPT(in) }},
+		{"multifit", func() (*pcmax.Schedule, error) { return solver.MultiFit(in) }},
+		{"ptas", func() (*pcmax.Schedule, error) { s, _, err := solver.PTAS(in, ptasOpts); return s, err }},
+		{"exact", func() (*pcmax.Schedule, error) { return exactSched, nil }},
+	}
+	for _, row := range rows {
+		start := time.Now()
+		sched, err := row.fn()
+		if err != nil {
+			return fmt.Errorf("%s: %w", row.name, err)
+		}
+		fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s\n",
+			row.name, sched.Makespan(in), sched.Ratio(in, opt), time.Since(start).Round(time.Microsecond))
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+// Command schedbench regenerates the paper's evaluation: the speedup and
+// running-time figures (fig2, fig3, fig4), the approximation-ratio tables
+// and panels (ratios = Tables II/III + Figure 5), or everything (all).
+//
+// Usage:
+//
+//	schedbench [flags] {fig2|fig3|fig4|ratios|all}
+//
+// Speedups are printed from the paper's Section IV cost model, calibrated by
+// measured sequential fills (see DESIGN.md), next to the measured wall-clock
+// numbers for this host.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/exper"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "schedbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("schedbench", flag.ContinueOnError)
+	var (
+		reps     = fs.Int("reps", 5, "random instances per type (paper: 20)")
+		cores    = fs.String("cores", "1,2,4,8,16", "comma-separated worker counts")
+		eps      = fs.Float64("eps", 0.3, "PTAS relative error (paper: 0.3)")
+		seed     = fs.Uint64("seed", 2017, "base RNG seed")
+		exactSec = fs.Duration("exact-timeout", 30*time.Second, "time limit per exact solve")
+		noWall   = fs.Bool("no-wallclock", false, "skip measured wall-clock parallel runs")
+		faithful = fs.Bool("paper-faithful", false, "use the presentation-faithful DP variants")
+		csv      = fs.Bool("csv", false, "render tables as CSV")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|all}")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
+	}
+
+	cfg := exper.DefaultConfig()
+	cfg.Reps = *reps
+	cfg.Epsilon = *eps
+	cfg.Seed = *seed
+	cfg.ExactTimeLimit = *exactSec
+	cfg.WallClock = !*noWall
+	cfg.PaperFaithful = *faithful
+	cfg.CSV = *csv
+	parsed, err := parseCores(*cores)
+	if err != nil {
+		return err
+	}
+	cfg.Cores = parsed
+
+	runFig := func(f func() (*exper.SpeedupResult, error)) error {
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		return res.Render(cfg)
+	}
+	runRatios := func() error {
+		a, err := cfg.RunFig5a()
+		if err != nil {
+			return err
+		}
+		if err := a.Render(cfg, "Table II: best-case instances", "fig5(a): actual approximation ratios (best cases)"); err != nil {
+			return err
+		}
+		b, err := cfg.RunFig5b()
+		if err != nil {
+			return err
+		}
+		return b.Render(cfg, "Table III: worst-case instances", "fig5(b): actual approximation ratios (worst cases)")
+	}
+
+	runAblations := func() error {
+		res, err := cfg.RunAblations()
+		if err != nil {
+			return err
+		}
+		return res.Render(cfg)
+	}
+
+	switch fs.Arg(0) {
+	case "fig2":
+		return runFig(cfg.RunFig2)
+	case "fig3":
+		return runFig(cfg.RunFig3)
+	case "fig4":
+		return runFig(cfg.RunFig4)
+	case "figS":
+		return runFig(cfg.RunFigS)
+	case "ratios":
+		return runRatios()
+	case "ablations":
+		return runAblations()
+	case "epsilon":
+		res, err := cfg.RunEpsilonSweep(20, 100, nil)
+		if err != nil {
+			return err
+		}
+		return res.Render(cfg)
+	case "hard":
+		res, err := cfg.RunHard(nil, 0)
+		if err != nil {
+			return err
+		}
+		return res.Render(cfg)
+	case "all":
+		for _, f := range []func() (*exper.SpeedupResult, error){cfg.RunFig2, cfg.RunFig3, cfg.RunFig4, cfg.RunFigS} {
+			if err := runFig(f); err != nil {
+				return err
+			}
+		}
+		if err := runRatios(); err != nil {
+			return err
+		}
+		return runAblations()
+	default:
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", fs.Arg(0))
+	}
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		c, err := strconv.Atoi(part)
+		if err != nil || c < 1 {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, c)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no core counts in %q", s)
+	}
+	return out, nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import "testing"
+
+func TestParseCores(t *testing.T) {
+	got, err := parseCores("1,2, 4 ,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 16}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParseCoresErrors(t *testing.T) {
+	for _, bad := range []string{"", "a", "0", "-2", "1,x"} {
+		if _, err := parseCores(bad); err == nil {
+			t.Fatalf("parseCores(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseCoresSkipsEmptyParts(t *testing.T) {
+	got, err := parseCores("1,,2")
+	if err != nil || len(got) != 2 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestRunRequiresExperiment(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("want usage error with no experiment")
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"fig9"}); err == nil {
+		t.Fatal("want error for unknown experiment")
+	}
+}
+
+func TestRunBadCoresFlag(t *testing.T) {
+	if err := run([]string{"-cores", "zero", "fig2"}); err == nil {
+		t.Fatal("want error for bad cores")
+	}
+}

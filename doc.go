@@ -1,0 +1,10 @@
+// Package repro is a Go reproduction of "A Parallel Approximation Algorithm
+// for Scheduling Parallel Identical Machines" (Ghalami and Grosu, 2017): the
+// Hochbaum–Shmoys PTAS for P||Cmax with its dynamic program parallelized
+// over the anti-diagonals of the DP table for shared-memory machines.
+//
+// The public API lives in packages pcmax (problem model) and solver
+// (algorithms). The root package holds the benchmark harness that
+// regenerates every table and figure of the paper's evaluation; see
+// bench_test.go, DESIGN.md and EXPERIMENTS.md.
+package repro

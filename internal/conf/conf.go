@@ -1,0 +1,114 @@
+// Package conf enumerates machine configurations for the Hochbaum–Shmoys
+// dynamic program. A machine configuration is a vector (s_1, ..., s_d) over
+// the d distinct rounded long-job sizes, giving how many jobs of each size
+// one machine runs, subject to the paper's equation (3):
+//
+//	sum_i s_i * size_i <= T
+//
+// and to availability s_i <= counts_i. The zero configuration (no
+// assignment) is excluded, as in the paper's Parallel DP where C_{v} "does
+// not include the zero vector".
+package conf
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/pcmax"
+)
+
+// Config is one machine configuration.
+type Config struct {
+	// Counts holds s_i for every distinct size class.
+	Counts []int32
+	// Weight is sum_i s_i*size_i, the machine completion time of the
+	// configuration on rounded jobs.
+	Weight pcmax.Time
+	// Jobs is sum_i s_i.
+	Jobs int32
+	// Offset is the mixed-radix table-index displacement of the
+	// configuration: sum_i s_i*stride_i. Because a configuration is only
+	// applied to entries v with s <= v componentwise, subtracting Offset
+	// from idx(v) yields idx(v-s) without any digit borrowing.
+	Offset int64
+}
+
+// ErrTooMany reports that enumeration exceeded the configured limit.
+var ErrTooMany = errors.New("conf: too many machine configurations")
+
+// DefaultMaxConfigs bounds enumeration; the PTAS with eps=0.3 (k=4) needs at
+// most a few thousand configurations, so hitting this limit indicates an
+// extreme epsilon rather than a legitimate instance.
+const DefaultMaxConfigs = 4 << 20
+
+// Enumerate lists every non-zero configuration for the given distinct sizes,
+// per-size availability, capacity T and table strides, in lexicographic
+// order of the count vector. maxConfigs <= 0 selects DefaultMaxConfigs.
+func Enumerate(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int) ([]Config, error) {
+	if len(sizes) != len(counts) || len(sizes) != len(stride) {
+		return nil, fmt.Errorf("conf: mismatched dimensions (sizes=%d counts=%d stride=%d)",
+			len(sizes), len(counts), len(stride))
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("conf: size class %d has non-positive size %d", i, s)
+		}
+		if s > T {
+			return nil, fmt.Errorf("conf: size class %d (%d) exceeds capacity T=%d", i, s, T)
+		}
+		if counts[i] < 0 {
+			return nil, fmt.Errorf("conf: size class %d has negative count %d", i, counts[i])
+		}
+	}
+	if maxConfigs <= 0 {
+		maxConfigs = DefaultMaxConfigs
+	}
+	d := len(sizes)
+	var out []Config
+	cur := make([]int32, d)
+	var rec func(dim int, weight pcmax.Time, jobs int32, offset int64) error
+	rec = func(dim int, weight pcmax.Time, jobs int32, offset int64) error {
+		if dim == d {
+			if jobs == 0 {
+				return nil // exclude the zero configuration
+			}
+			if len(out) >= maxConfigs {
+				return fmt.Errorf("%w (limit %d)", ErrTooMany, maxConfigs)
+			}
+			out = append(out, Config{
+				Counts: append([]int32(nil), cur...),
+				Weight: weight,
+				Jobs:   jobs,
+				Offset: offset,
+			})
+			return nil
+		}
+		for s := 0; s <= counts[dim]; s++ {
+			w := weight + pcmax.Time(s)*sizes[dim]
+			if w > T {
+				break // sizes are positive; larger s only grows the weight
+			}
+			cur[dim] = int32(s)
+			if err := rec(dim+1, w, jobs+int32(s), offset+int64(s)*stride[dim]); err != nil {
+				return err
+			}
+		}
+		cur[dim] = 0
+		return nil
+	}
+	if err := rec(0, 0, 0, 0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fits reports whether configuration counts s can be applied to entry digits
+// v, i.e. s <= v componentwise.
+func Fits(s, v []int32) bool {
+	for i := range s {
+		if s[i] > v[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,377 @@
+// Package core implements the paper's contribution: the Hochbaum–Shmoys
+// PTAS for P||Cmax (Algorithm 1) with either the sequential DP (Algorithm 2)
+// or the Parallel DP (Algorithm 3) filling the dynamic-programming table.
+//
+// The driver performs a bisection search for the smallest target makespan T
+// in [LB, UB] for which the rounded long jobs fit on at most m machines,
+// reconstructs the long-job schedule at the final T, replaces rounded jobs
+// by the original ones, and packs the short jobs greedily (LPT by default,
+// the paper's practical improvement; LS reproduces the original
+// Hochbaum–Shmoys rule). With Workers > 1 the DP table is filled level by
+// level over its anti-diagonals by a pool of goroutines, which is the
+// paper's shared-memory parallelization.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/dp"
+	"repro/internal/listsched"
+	"repro/internal/par"
+	"repro/internal/simsched"
+	"repro/pcmax"
+)
+
+// ShortRule selects how short jobs extend the long-job schedule.
+type ShortRule int
+
+const (
+	// ShortLPT places short jobs in non-increasing size order (paper).
+	ShortLPT ShortRule = iota
+	// ShortLS places short jobs in input order (original Hochbaum–Shmoys).
+	ShortLS
+)
+
+// String names the rule.
+func (r ShortRule) String() string {
+	switch r {
+	case ShortLPT:
+		return "LPT"
+	case ShortLS:
+		return "LS"
+	default:
+		return fmt.Sprintf("ShortRule(%d)", int(r))
+	}
+}
+
+// SeqFill selects the sequential DP fill variant used when Workers == 1.
+type SeqFill int
+
+const (
+	// SeqBottomUp sweeps the table in index order (fastest).
+	SeqBottomUp SeqFill = iota
+	// SeqRecursive is the paper-faithful memoized recursion (Algorithm 2).
+	SeqRecursive
+)
+
+// String names the fill variant.
+func (f SeqFill) String() string {
+	switch f {
+	case SeqBottomUp:
+		return "bottom-up"
+	case SeqRecursive:
+		return "recursive"
+	default:
+		return fmt.Sprintf("SeqFill(%d)", int(f))
+	}
+}
+
+// Options configures one Solve call. The zero value is not valid because
+// Epsilon must be positive; DefaultOptions gives the paper's configuration.
+type Options struct {
+	// Epsilon is the relative error; the algorithm is a (1+Epsilon)
+	// approximation. The paper's experiments use 0.3.
+	Epsilon float64
+	// Workers is the number of DP workers P. 1 runs the sequential PTAS;
+	// values below 1 select GOMAXPROCS.
+	Workers int
+	// Strategy schedules level entries onto workers (default RoundRobin,
+	// the paper's round-robin assignment).
+	Strategy par.Strategy
+	// LevelMode selects anti-diagonal discovery (default LevelBuckets;
+	// LevelScan is the paper-faithful full scan per level).
+	LevelMode dp.LevelMode
+	// ShortRule selects the short-job placement rule (default ShortLPT).
+	ShortRule ShortRule
+	// SeqFill selects the sequential fill variant (default SeqBottomUp).
+	SeqFill SeqFill
+	// PerEntryConfigs re-enumerates each table entry's configuration set
+	// instead of filtering a shared list (paper-faithful Algorithm 3
+	// Line 17; slower, for fidelity runs and ablations).
+	PerEntryConfigs bool
+	// SpeculativeProbes, when > 1, parallelizes the bisection itself: each
+	// round evaluates that many target makespans T concurrently (each with
+	// a sequential DP fill) and narrows the interval by all results. This
+	// is an extension beyond the paper, which parallelizes within one DP
+	// fill; see speculative.go. Values <= 1 use the paper's bisection.
+	SpeculativeProbes int
+	// Dataflow replaces the paper's level-synchronous parallel fill with
+	// the barrier-free dependency-counter fill (dp.FillDataflow) when
+	// Workers != 1. An extension/ablation; results are identical.
+	Dataflow bool
+	// AdaptiveFill lets the driver fall back to the sequential fill for
+	// tables too small to amortize per-level barriers, even when
+	// Workers > 1. The EXPERIMENTS.md ablations show paper-scale tables
+	// (sigma < ~10^4) are barrier-bound; this is the practical default a
+	// production caller wants (the solver facade enables it).
+	AdaptiveFill bool
+	// TimeLimit aborts the solve with ErrTimeLimit when exceeded. The check
+	// runs between bisection probes (a single table fill is never
+	// interrupted), so overshoot is bounded by one fill. <= 0 disables.
+	TimeLimit time.Duration
+	// LPTFallback returns plain LPT's schedule when it beats the PTAS
+	// construction. It never hurts, and it caps the guarantee at LPT's
+	// 4/3 - 1/(3m), which absorbs the +k additive slop of integer rounding
+	// (round.go) whenever eps >= 1/3. The paper's algorithm has no such
+	// fallback (its Table III shows LPT winning by up to 0.13), so the
+	// experiment harness leaves this off; the solver facade enables it.
+	LPTFallback bool
+	// MaxTableEntries caps the DP table size; <= 0 uses dp.DefaultMaxEntries.
+	MaxTableEntries int64
+	// MaxConfigs caps configuration enumeration; <= 0 uses the conf default.
+	MaxConfigs int
+	// Pool optionally supplies an externally managed worker pool, reused
+	// across Solve calls. When nil and Workers != 1, Solve creates and
+	// closes its own pool.
+	Pool *par.Pool
+	// Profile, when non-nil, receives the work profile of every DP fill
+	// (anti-diagonal level sizes, configuration-set sizes and total fill
+	// time) for the simulated-multicore model in package simsched. Profiles
+	// intended for calibration should come from Workers == 1 runs.
+	Profile *simsched.Profile
+}
+
+// DefaultOptions returns the paper's configuration: eps = 0.3 (k = 4),
+// sequential execution, LPT short-job rule.
+func DefaultOptions() Options {
+	return Options{Epsilon: 0.3, Workers: 1}
+}
+
+// Stats reports what one Solve call did.
+type Stats struct {
+	K          int        // ceil(1/eps)
+	Iterations int        // bisection iterations
+	LB0, UB0   pcmax.Time // initial bounds (paper equations (1)-(2))
+	FinalT     pcmax.Time // converged target makespan
+
+	// At the final T:
+	LongJobs, ShortJobs int
+	RoundingUnit        pcmax.Time
+	SizeClasses         int
+	TableEntries        int64 // sigma of the final table
+	Configs             int   // machine configurations of the final table
+	MachinesUsed        int   // machines used by the long-job schedule
+
+	// Across all bisection iterations:
+	TotalEntriesFilled int64
+	// FillTime is the wall-clock time spent inside DP table fills.
+	FillTime time.Duration
+	// UsedLPTFallback reports that plain LPT beat the PTAS construction on
+	// this instance and its schedule was returned instead. The fallback
+	// costs O(n log n), never hurts, and caps the guarantee at LPT's
+	// 4/3 - 1/(3m) — which absorbs the +k additive slop of integer rounding
+	// (see round.go) whenever eps >= 1/3.
+	UsedLPTFallback bool
+}
+
+// Typed failures.
+var (
+	ErrBadEpsilon      = errors.New("core: epsilon must be positive")
+	ErrEpsilonTooSmall = errors.New("core: epsilon too small (k exceeds limit)")
+	ErrTimeLimit       = errors.New("core: time limit exceeded")
+	ErrInternal        = errors.New("core: internal invariant violated")
+)
+
+// maxK bounds k = ceil(1/eps); beyond this the DP table cannot possibly fit
+// any entry budget, so fail fast with a clear error.
+const maxK = 1 << 20
+
+// KFor returns k = ceil(1/eps) with a tiny slack so that eps values like
+// 1.0/3.0 map to k = 3 despite floating-point rounding.
+func KFor(eps float64) (int, error) {
+	if eps <= 0 || math.IsNaN(eps) {
+		return 0, fmt.Errorf("%w (eps=%v)", ErrBadEpsilon, eps)
+	}
+	k := int(math.Ceil(1/eps - 1e-9))
+	if k < 1 {
+		k = 1
+	}
+	if k > maxK {
+		return 0, fmt.Errorf("%w (eps=%v gives k=%d > %d)", ErrEpsilonTooSmall, eps, k, maxK)
+	}
+	return k, nil
+}
+
+// Solve runs the (parallel) PTAS on the instance and returns the schedule
+// and run statistics.
+func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	k, err := KFor(opts.Epsilon)
+	if err != nil {
+		return nil, nil, err
+	}
+	stats := &Stats{K: k}
+	n, m := in.N(), in.M
+	if n == 0 {
+		return pcmax.NewSchedule(m, 0), stats, nil
+	}
+
+	// Paper Lines 2-3: bounds on the optimal makespan.
+	lbT := in.LowerBound()
+	ubT := in.UpperBound()
+	stats.LB0, stats.UB0 = lbT, ubT
+
+	var pool *par.Pool
+	workers := par.Normalize(opts.Workers)
+	if workers > 1 {
+		pool = opts.Pool
+		if pool == nil {
+			pool = par.NewPool(workers)
+			defer pool.Close()
+		}
+	}
+
+	var deadline time.Time
+	if opts.TimeLimit > 0 {
+		deadline = time.Now().Add(opts.TimeLimit)
+	}
+
+	// attempt builds and fills the DP table for target T and reports whether
+	// the rounded long jobs fit on at most m machines. The table and split
+	// are returned for reuse when T turns out to be the final target.
+	attempt := func(T pcmax.Time) (*split, *dp.Table, bool, error) {
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			return nil, nil, false, fmt.Errorf("%w (%v)", ErrTimeLimit, opts.TimeLimit)
+		}
+		res, err := runAttempt(in, k, T, opts, pool)
+		if err != nil {
+			return nil, nil, false, err
+		}
+		stats.FillTime += res.fill
+		if res.tbl != nil {
+			stats.TotalEntriesFilled += res.tbl.Sigma
+			if opts.Profile != nil {
+				opts.Profile.Levels = append(opts.Profile.Levels, dp.LevelSizes(res.sp.counts))
+				opts.Profile.Configs = append(opts.Profile.Configs, len(res.tbl.Configs))
+				opts.Profile.SeqFill = stats.FillTime
+			}
+		}
+		return res.sp, res.tbl, res.feasible, nil
+	}
+
+	// Paper Lines 5-30: bisection search on T (optionally probing several
+	// targets concurrently — see speculative.go).
+	var (
+		finalSplit *split
+		finalTable *dp.Table
+	)
+	if opts.SpeculativeProbes > 1 {
+		sp, tbl, T, err := speculativeBisection(in, k, lbT, ubT, opts, stats)
+		if err != nil {
+			return nil, nil, err
+		}
+		finalSplit, finalTable = sp, tbl
+		lbT = T
+	} else {
+		for lbT < ubT {
+			stats.Iterations++
+			T := lbT + (ubT-lbT)/2
+			sp, tbl, ok, err := attempt(T)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				ubT = T
+				finalSplit, finalTable = sp, tbl
+			} else {
+				lbT = T + 1
+			}
+		}
+	}
+	T := lbT
+	stats.FinalT = T
+	if finalSplit == nil || finalSplit.T != T {
+		// The converged T was never attempted (e.g. LB == UB initially, or
+		// the last feasible probe was at a larger T). Attempt it now; it is
+		// feasible because every T >= OPT is.
+		sp, tbl, ok, err := attempt(T)
+		if err != nil {
+			return nil, nil, err
+		}
+		if !ok {
+			return nil, nil, fmt.Errorf("%w: converged T=%d is infeasible", ErrInternal, T)
+		}
+		finalSplit, finalTable = sp, tbl
+	}
+	stats.LongJobs = finalSplit.longJobs()
+	stats.ShortJobs = len(finalSplit.short)
+	stats.RoundingUnit = finalSplit.u
+	stats.SizeClasses = len(finalSplit.sizes)
+
+	// Paper Lines 31-40: reconstruct the long-job schedule and replace the
+	// rounded jobs with the original ones.
+	sched := pcmax.NewSchedule(m, n)
+	if finalTable != nil {
+		stats.TableEntries = finalTable.Sigma
+		stats.Configs = len(finalTable.Configs)
+		machines, err := finalTable.Reconstruct()
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(machines) > m {
+			return nil, nil, fmt.Errorf("%w: reconstruction used %d machines for m=%d", ErrInternal, len(machines), m)
+		}
+		stats.MachinesUsed = len(machines)
+		remaining := make([][]int, len(finalSplit.buckets))
+		for c := range remaining {
+			remaining[c] = finalSplit.buckets[c]
+		}
+		for r, cfg := range machines {
+			for c, cnt := range cfg {
+				for x := int32(0); x < cnt; x++ {
+					if len(remaining[c]) == 0 {
+						return nil, nil, fmt.Errorf("%w: class %d exhausted during unrounding", ErrInternal, c)
+					}
+					j := remaining[c][0]
+					remaining[c] = remaining[c][1:]
+					sched.Assignment[j] = r
+				}
+			}
+		}
+		for c := range remaining {
+			if len(remaining[c]) != 0 {
+				return nil, nil, fmt.Errorf("%w: %d long jobs of class %d left unscheduled", ErrInternal, len(remaining[c]), c)
+			}
+		}
+	}
+
+	// Paper Lines 41-51: extend the schedule with the short jobs.
+	order := append([]int(nil), finalSplit.short...)
+	if opts.ShortRule == ShortLPT {
+		sortJobsDesc(in, order)
+	}
+	listsched.AssignGreedy(in, sched, order)
+
+	if err := sched.Validate(in); err != nil {
+		return nil, nil, fmt.Errorf("%w: produced invalid schedule: %v", ErrInternal, err)
+	}
+
+	// Optionally return the better of the construction and plain LPT.
+	// Deterministic (strict improvement only), guarantee-preserving in both
+	// directions.
+	if opts.LPTFallback {
+		if lpt := listsched.LPT(in); lpt.Makespan(in) < sched.Makespan(in) {
+			sched = lpt
+			stats.UsedLPTFallback = true
+		}
+	}
+	return sched, stats, nil
+}
+
+// sortJobsDesc orders job indices by non-increasing processing time, ties by
+// index (stable and deterministic).
+func sortJobsDesc(in *pcmax.Instance, order []int) {
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := in.Times[order[a]], in.Times[order[b]]
+		if ta != tb {
+			return ta > tb
+		}
+		return order[a] < order[b]
+	})
+}

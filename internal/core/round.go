@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/pcmax"
+)
+
+// split is the short/long partition and long-job rounding of one bisection
+// iteration at target makespan T (paper Algorithm 1, Lines 7-24).
+//
+// Arithmetic is exact, with one deliberate correction to the paper. The
+// paper's real-arithmetic presentation takes jobs with t > T/k as long and
+// rounds them down to multiples of T/k^2; its (1+1/k)T bound for the
+// long-job schedule needs every rounded size to stay >= T/k, which holds in
+// real arithmetic because T/k is itself a multiple of T/k^2. With integer
+// rounding unit u = ceil(T/k^2) that divisibility breaks: a job just above
+// T/k can round to below T/k (e.g. T=21, k=2: u=6 and t=11 rounds to 6),
+// letting one machine hold more than k long jobs and pushing the un-rounded
+// load past (1+1/k)T — an observable guarantee violation. The repository
+// therefore defines long as t >= k*u, which restores the invariant exactly:
+//
+//   - every long job's class index i = floor(t/u) satisfies k <= i <= k^2,
+//     so every rounded size is >= k*u >= T/k and a machine fits at most k
+//     long jobs within T;
+//   - un-rounding adds less than u per job, at most k*u - k <= T/k + k per
+//     machine, keeping the long-job schedule within (1+1/k)T + k;
+//   - jobs in the reclassified band (T/k, k*u) are short; they are at most
+//     k*u - 1 <= T/k + k long, which keeps the short-job LPT argument intact
+//     up to the same +k additive slop (absorbed by the driver's LPT
+//     fallback; see core.Solve).
+type split struct {
+	k int
+	T pcmax.Time
+	u pcmax.Time // rounding unit ceil(T/k^2)
+
+	short []int // indices of short jobs, in input order
+
+	// Per distinct rounded size, ascending by size:
+	sizes   []pcmax.Time // rounded size i*u
+	counts  []int        // n_i
+	buckets [][]int      // original long-job indices of the class
+}
+
+// newSplit partitions and rounds the instance's jobs for target T.
+func newSplit(in *pcmax.Instance, k int, T pcmax.Time) (*split, error) {
+	k2 := pcmax.Time(k) * pcmax.Time(k)
+	sp := &split{
+		k: k,
+		T: T,
+		u: (T + k2 - 1) / k2,
+	}
+	threshold := pcmax.Time(k) * sp.u
+	byClass := make(map[pcmax.Time][]int)
+	for j, t := range in.Times {
+		if t < threshold {
+			sp.short = append(sp.short, j)
+			continue
+		}
+		if t > T {
+			return nil, fmt.Errorf("core: internal error: job %d (t=%d) exceeds target T=%d", j, t, T)
+		}
+		i := t / sp.u
+		if i < pcmax.Time(k) || i > k2 {
+			return nil, fmt.Errorf("core: internal error: job %d (t=%d) rounds to class %d outside [%d,%d] at T=%d u=%d",
+				j, t, i, k, k2, T, sp.u)
+		}
+		byClass[i] = append(byClass[i], j)
+	}
+	classes := make([]pcmax.Time, 0, len(byClass))
+	for i := range byClass {
+		classes = append(classes, i)
+	}
+	sort.Slice(classes, func(a, b int) bool { return classes[a] < classes[b] })
+	for _, i := range classes {
+		sp.sizes = append(sp.sizes, i*sp.u)
+		sp.counts = append(sp.counts, len(byClass[i]))
+		sp.buckets = append(sp.buckets, byClass[i])
+	}
+	return sp, nil
+}
+
+// longJobs returns the number of long jobs.
+func (sp *split) longJobs() int {
+	n := 0
+	for _, c := range sp.counts {
+		n += c
+	}
+	return n
+}

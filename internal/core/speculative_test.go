@@ -1,0 +1,112 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestSpeculativeMatchesSequentialOnPaperFamilies(t *testing.T) {
+	for _, fam := range workload.SpeedupFamilies {
+		in := workload.MustGenerate(workload.Spec{Family: fam, M: 10, N: 50, Seed: 19})
+		ref, refStats, err := Solve(in, Options{Epsilon: 0.3})
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		for _, probes := range []int{2, 4, 8} {
+			got, st, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
+			if err != nil {
+				t.Fatalf("%v probes=%d: %v", fam, probes, err)
+			}
+			if got.Makespan(in) != ref.Makespan(in) {
+				t.Fatalf("%v probes=%d: makespan %d != %d", fam, probes, got.Makespan(in), ref.Makespan(in))
+			}
+			if st.Iterations > refStats.Iterations {
+				t.Fatalf("%v probes=%d: %d rounds, sequential needed %d",
+					fam, probes, st.Iterations, refStats.Iterations)
+			}
+		}
+	}
+}
+
+func TestSpeculativeFewerRounds(t *testing.T) {
+	// With a wide [LB, UB] interval, 8 probes should cut rounds roughly to
+	// log_9 instead of log_2.
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10n, M: 10, N: 50, Seed: 5})
+	_, seq, err := Solve(in, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, spec, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Iterations >= 6 && spec.Iterations*2 > seq.Iterations {
+		t.Fatalf("speculative rounds %d vs sequential %d: expected a clear reduction",
+			spec.Iterations, seq.Iterations)
+	}
+}
+
+func TestSpeculativeGuaranteeProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw, probesRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%4) + 1
+		n := int(nRaw%10) + 1
+		probes := int(probesRaw%7) + 2
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(60))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		sched, _, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
+		if err != nil || sched.Validate(in) != nil {
+			return false
+		}
+		opt, err := exact.BruteForce(in)
+		if err != nil {
+			return false
+		}
+		return float64(sched.Makespan(in)) <= 1.3*float64(opt.Makespan(in))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbeTargets(t *testing.T) {
+	ts := probeTargets(10, 20, 4)
+	if len(ts) == 0 {
+		t.Fatal("no targets")
+	}
+	seen := map[pcmax.Time]bool{}
+	for _, x := range ts {
+		if x < 10 || x >= 20 {
+			t.Fatalf("target %d outside [10,20)", x)
+		}
+		if seen[x] {
+			t.Fatalf("duplicate target %d", x)
+		}
+		seen[x] = true
+	}
+	if !seen[15] {
+		t.Fatalf("midpoint missing from %v", ts)
+	}
+	// Sorted ascending.
+	for i := 1; i < len(ts); i++ {
+		if ts[i-1] >= ts[i] {
+			t.Fatalf("targets not sorted: %v", ts)
+		}
+	}
+}
+
+func TestProbeTargetsNarrowInterval(t *testing.T) {
+	// Width 1: the only legal probe is lo itself.
+	ts := probeTargets(7, 8, 8)
+	if len(ts) != 1 || ts[0] != 7 {
+		t.Fatalf("targets = %v, want [7]", ts)
+	}
+}

@@ -1,0 +1,86 @@
+package dp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDataflowMatchesSequentialPaperExample(t *testing.T) {
+	ref := paperTable(t)
+	ref.FillSequential()
+	for _, workers := range []int{1, 2, 4, 8} {
+		tbl := paperTable(t)
+		tbl.FillDataflow(workers)
+		for i := range tbl.Opt {
+			if tbl.Opt[i] != ref.Opt[i] {
+				t.Fatalf("workers=%d: entry %d = %d, want %d", workers, i, tbl.Opt[i], ref.Opt[i])
+			}
+		}
+	}
+}
+
+func TestDataflowEmptyTable(t *testing.T) {
+	tbl, err := New(nil, nil, 10, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.FillDataflow(4)
+	if opt, err := tbl.OptValue(); err != nil || opt != 0 {
+		t.Fatalf("OPT = %d, %v", opt, err)
+	}
+}
+
+func TestDataflowReconstruct(t *testing.T) {
+	tbl := paperTable(t)
+	tbl.FillDataflow(3)
+	machines, err := tbl.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != 2 {
+		t.Fatalf("machines = %d, want 2", len(machines))
+	}
+}
+
+func TestDataflowMatchesSequentialProperty(t *testing.T) {
+	f := func(seed uint64, wRaw uint8) bool {
+		src := rng.New(seed)
+		workers := int(wRaw%6) + 1
+		ref := randomTable(src)
+		ref.FillSequential()
+		tbl := cloneEmpty(ref)
+		tbl.FillDataflow(workers)
+		for i := range tbl.Opt {
+			if tbl.Opt[i] != ref.Opt[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataflowWithPerEntryEnum(t *testing.T) {
+	ref := paperTable(t)
+	ref.FillSequential()
+	tbl := paperTable(t)
+	tbl.PerEntryEnum = true
+	tbl.FillDataflow(4)
+	for i := range tbl.Opt {
+		if tbl.Opt[i] != ref.Opt[i] {
+			t.Fatalf("entry %d = %d, want %d", i, tbl.Opt[i], ref.Opt[i])
+		}
+	}
+}
+
+func TestDataflowWorkerClamp(t *testing.T) {
+	tbl := paperTable(t)
+	tbl.FillDataflow(0) // clamped to 1
+	if opt, err := tbl.OptValue(); err != nil || opt != 2 {
+		t.Fatalf("OPT = %d, %v", opt, err)
+	}
+}

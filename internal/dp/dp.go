@@ -1,0 +1,456 @@
+// Package dp implements the dynamic-programming table at the heart of the
+// Hochbaum–Shmoys PTAS and its parallel variant from the paper.
+//
+// The table entry OPT(v), for a vector v = (v_1, ..., v_d) with
+// 0 <= v_i <= n_i over the d distinct rounded long-job sizes, is the minimum
+// number of machines that schedule v_i jobs of each rounded size i within the
+// target makespan T. It satisfies the paper's recurrence (equation 4):
+//
+//	OPT(v) = 1 + min over machine configurations s <= v, weight(s) <= T
+//	             of OPT(v - s),      with OPT(0) = 0.
+//
+// Entries are stored in row-major mixed-radix order (the paper's
+// one-dimensional array V), so idx(v) = sum_i v_i * stride_i and, for a
+// configuration s <= v, idx(v-s) = idx(v) - offset(s) with no borrows.
+//
+// Three fill strategies are provided:
+//
+//   - FillSequential: bottom-up in index order (every dependency of entry i
+//     has a smaller index, so a single left-to-right sweep is valid).
+//   - FillRecursive: top-down memoized recursion starting from the last
+//     entry, faithful to the paper's Algorithm 2 description ("starts from
+//     the last entry of the DP-table and recursively computes the other
+//     entries until it ends up at the first element").
+//   - FillParallel: the paper's Algorithm 3. Entries on the same
+//     anti-diagonal (equal digit sum, the paper's d_i values) are mutually
+//     independent; levels l = 0..n' run sequentially with a barrier, entries
+//     within a level run on P workers.
+package dp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/conf"
+	"repro/internal/par"
+	"repro/pcmax"
+)
+
+// LevelMode selects how FillParallel locates the entries of a level.
+type LevelMode int
+
+const (
+	// LevelBuckets groups entry indices by level once (counting sort) so
+	// each level touches only its own entries. This is the optimized mode.
+	LevelBuckets LevelMode = iota
+	// LevelScan is faithful to the paper's Algorithm 3 Lines 11-12: at
+	// every level all sigma entries are scanned in parallel and entries
+	// whose d_i differs from the level are skipped.
+	LevelScan
+)
+
+// String names the level mode.
+func (m LevelMode) String() string {
+	switch m {
+	case LevelBuckets:
+		return "buckets"
+	case LevelScan:
+		return "scan"
+	default:
+		return fmt.Sprintf("LevelMode(%d)", int(m))
+	}
+}
+
+// DefaultMaxEntries caps the table size (number of entries). 1<<25 entries
+// occupy 128 MiB of OPT values plus 256 MiB of level-bucket index in the
+// parallel fill.
+const DefaultMaxEntries = 1 << 25
+
+// Typed failures.
+var (
+	// ErrTableTooLarge reports that prod(n_i+1) exceeds the entry budget.
+	ErrTableTooLarge = errors.New("dp: DP table exceeds the entry budget")
+	// ErrNotFilled reports use of results before any Fill method ran.
+	ErrNotFilled = errors.New("dp: table not filled")
+	// ErrInconsistent reports a corrupted table during reconstruction.
+	ErrInconsistent = errors.New("dp: inconsistent table")
+)
+
+// unset marks entries not yet computed by FillRecursive.
+const unset = int32(-1)
+
+// Table is the DP table for one (sizes, counts, T) triple.
+type Table struct {
+	// Sizes holds the distinct rounded long-job sizes, strictly ascending.
+	Sizes []pcmax.Time
+	// Counts holds n_i, the number of long jobs of each rounded size.
+	Counts []int
+	// T is the target makespan (machine capacity).
+	T pcmax.Time
+
+	// Stride holds row-major mixed-radix strides; Stride[d-1] == 1.
+	Stride []int64
+	// Sigma is the number of entries, prod(n_i + 1).
+	Sigma int64
+	// NPrime is the number of long jobs, sum(n_i); the table has NPrime+1
+	// anti-diagonal levels.
+	NPrime int
+	// Configs are all feasible non-zero machine configurations.
+	Configs []conf.Config
+	// Opt holds OPT(v) per entry after a Fill method ran.
+	Opt []int32
+
+	// PerEntryEnum switches every fill method to re-enumerating the
+	// configuration set C_v of each entry by depth-first search, bounded by
+	// the entry's own vector, instead of filtering the shared Configs list.
+	// This is faithful to the paper's Algorithm 3 Line 17 ("C_{v^i} <- all
+	// machine configurations of vector v^i") and considerably slower; it
+	// exists for fidelity runs and ablation benchmarks.
+	PerEntryEnum bool
+
+	filled bool
+}
+
+// New builds an empty table. Sizes must be strictly ascending, positive and
+// at most T; counts must be non-negative and parallel to sizes. maxEntries
+// <= 0 selects DefaultMaxEntries, maxConfigs <= 0 selects
+// conf.DefaultMaxConfigs.
+func New(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int) (*Table, error) {
+	if len(sizes) != len(counts) {
+		return nil, fmt.Errorf("dp: %d sizes but %d counts", len(sizes), len(counts))
+	}
+	if T < 1 {
+		return nil, fmt.Errorf("dp: target makespan T=%d < 1", T)
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("dp: size class %d has non-positive size %d", i, s)
+		}
+		if s > T {
+			return nil, fmt.Errorf("dp: size class %d (%d) exceeds T=%d; no configuration can hold it", i, s, T)
+		}
+		if i > 0 && sizes[i-1] >= s {
+			return nil, fmt.Errorf("dp: sizes not strictly ascending at class %d (%d >= %d)", i, sizes[i-1], s)
+		}
+		if counts[i] < 0 {
+			return nil, fmt.Errorf("dp: size class %d has negative count %d", i, counts[i])
+		}
+	}
+	if maxEntries <= 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	d := len(sizes)
+	t := &Table{
+		Sizes:  append([]pcmax.Time(nil), sizes...),
+		Counts: append([]int(nil), counts...),
+		T:      T,
+		Stride: make([]int64, d),
+	}
+	sigma := int64(1)
+	for i := d - 1; i >= 0; i-- {
+		t.Stride[i] = sigma
+		radix := int64(counts[i]) + 1
+		if radix > maxEntries || sigma > maxEntries/radix {
+			return nil, fmt.Errorf("%w (needs more than the %d-entry budget)", ErrTableTooLarge, maxEntries)
+		}
+		sigma *= radix
+		t.NPrime += counts[i]
+	}
+	t.Sigma = sigma
+	configs, err := conf.Enumerate(t.Sizes, t.Counts, T, t.Stride, maxConfigs)
+	if err != nil {
+		return nil, err
+	}
+	t.Configs = configs
+	t.Opt = make([]int32, sigma)
+	return t, nil
+}
+
+// digits decodes the entry index into the vector v, writing into dst
+// (len(dst) == d) and returning it.
+func (t *Table) digits(idx int64, dst []int32) []int32 {
+	rem := idx
+	for i := range t.Stride {
+		dst[i] = int32(rem / t.Stride[i])
+		rem %= t.Stride[i]
+	}
+	return dst
+}
+
+// levelOf returns the digit sum (anti-diagonal index) of an entry.
+func (t *Table) levelOf(idx int64) int32 {
+	var s int32
+	rem := idx
+	for i := range t.Stride {
+		s += int32(rem / t.Stride[i])
+		rem %= t.Stride[i]
+	}
+	return s
+}
+
+// computeEntry evaluates the recurrence for one non-zero entry whose decoded
+// digits are v. All dependencies (smaller digit sums) must be final.
+func (t *Table) computeEntry(idx int64, v []int32) {
+	if t.PerEntryEnum {
+		t.computeEntryPerEnum(idx, v)
+		return
+	}
+	best := int32(math.MaxInt32)
+	for ci := range t.Configs {
+		c := &t.Configs[ci]
+		if conf.Fits(c.Counts, v) {
+			if o := t.Opt[idx-c.Offset]; o < best {
+				best = o
+			}
+		}
+	}
+	// A non-zero entry always admits at least one singleton configuration
+	// (every size is <= T), so best is a real value here.
+	t.Opt[idx] = best + 1
+}
+
+// computeEntryPerEnum evaluates the recurrence by regenerating the entry's
+// own configuration set C_v (paper Algorithm 3, Lines 16-24): every s with
+// 0 < s <= v and weight(s) <= T is visited by depth-first search and the
+// minimum OPT(v-s) is collected.
+func (t *Table) computeEntryPerEnum(idx int64, v []int32) {
+	best := int32(math.MaxInt32)
+	d := len(t.Sizes)
+	var rec func(dim int, weight pcmax.Time, off int64, jobs int32)
+	rec = func(dim int, weight pcmax.Time, off int64, jobs int32) {
+		if dim == d {
+			if jobs > 0 {
+				if o := t.Opt[idx-off]; o < best {
+					best = o
+				}
+			}
+			return
+		}
+		for s := int32(0); s <= v[dim]; s++ {
+			w := weight + pcmax.Time(s)*t.Sizes[dim]
+			if w > t.T {
+				break
+			}
+			rec(dim+1, w, off+int64(s)*t.Stride[dim], jobs+s)
+		}
+	}
+	rec(0, 0, 0, 0)
+	t.Opt[idx] = best + 1
+}
+
+// FillSequential computes every entry bottom-up in index order.
+func (t *Table) FillSequential() {
+	t.Opt[0] = 0
+	d := len(t.Stride)
+	v := make([]int32, d)
+	for idx := int64(1); idx < t.Sigma; idx++ {
+		// Odometer increment with the last dimension fastest, mirroring the
+		// row-major index order.
+		for i := d - 1; i >= 0; i-- {
+			v[i]++
+			if int64(v[i]) <= int64(t.Counts[i]) {
+				break
+			}
+			v[i] = 0
+		}
+		t.computeEntry(idx, v)
+	}
+	t.filled = true
+}
+
+// FillRecursive computes the table top-down with memoization, starting from
+// the last entry, exactly as the paper describes the sequential Algorithm 2.
+// Only entries reachable from N by configuration subtractions are computed;
+// unreachable entries keep an internal "unset" marker that OptValue and
+// Reconstruct never observe.
+func (t *Table) FillRecursive() {
+	for i := range t.Opt {
+		t.Opt[i] = unset
+	}
+	t.Opt[0] = 0
+	t.solveRec(t.Sigma - 1)
+	t.filled = true
+}
+
+func (t *Table) solveRec(idx int64) int32 {
+	if t.Opt[idx] != unset {
+		return t.Opt[idx]
+	}
+	v := t.digits(idx, make([]int32, len(t.Stride)))
+	best := int32(math.MaxInt32)
+	if t.PerEntryEnum {
+		d := len(t.Sizes)
+		var rec func(dim int, weight pcmax.Time, off int64, jobs int32)
+		rec = func(dim int, weight pcmax.Time, off int64, jobs int32) {
+			if dim == d {
+				if jobs > 0 {
+					if o := t.solveRec(idx - off); o < best {
+						best = o
+					}
+				}
+				return
+			}
+			for s := int32(0); s <= v[dim]; s++ {
+				w := weight + pcmax.Time(s)*t.Sizes[dim]
+				if w > t.T {
+					break
+				}
+				rec(dim+1, w, off+int64(s)*t.Stride[dim], jobs+s)
+			}
+		}
+		rec(0, 0, 0, 0)
+	} else {
+		for ci := range t.Configs {
+			c := &t.Configs[ci]
+			if conf.Fits(c.Counts, v) {
+				if o := t.solveRec(idx - c.Offset); o < best {
+					best = o
+				}
+			}
+		}
+	}
+	t.Opt[idx] = best + 1
+	return t.Opt[idx]
+}
+
+// FillParallel computes the table with the paper's Parallel DP (Algorithm 3)
+// on the given worker pool: level d_i = l entries in parallel, levels in
+// sequence. The pool may be reused across calls and bisection iterations.
+func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strategy) {
+	if t.Sigma == 1 {
+		t.Opt[0] = 0
+		t.filled = true
+		return
+	}
+	d := len(t.Stride)
+	workers := pool.Workers()
+	scratch := make([][]int32, workers)
+	for w := range scratch {
+		scratch[w] = make([]int32, d)
+	}
+
+	// Lines 4-8: compute the digit sums d_i of every entry in parallel.
+	levels := make([]int32, t.Sigma)
+	pool.For(int(t.Sigma), strategy, func(i int) {
+		levels[i] = t.levelOf(int64(i))
+	})
+
+	t.Opt[0] = 0
+	switch mode {
+	case LevelScan:
+		// Lines 10-25, faithful: every level scans all sigma entries.
+		for l := int32(1); l <= int32(t.NPrime); l++ {
+			pool.ForWorker(int(t.Sigma), strategy, 0, func(w, i int) {
+				if levels[i] != l {
+					return
+				}
+				idx := int64(i)
+				t.computeEntry(idx, t.digits(idx, scratch[w]))
+			})
+		}
+	case LevelBuckets:
+		// Counting sort of entries by level, then each level processes only
+		// its own entries.
+		count := make([]int64, t.NPrime+2)
+		for _, l := range levels {
+			count[l+1]++
+		}
+		for l := 1; l < len(count); l++ {
+			count[l] += count[l-1]
+		}
+		start := count // start[l] is the first slot of level l
+		order := make([]int64, t.Sigma)
+		cursor := make([]int64, t.NPrime+1)
+		copy(cursor, start[:t.NPrime+1])
+		for i := int64(0); i < t.Sigma; i++ {
+			l := levels[i]
+			order[cursor[l]] = i
+			cursor[l]++
+		}
+		for l := 1; l <= t.NPrime; l++ {
+			bucket := order[start[l]:start[l+1]]
+			pool.ForWorker(len(bucket), strategy, 0, func(w, j int) {
+				idx := bucket[j]
+				t.computeEntry(idx, t.digits(idx, scratch[w]))
+			})
+		}
+	default:
+		panic(fmt.Sprintf("dp: unknown level mode %d", int(mode)))
+	}
+	t.filled = true
+}
+
+// LevelSizes returns q_l for l = 0..sum(counts): the number of table entries
+// on each anti-diagonal of a table with the given per-class counts. It is
+// computed by convolution, without enumerating entries, and is the input to
+// the simulated-multicore model of package simsched (and to the paper's
+// Section IV cost analysis).
+func LevelSizes(counts []int) []int64 {
+	q := []int64{1}
+	for _, n := range counts {
+		if n < 0 {
+			n = 0
+		}
+		nq := make([]int64, len(q)+n)
+		var window int64
+		for l := range nq {
+			if l < len(q) {
+				window += q[l]
+			}
+			if prev := l - n - 1; prev >= 0 && prev < len(q) {
+				window -= q[prev]
+			}
+			nq[l] = window
+		}
+		q = nq
+	}
+	return q
+}
+
+// OptValue returns OPT(N), the minimum machine count for the full job vector
+// within T.
+func (t *Table) OptValue() (int, error) {
+	if !t.filled {
+		return 0, ErrNotFilled
+	}
+	return int(t.Opt[t.Sigma-1]), nil
+}
+
+// Reconstruct walks the filled table back from the full vector N and returns
+// one machine configuration (a per-size-class job count vector) per machine,
+// OPT(N) machines in total.
+func (t *Table) Reconstruct() ([][]int32, error) {
+	if !t.filled {
+		return nil, ErrNotFilled
+	}
+	d := len(t.Stride)
+	v := make([]int32, d)
+	t.digits(t.Sigma-1, v)
+	idx := t.Sigma - 1
+	var machines [][]int32
+	for idx != 0 {
+		target := t.Opt[idx]
+		if target <= 0 {
+			return nil, fmt.Errorf("%w: entry %d has OPT=%d on the walk", ErrInconsistent, idx, target)
+		}
+		found := -1
+		for ci := range t.Configs {
+			c := &t.Configs[ci]
+			if conf.Fits(c.Counts, v) && t.Opt[idx-c.Offset] == target-1 {
+				found = ci
+				break
+			}
+		}
+		if found < 0 {
+			return nil, fmt.Errorf("%w: no configuration explains OPT=%d at entry %d", ErrInconsistent, target, idx)
+		}
+		c := &t.Configs[found]
+		machines = append(machines, append([]int32(nil), c.Counts...))
+		idx -= c.Offset
+		for i := range v {
+			v[i] -= c.Counts[i]
+		}
+	}
+	return machines, nil
+}

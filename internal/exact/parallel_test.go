@@ -1,0 +1,116 @@
+package exact
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestSolveParallelMatchesSequentialProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw, wRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%5) + 1
+		n := int(nRaw%20) + 1
+		workers := int(wRaw%6) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(80))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		seq, rs, err := Solve(in, Options{})
+		if err != nil || !rs.Optimal {
+			return false
+		}
+		par, rp, err := SolveParallel(in, Options{}, workers)
+		if err != nil || !rp.Optimal {
+			return false
+		}
+		return par.Validate(in) == nil &&
+			par.Makespan(in) == seq.Makespan(in) &&
+			rp.Makespan == rs.Makespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveParallelOnTriplets(t *testing.T) {
+	// The hard family: the parallel solver must still prove the optimum B.
+	for _, m := range []int{4, 6, 8} {
+		in, err := workload.Triplets(m, 300, uint64(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, res, err := SolveParallel(in, Options{TimeLimit: 30 * time.Second}, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal || res.Makespan != 300 {
+			t.Fatalf("m=%d: makespan %d optimal=%v, want 300", m, res.Makespan, res.Optimal)
+		}
+	}
+}
+
+func TestSolveParallelEmptyAndTrivial(t *testing.T) {
+	empty := &pcmax.Instance{M: 3}
+	_, res, err := SolveParallel(empty, Options{}, 4)
+	if err != nil || !res.Optimal || res.Makespan != 0 {
+		t.Fatalf("empty: %+v %v", res, err)
+	}
+	one := &pcmax.Instance{M: 1, Times: []pcmax.Time{5, 6}}
+	sched, res, err := SolveParallel(one, Options{}, 4)
+	if err != nil || !res.Optimal || sched.Makespan(one) != 11 {
+		t.Fatalf("m=1: %+v %v", res, err)
+	}
+}
+
+func TestSolveParallelNodeBudget(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U95_105, M: 10, N: 37, Seed: 44})
+	sched, res, err := SolveParallel(in, Options{NodeLimit: 50}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	// The returned incumbent must still be a real schedule no worse than
+	// the heuristics can certify.
+	if res.Makespan < res.LowerBound {
+		t.Fatalf("makespan %d below bound %d", res.Makespan, res.LowerBound)
+	}
+}
+
+func TestSolveParallelWorkerCountClamped(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 20, Seed: 5})
+	a, ra, err := SolveParallel(in, Options{}, 0) // clamped to 1
+	if err != nil || !ra.Optimal {
+		t.Fatal(err)
+	}
+	b, rb, err := SolveParallel(in, Options{}, 16)
+	if err != nil || !rb.Optimal {
+		t.Fatal(err)
+	}
+	if a.Makespan(in) != b.Makespan(in) {
+		t.Fatalf("worker counts disagree: %d vs %d", a.Makespan(in), b.Makespan(in))
+	}
+}
+
+func TestCollectCompletionsCoverage(t *testing.T) {
+	// Bin 0 completions at capacity 10 for jobs 6,4,4,3: seed 6, then the
+	// maximal completions are {6,4(first)} and {6,3}; excluding both 4s and
+	// the 3 would leave the bin non-maximal, so exactly 2 tasks.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{6, 4, 4, 3}}
+	s := newSearcher(in, Options{NodeLimit: 1 << 30})
+	s.c = 10
+	var tasks []rootTask
+	if ok := collectFirstBinCompletions(s, &tasks); !ok {
+		t.Fatal("overflow on a tiny instance")
+	}
+	if len(tasks) != 2 {
+		t.Fatalf("got %d root tasks, want 2", len(tasks))
+	}
+}

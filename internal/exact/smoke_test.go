@@ -1,0 +1,40 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// TestSmokeSolveAgainstBruteForce cross-checks the branch-and-bound against
+// full enumeration on small random instances.
+func TestSmokeSolveAgainstBruteForce(t *testing.T) {
+	src := rng.New(7)
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + src.Intn(4)
+		n := 1 + src.Intn(10)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(30))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		bf, err := BruteForce(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		sched, res, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !res.Optimal {
+			t.Fatalf("trial %d: not proved optimal (nodes=%d)", trial, res.Nodes)
+		}
+		if got, want := sched.Makespan(in), bf.Makespan(in); got != want {
+			t.Fatalf("trial %d m=%d times=%v: B&B makespan %d, brute force %d", trial, m, times, got, want)
+		}
+		if res.Makespan != sched.Makespan(in) {
+			t.Fatalf("trial %d: result makespan %d != schedule %d", trial, res.Makespan, sched.Makespan(in))
+		}
+	}
+}

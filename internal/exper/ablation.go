@@ -1,0 +1,161 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/par"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// AblationRow is one measured design variant.
+type AblationRow struct {
+	Group    string
+	Variant  string
+	Seconds  float64    // mean wall-clock over the reps
+	Makespan pcmax.Time // mean-free: the (identical across reps? no) — max observed makespan
+}
+
+// AblationResult is the output of RunAblations.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// RunAblations measures the design choices DESIGN.md calls out, each over
+// cfg.Reps instances of the LPT-adversarial family at m=20 (whose DP tables
+// are the largest among the paper's instance shapes):
+//
+//   - anti-diagonal discovery: level buckets vs the paper's full scans
+//   - level scheduling: round-robin vs chunked vs dynamic
+//   - sequential fill: bottom-up sweep vs paper's memoized recursion
+//   - configuration sets: shared filtered list vs per-entry re-enumeration
+//   - short-job rule: LPT (paper) vs LS (original Hochbaum–Shmoys)
+//   - bisection: sequential vs speculative multi-probe
+//   - exact-solver incumbent: LPT+MultiFit vs LPT only
+func (cfg Config) RunAblations() (*AblationResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &AblationResult{}
+
+	instances := make([]*pcmax.Instance, cfg.Reps)
+	for rep := range instances {
+		in, err := workload.Generate(cfg.specFor(workload.Um_2m1, 20, 41, rep))
+		if err != nil {
+			return nil, err
+		}
+		instances[rep] = in
+	}
+
+	solveVariant := func(group, variant string, opts core.Options) error {
+		var total float64
+		var worst pcmax.Time
+		for _, in := range instances {
+			t0 := time.Now()
+			sched, _, err := core.Solve(in, opts)
+			if err != nil {
+				return fmt.Errorf("%s/%s: %w", group, variant, err)
+			}
+			total += time.Since(t0).Seconds()
+			if ms := sched.Makespan(in); ms > worst {
+				worst = ms
+			}
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Group: group, Variant: variant,
+			Seconds: total / float64(len(instances)), Makespan: worst,
+		})
+		return nil
+	}
+
+	eps := cfg.Epsilon
+	for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
+		if err := solveVariant("level discovery (4 workers)", mode.String(),
+			core.Options{Epsilon: eps, Workers: 4, LevelMode: mode}); err != nil {
+			return nil, err
+		}
+	}
+	for _, strategy := range par.Strategies {
+		if err := solveVariant("level scheduling (4 workers)", strategy.String(),
+			core.Options{Epsilon: eps, Workers: 4, Strategy: strategy}); err != nil {
+			return nil, err
+		}
+	}
+	for fill, name := range map[core.SeqFill]string{core.SeqBottomUp: "bottom-up", core.SeqRecursive: "recursive (paper)"} {
+		if err := solveVariant("sequential fill", name,
+			core.Options{Epsilon: eps, SeqFill: fill}); err != nil {
+			return nil, err
+		}
+	}
+	for _, perEntry := range []bool{false, true} {
+		name := "shared list"
+		if perEntry {
+			name = "per-entry (paper)"
+		}
+		if err := solveVariant("configuration enumeration", name,
+			core.Options{Epsilon: eps, PerEntryConfigs: perEntry}); err != nil {
+			return nil, err
+		}
+	}
+	for rule, name := range map[core.ShortRule]string{core.ShortLPT: "LPT (paper)", core.ShortLS: "LS (Hochbaum–Shmoys)"} {
+		if err := solveVariant("short-job rule", name,
+			core.Options{Epsilon: eps, ShortRule: rule}); err != nil {
+			return nil, err
+		}
+	}
+	if err := solveVariant("bisection", "sequential",
+		core.Options{Epsilon: eps}); err != nil {
+		return nil, err
+	}
+	if err := solveVariant("bisection", "speculative x4",
+		core.Options{Epsilon: eps, SpeculativeProbes: 4}); err != nil {
+		return nil, err
+	}
+
+	for _, disable := range []bool{false, true} {
+		name := "LPT+MultiFit"
+		if disable {
+			name = "LPT only"
+		}
+		var total float64
+		for _, in := range instances {
+			t0 := time.Now()
+			if _, _, err := exact.Solve(in, exact.Options{
+				NodeLimit:                cfg.ExactNodeLimit,
+				TimeLimit:                cfg.ExactTimeLimit,
+				DisableMultiFitIncumbent: disable,
+			}); err != nil {
+				return nil, err
+			}
+			total += time.Since(t0).Seconds()
+		}
+		res.Rows = append(res.Rows, AblationRow{
+			Group: "exact incumbent", Variant: name,
+			Seconds: total / float64(len(instances)),
+		})
+	}
+	return res, nil
+}
+
+// Render prints the ablation table.
+func (r *AblationResult) Render(cfg Config) error {
+	tbl := stats.NewTable(
+		fmt.Sprintf("Ablations on U(m,2m-1) m=20 n=41 (eps=%.2f, %d instances per variant)", cfg.Epsilon, cfg.Reps),
+		"group", "variant", "mean time (s)", "worst makespan")
+	for _, row := range r.Rows {
+		ms := ""
+		if row.Makespan > 0 {
+			ms = fmt.Sprintf("%d", row.Makespan)
+		}
+		tbl.AddRow(row.Group, row.Variant, fmt.Sprintf("%.6f", row.Seconds), ms)
+	}
+	if cfg.CSV {
+		return tbl.RenderCSV(cfg.out())
+	}
+	return tbl.Render(cfg.out())
+}

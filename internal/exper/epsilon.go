@@ -1,0 +1,124 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// EpsilonPoint is one measured accuracy setting.
+type EpsilonPoint struct {
+	Epsilon    float64
+	K          int
+	MeanRatio  float64 // vs certified optimum
+	WorstRatio float64
+	MeanSecs   float64
+	MeanTable  float64 // mean final DP-table entries
+	Failures   int     // table/config budget errors at this epsilon
+}
+
+// EpsilonResult is the output of RunEpsilonSweep.
+type EpsilonResult struct {
+	M, N   int
+	Fam    workload.Family
+	Points []EpsilonPoint
+}
+
+// DefaultEpsilonGrid is the sweep used by the harness. It stops at 0.2: the
+// next useful step (k=7, k^2=49 classes) needs minutes per instance at the
+// paper's scale, the `(n/eps)^(1/eps^2)` wall the paper's introduction calls
+// "not feasible to use in practice" for the sequential scheme.
+var DefaultEpsilonGrid = []float64{1.0, 0.5, 0.4, 1.0 / 3.0, 0.3, 0.25, 0.2}
+
+// RunEpsilonSweep quantifies the accuracy/effort exchange of the scheme on
+// the paper's U(1,100) family: for each epsilon, the actual approximation
+// ratio against the certified optimum and the running time/table size.
+func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(grid) == 0 {
+		grid = DefaultEpsilonGrid
+	}
+	res := &EpsilonResult{M: m, N: n, Fam: workload.U1_100}
+
+	type inst struct {
+		in  *pcmax.Instance
+		opt pcmax.Time
+	}
+	instances := make([]inst, cfg.Reps)
+	for rep := range instances {
+		in, err := workload.Generate(cfg.specFor(res.Fam, m, n, rep))
+		if err != nil {
+			return nil, err
+		}
+		_, er, err := exact.Solve(in, exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit})
+		if err != nil {
+			return nil, err
+		}
+		if !er.Optimal {
+			return nil, fmt.Errorf("exper: optimum not certified for rep %d; raise the exact limits", rep)
+		}
+		instances[rep] = inst{in: in, opt: er.Makespan}
+	}
+
+	for _, eps := range grid {
+		k, err := core.KFor(eps)
+		if err != nil {
+			return nil, err
+		}
+		pt := EpsilonPoint{Epsilon: eps, K: k, WorstRatio: 1}
+		var ratios, secs, tables []float64
+		for _, it := range instances {
+			t0 := time.Now()
+			sched, st, err := core.Solve(it.in, core.Options{Epsilon: eps, Workers: 1})
+			if err != nil {
+				pt.Failures++
+				continue
+			}
+			secs = append(secs, time.Since(t0).Seconds())
+			tables = append(tables, float64(st.TableEntries))
+			r := sched.Ratio(it.in, it.opt)
+			ratios = append(ratios, r)
+			if r > pt.WorstRatio {
+				pt.WorstRatio = r
+			}
+			if r > 1+eps+1e-9 {
+				return nil, fmt.Errorf("exper: eps=%v guarantee violated (ratio %v)", eps, r)
+			}
+		}
+		pt.MeanRatio = stats.Mean(ratios)
+		pt.MeanSecs = stats.Mean(secs)
+		pt.MeanTable = stats.Mean(tables)
+		res.Points = append(res.Points, pt)
+	}
+	return res, nil
+}
+
+// Render prints the sweep.
+func (r *EpsilonResult) Render(cfg Config) error {
+	tbl := stats.NewTable(
+		fmt.Sprintf("Epsilon sweep on %v m=%d n=%d (%d instances per point, certified optima)", r.Fam, r.M, r.N, cfg.Reps),
+		"epsilon", "k", "mean ratio", "worst ratio", "guarantee", "mean time (s)", "mean table entries", "failures")
+	for _, p := range r.Points {
+		tbl.AddRow(
+			stats.FmtFloat(p.Epsilon, 3),
+			fmt.Sprintf("%d", p.K),
+			stats.FmtFloat(p.MeanRatio, 4),
+			stats.FmtFloat(p.WorstRatio, 4),
+			stats.FmtFloat(1+p.Epsilon, 3),
+			fmt.Sprintf("%.6f", p.MeanSecs),
+			fmt.Sprintf("%.0f", p.MeanTable),
+			fmt.Sprintf("%d", p.Failures),
+		)
+	}
+	if cfg.CSV {
+		return tbl.RenderCSV(cfg.out())
+	}
+	return tbl.Render(cfg.out())
+}

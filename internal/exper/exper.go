@@ -1,0 +1,214 @@
+// Package exper is the experiment harness that regenerates every figure and
+// table of the paper's evaluation (Section V):
+//
+//   - Figures 2, 3, 4: average speedup of the parallel PTAS with respect to
+//     the sequential PTAS (panel a) and to the IP/exact baseline (panel b),
+//     plus running times (panel c), for (m=20,n=100), (m=10,n=50) and
+//     (m=10,n=30) over the four uniform instance families.
+//   - Tables II and III + Figure 5: actual approximation ratios of the
+//     parallel PTAS, LPT and LS against the optimal makespan on best-case
+//     and worst-case instance sets.
+//
+// Speedups are reported twice: measured wall clock (honest on whatever
+// hardware runs the harness — meaningless on a single-core container) and
+// simulated on the paper's Section IV cost model via package simsched,
+// calibrated by the measured sequential fill time of the same tables.
+package exper
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/listsched"
+	"repro/internal/simsched"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// Config controls a harness run.
+type Config struct {
+	// Reps is the number of random instances per type; the paper uses 20.
+	Reps int
+	// Cores lists the worker counts to evaluate; the paper uses 2..16.
+	Cores []int
+	// Epsilon is the PTAS relative error; the paper uses 0.3.
+	Epsilon float64
+	// Seed is the base RNG seed; instance (type, rep) derives from it.
+	Seed uint64
+	// ExactNodeLimit / ExactTimeLimit bound each exact solve.
+	ExactNodeLimit int64
+	ExactTimeLimit time.Duration
+	// BarrierNs sets the simulated per-level barrier (0 = library default).
+	BarrierNs float64
+	// WallClock also measures real parallel runs per core count.
+	WallClock bool
+	// PaperFaithful switches the PTAS to the presentation-faithful DP
+	// variants (per-entry configuration enumeration, level scans).
+	PaperFaithful bool
+	// SkipIP skips the exact baselines entirely (used by the scaled
+	// speedup experiment, which studies DP scaling, not IP times).
+	SkipIP bool
+	// SkipIPBaseline skips only the assignment-formulation IP timing while
+	// keeping the strong solver's certified optimum (used by the ratio
+	// experiments, which need optima but not IP times).
+	SkipIPBaseline bool
+	// Out receives the rendered tables; nil means os.Stdout.
+	Out io.Writer
+	// CSV renders tables as CSV instead of aligned text.
+	CSV bool
+}
+
+// DefaultConfig returns the harness defaults: the paper's eps and core
+// range, 5 repetitions (pass 20 to match the paper's protocol exactly).
+func DefaultConfig() Config {
+	return Config{
+		Reps:           5,
+		Cores:          []int{1, 2, 4, 8, 16},
+		Epsilon:        0.3,
+		Seed:           2017,
+		ExactTimeLimit: 30 * time.Second,
+		WallClock:      true,
+	}
+}
+
+func (cfg *Config) out() io.Writer {
+	if cfg.Out != nil {
+		return cfg.Out
+	}
+	return os.Stdout
+}
+
+func (cfg *Config) validate() error {
+	if cfg.Reps < 1 {
+		return fmt.Errorf("exper: Reps must be >= 1, got %d", cfg.Reps)
+	}
+	if cfg.Epsilon <= 0 {
+		return fmt.Errorf("exper: Epsilon must be positive, got %v", cfg.Epsilon)
+	}
+	if len(cfg.Cores) == 0 {
+		return fmt.Errorf("exper: Cores must not be empty")
+	}
+	for _, c := range cfg.Cores {
+		if c < 1 {
+			return fmt.Errorf("exper: core count %d < 1", c)
+		}
+	}
+	return nil
+}
+
+// measurement holds everything the harness learns from one instance.
+type measurement struct {
+	seqSeconds   float64         // sequential PTAS wall clock
+	wallSeconds  map[int]float64 // parallel PTAS wall clock per core count
+	simSeconds   map[int]float64 // simulated parallel PTAS total per core count
+	exactSeconds float64         // IP (assignment B&B) wall clock
+	ipProven     bool            // IP baseline proved optimality within its limits
+	exactProven  bool            // optimum certified (by either solver)
+
+	optMakespan  pcmax.Time // exact (or best-known) makespan
+	ptasMakespan pcmax.Time
+	lptMakespan  pcmax.Time
+	lsMakespan   pcmax.Time
+}
+
+// measure runs every solver on one instance.
+func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
+	m := &measurement{
+		wallSeconds: make(map[int]float64),
+		simSeconds:  make(map[int]float64),
+	}
+
+	// Sequential PTAS with profile collection (calibrates the simulator).
+	profile := &simsched.Profile{}
+	copts := core.Options{Epsilon: cfg.Epsilon, Workers: 1, Profile: profile, PerEntryConfigs: cfg.PaperFaithful}
+	t0 := time.Now()
+	seqSched, seqStats, err := core.Solve(in, copts)
+	if err != nil {
+		return nil, fmt.Errorf("sequential PTAS: %w", err)
+	}
+	m.seqSeconds = time.Since(t0).Seconds()
+	m.ptasMakespan = seqSched.Makespan(in)
+
+	// Simulated parallel total time: sequential non-DP part plus the
+	// simulated fill on P cores.
+	nonDP := m.seqSeconds - seqStats.FillTime.Seconds()
+	if nonDP < 0 {
+		nonDP = 0
+	}
+	for _, c := range cfg.Cores {
+		if profile.SeqFill > 0 && profile.TotalWork() > 0 {
+			fill, err := simsched.Machine{Workers: c, BarrierNs: cfg.BarrierNs}.FillTime(profile)
+			if err != nil {
+				return nil, fmt.Errorf("simulate %d cores: %w", c, err)
+			}
+			m.simSeconds[c] = nonDP + fill.Seconds()
+		} else {
+			m.simSeconds[c] = m.seqSeconds
+		}
+	}
+
+	// Measured wall-clock parallel runs (also verifies that the parallel
+	// schedule matches the sequential one).
+	if cfg.WallClock {
+		for _, c := range cfg.Cores {
+			t0 = time.Now()
+			parSched, _, err := core.Solve(in, core.Options{
+				Epsilon: cfg.Epsilon, Workers: c, PerEntryConfigs: cfg.PaperFaithful,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("parallel PTAS (%d workers): %w", c, err)
+			}
+			m.wallSeconds[c] = time.Since(t0).Seconds()
+			if got, want := parSched.Makespan(in), m.ptasMakespan; got != want {
+				return nil, fmt.Errorf("parallel PTAS (%d workers) makespan %d != sequential %d", c, got, want)
+			}
+		}
+	}
+
+	// Classical baselines.
+	m.lptMakespan = listsched.LPT(in).Makespan(in)
+	m.lsMakespan = listsched.LS(in).Makespan(in)
+
+	if cfg.SkipIP {
+		m.optMakespan = in.LowerBound() // reported but unused without IP
+		return m, nil
+	}
+
+	// IP baseline timing (assignment-formulation branch-and-bound, the
+	// shape the paper measured with CPLEX).
+	limits := exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit}
+	if !cfg.SkipIPBaseline {
+		t0 = time.Now()
+		_, ipRes, err := exact.SolveAssignment(in, limits)
+		if err != nil {
+			return nil, fmt.Errorf("IP baseline: %w", err)
+		}
+		m.exactSeconds = time.Since(t0).Seconds()
+		m.ipProven = ipRes.Optimal
+		m.exactProven = ipRes.Optimal
+		m.optMakespan = ipRes.Makespan
+	}
+
+	// Certified optimum for ratios from the strong combinatorial solver
+	// (fast on all evaluation families).
+	_, res, err := exact.Solve(in, limits)
+	if err != nil {
+		return nil, fmt.Errorf("exact: %w", err)
+	}
+	if m.optMakespan == 0 || res.Makespan < m.optMakespan || res.Optimal {
+		m.optMakespan = res.Makespan
+	}
+	if res.Optimal {
+		m.exactProven = true
+	}
+	return m, nil
+}
+
+// specFor derives the deterministic instance spec of one (family, rep) cell.
+func (cfg *Config) specFor(fam workload.Family, m, n, rep int) workload.Spec {
+	return workload.Spec{Family: fam, M: m, N: n, Seed: cfg.Seed + uint64(rep)*1000003}
+}

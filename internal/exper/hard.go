@@ -1,0 +1,122 @@
+package exper
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exact"
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// HardRow is one machine count of the hard-instance study.
+type HardRow struct {
+	M              int
+	BinCompletion  float64 // mean seconds, certified optimum
+	AssignmentIP   float64 // mean seconds (the CPLEX-shaped baseline)
+	IPProven       int
+	ParallelExact4 float64 // mean seconds, SolveParallel with 4 workers
+	PTASSeconds    float64
+	PTASRatio      float64 // worst actual ratio vs the certified optimum
+}
+
+// HardResult is the output of RunHard.
+type HardResult struct {
+	B    pcmax.Time
+	Rows []HardRow
+}
+
+// RunHard studies the triplet family (3-partition-shaped instances with a
+// perfect schedule of makespan B): the known hard case for exact solvers and
+// a favourable one for the PTAS, which keeps its guarantee while the IP
+// baseline's search explodes with m.
+func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if len(ms) == 0 {
+		ms = []int{4, 6, 8, 10}
+	}
+	if b <= 0 {
+		b = 400
+	}
+	res := &HardResult{B: b}
+	limits := exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit}
+	for _, m := range ms {
+		row := HardRow{M: m, PTASRatio: 1}
+		var bc, ip, par4, ptas []float64
+		for rep := 0; rep < cfg.Reps; rep++ {
+			in, err := workload.Triplets(m, b, cfg.Seed+uint64(rep))
+			if err != nil {
+				return nil, err
+			}
+			t0 := time.Now()
+			_, er, err := exact.Solve(in, limits)
+			if err != nil {
+				return nil, err
+			}
+			bc = append(bc, time.Since(t0).Seconds())
+			opt := er.Makespan
+			if !er.Optimal {
+				opt = b // the construction guarantees OPT = B
+			}
+
+			t0 = time.Now()
+			_, ipRes, err := exact.SolveAssignment(in, limits)
+			if err != nil {
+				return nil, err
+			}
+			ip = append(ip, time.Since(t0).Seconds())
+			if ipRes.Optimal {
+				row.IPProven++
+			}
+
+			t0 = time.Now()
+			if _, _, err := exact.SolveParallel(in, limits, 4); err != nil {
+				return nil, err
+			}
+			par4 = append(par4, time.Since(t0).Seconds())
+
+			t0 = time.Now()
+			sched, _, err := core.Solve(in, core.Options{Epsilon: cfg.Epsilon, Workers: 1})
+			if err != nil {
+				return nil, err
+			}
+			ptas = append(ptas, time.Since(t0).Seconds())
+			if r := sched.Ratio(in, opt); r > row.PTASRatio {
+				row.PTASRatio = r
+			}
+		}
+		row.BinCompletion = stats.Mean(bc)
+		row.AssignmentIP = stats.Mean(ip)
+		row.ParallelExact4 = stats.Mean(par4)
+		row.PTASSeconds = stats.Mean(ptas)
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// Render prints the hard-instance table.
+func (r *HardResult) Render(cfg Config) error {
+	tbl := stats.NewTable(
+		fmt.Sprintf("Hard (triplet) instances, B=%d, n=3m (%d instances per row)", r.B, cfg.Reps),
+		"m", "bin-completion (s)", "assignment-IP (s)", "IP proved",
+		"parallel exact x4 (s)", "PTAS (s)", "PTAS worst ratio")
+	for _, row := range r.Rows {
+		tbl.AddRow(
+			fmt.Sprintf("%d", row.M),
+			fmt.Sprintf("%.6f", row.BinCompletion),
+			fmt.Sprintf("%.6f", row.AssignmentIP),
+			fmt.Sprintf("%d/%d", row.IPProven, cfg.Reps),
+			fmt.Sprintf("%.6f", row.ParallelExact4),
+			fmt.Sprintf("%.6f", row.PTASSeconds),
+			stats.FmtFloat(row.PTASRatio, 4),
+		)
+	}
+	if cfg.CSV {
+		return tbl.RenderCSV(cfg.out())
+	}
+	return tbl.Render(cfg.out())
+}

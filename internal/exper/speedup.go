@@ -1,0 +1,225 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// SpeedupResult aggregates one speedup figure (the paper's Figures 2, 3 or
+// 4): per family, mean times and mean speedups per core count.
+type SpeedupResult struct {
+	Fig      string
+	M, N     int
+	Families []workload.Family
+	Cores    []int
+	// NoIP marks a run whose exact baselines were skipped (RunFigS).
+	NoIP bool
+
+	// Means over Reps instances, per family (seconds).
+	SeqPTAS map[workload.Family]float64
+	Exact   map[workload.Family]float64
+	// ExactProven counts instances whose optimum was proved.
+	ExactProven map[workload.Family]int
+
+	// Per family, aligned with Cores: mean simulated / wall-clock parallel
+	// total times (seconds) and mean speedups.
+	SimTime         map[workload.Family][]float64
+	WallTime        map[workload.Family][]float64
+	SimSpeedupPTAS  map[workload.Family][]float64
+	WallSpeedupPTAS map[workload.Family][]float64
+	SimSpeedupIP    map[workload.Family][]float64
+}
+
+// RunSpeedupFigure measures one of the paper's speedup figures for the given
+// machine/job counts over the four uniform families.
+func (cfg Config) RunSpeedupFigure(fig string, m, n int) (*SpeedupResult, error) {
+	return cfg.RunSpeedupFigureFamilies(fig, m, n, workload.SpeedupFamilies)
+}
+
+// RunSpeedupFigureFamilies is RunSpeedupFigure over an explicit family set.
+// The LPT-adversarial family always uses n = 2m+1 regardless of n, as in the
+// paper.
+func (cfg Config) RunSpeedupFigureFamilies(fig string, m, n int, families []workload.Family) (*SpeedupResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &SpeedupResult{
+		Fig: fig, M: m, N: n, NoIP: cfg.SkipIP,
+		Families:        families,
+		Cores:           cfg.Cores,
+		SeqPTAS:         map[workload.Family]float64{},
+		Exact:           map[workload.Family]float64{},
+		ExactProven:     map[workload.Family]int{},
+		SimTime:         map[workload.Family][]float64{},
+		WallTime:        map[workload.Family][]float64{},
+		SimSpeedupPTAS:  map[workload.Family][]float64{},
+		WallSpeedupPTAS: map[workload.Family][]float64{},
+		SimSpeedupIP:    map[workload.Family][]float64{},
+	}
+	for _, fam := range res.Families {
+		var (
+			seq, ip    []float64
+			proven     int
+			simByCore  = make([][]float64, len(cfg.Cores))
+			wallByCore = make([][]float64, len(cfg.Cores))
+			simSpPTAS  = make([][]float64, len(cfg.Cores))
+			wallSpPTAS = make([][]float64, len(cfg.Cores))
+			simSpIP    = make([][]float64, len(cfg.Cores))
+		)
+		nFam := n
+		if fam == workload.Um_2m1 {
+			nFam = 2*m + 1
+		}
+		for rep := 0; rep < cfg.Reps; rep++ {
+			in, err := workload.Generate(cfg.specFor(fam, m, nFam, rep))
+			if err != nil {
+				return nil, err
+			}
+			meas, err := cfg.measure(in)
+			if err != nil {
+				return nil, fmt.Errorf("%s %v rep %d: %w", fig, fam, rep, err)
+			}
+			seq = append(seq, meas.seqSeconds)
+			ip = append(ip, meas.exactSeconds)
+			if meas.ipProven {
+				proven++
+			}
+			for ci, c := range cfg.Cores {
+				sim := meas.simSeconds[c]
+				simByCore[ci] = append(simByCore[ci], sim)
+				if sim > 0 {
+					simSpPTAS[ci] = append(simSpPTAS[ci], meas.seqSeconds/sim)
+					simSpIP[ci] = append(simSpIP[ci], meas.exactSeconds/sim)
+				}
+				if cfg.WallClock {
+					wall := meas.wallSeconds[c]
+					wallByCore[ci] = append(wallByCore[ci], wall)
+					if wall > 0 {
+						wallSpPTAS[ci] = append(wallSpPTAS[ci], meas.seqSeconds/wall)
+					}
+				}
+			}
+		}
+		res.SeqPTAS[fam] = stats.Mean(seq)
+		res.Exact[fam] = stats.Mean(ip)
+		res.ExactProven[fam] = proven
+		for ci := range cfg.Cores {
+			res.SimTime[fam] = append(res.SimTime[fam], stats.Mean(simByCore[ci]))
+			res.WallTime[fam] = append(res.WallTime[fam], stats.Mean(wallByCore[ci]))
+			res.SimSpeedupPTAS[fam] = append(res.SimSpeedupPTAS[fam], stats.Mean(simSpPTAS[ci]))
+			res.WallSpeedupPTAS[fam] = append(res.WallSpeedupPTAS[fam], stats.Mean(wallSpPTAS[ci]))
+			res.SimSpeedupIP[fam] = append(res.SimSpeedupIP[fam], stats.Mean(simSpIP[ci]))
+		}
+	}
+	return res, nil
+}
+
+// Render prints the figure's three panels as tables.
+func (r *SpeedupResult) Render(cfg Config) error {
+	w := cfg.out()
+	render := func(t *stats.Table) error {
+		if cfg.CSV {
+			return t.RenderCSV(w)
+		}
+		return t.Render(w)
+	}
+
+	header := []string{"cores"}
+	for _, fam := range r.Families {
+		header = append(header, fam.String())
+	}
+
+	panelA := stats.NewTable(
+		fmt.Sprintf("%s(a): average speedup of the parallel PTAS vs the sequential PTAS (m=%d, n=%d, simulated cost model)", r.Fig, r.M, r.N),
+		header...)
+	for ci, c := range r.Cores {
+		row := []string{fmt.Sprintf("%d", c)}
+		for _, fam := range r.Families {
+			row = append(row, stats.FmtFloat(r.SimSpeedupPTAS[fam][ci], 2))
+		}
+		panelA.AddRow(row...)
+	}
+	if err := render(panelA); err != nil {
+		return err
+	}
+
+	if len(r.WallSpeedupPTAS[r.Families[0]]) > 0 && r.WallSpeedupPTAS[r.Families[0]][0] != 0 {
+		wall := stats.NewTable(
+			fmt.Sprintf("%s(a'): measured wall-clock speedup on this host (GOMAXPROCS-bound; flat on single-core hosts)", r.Fig),
+			header...)
+		for ci, c := range r.Cores {
+			row := []string{fmt.Sprintf("%d", c)}
+			for _, fam := range r.Families {
+				row = append(row, stats.FmtFloat(r.WallSpeedupPTAS[fam][ci], 2))
+			}
+			wall.AddRow(row...)
+		}
+		if err := render(wall); err != nil {
+			return err
+		}
+	}
+
+	if !r.NoIP {
+		panelB := stats.NewTable(
+			fmt.Sprintf("%s(b): average speedup of the parallel PTAS vs IP (exact branch-and-bound, simulated cost model)", r.Fig),
+			header...)
+		for ci, c := range r.Cores {
+			row := []string{fmt.Sprintf("%d", c)}
+			for _, fam := range r.Families {
+				row = append(row, stats.FmtFloat(r.SimSpeedupIP[fam][ci], 2))
+			}
+			panelB.AddRow(row...)
+		}
+		if err := render(panelB); err != nil {
+			return err
+		}
+	}
+
+	maxCores := r.Cores[len(r.Cores)-1]
+	panelC := stats.NewTable(
+		fmt.Sprintf("%s(c): average running times (m=%d, n=%d)", r.Fig, r.M, r.N),
+		"instance type", "IP (s)", "IP proved", "seq PTAS (s)",
+		fmt.Sprintf("par PTAS @%d (sim s)", maxCores),
+		fmt.Sprintf("par PTAS @%d (wall s)", maxCores))
+	for _, fam := range r.Families {
+		last := len(r.Cores) - 1
+		wall := ""
+		if len(r.WallTime[fam]) > 0 && r.WallTime[fam][last] > 0 {
+			wall = fmt.Sprintf("%.6f", r.WallTime[fam][last])
+		}
+		panelC.AddRow(
+			fam.String(),
+			fmt.Sprintf("%.6f", r.Exact[fam]),
+			fmt.Sprintf("%d/%d", r.ExactProven[fam], cfg.Reps),
+			fmt.Sprintf("%.6f", r.SeqPTAS[fam]),
+			fmt.Sprintf("%.6f", r.SimTime[fam][last]),
+			wall,
+		)
+	}
+	return render(panelC)
+}
+
+// RunFig2 reproduces Figure 2: m=20, n=100.
+func (cfg Config) RunFig2() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig2", 20, 100) }
+
+// RunFig3 reproduces Figure 3: m=10, n=50.
+func (cfg Config) RunFig3() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig3", 10, 50) }
+
+// RunFig4 reproduces Figure 4: m=10, n=30.
+func (cfg Config) RunFig4() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig4", 10, 30) }
+
+// RunFigS is the scaled speedup experiment beyond the paper: the same code
+// paths at m=40 with n=200 jobs (n=2m+1 for the adversarial family), where
+// the DP tables reach 10^5..10^6 entries. At these sizes the anti-diagonal
+// parallelization has enough work per level for the simulated speedup to
+// approach the paper's reported scaling even with a fast per-entry kernel;
+// see EXPERIMENTS.md. The IP baseline is skipped (it is not the object of
+// study and would dominate the runtime).
+func (cfg Config) RunFigS() (*SpeedupResult, error) {
+	sub := cfg
+	sub.SkipIP = true
+	fams := []workload.Family{workload.U1_2m1, workload.U1_100, workload.U1_10n, workload.Um_2m1}
+	return sub.RunSpeedupFigureFamilies("figS", 40, 200, fams)
+}

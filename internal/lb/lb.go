@@ -1,0 +1,56 @@
+// Package lb computes lower bounds on the optimal makespan of a P||Cmax
+// instance. The bounds strengthen the exact branch-and-bound solver (early
+// optimality proofs, node pruning) and are reported by the experiment
+// harness.
+package lb
+
+import (
+	"sort"
+
+	"repro/pcmax"
+)
+
+// Trivial returns L1 = max(ceil(sum/m), max_j t_j), the bound in the paper's
+// equation (1) (with the ceiling, valid because loads are integral).
+func Trivial(in *pcmax.Instance) pcmax.Time {
+	return in.LowerBound()
+}
+
+// Pigeonhole returns the strongest h-th pigeonhole bound: for every h >= 1
+// with n >= h*m+1, some machine must run at least h+1 of the h*m+1 largest
+// jobs, so the sum of the h+1 smallest among those jobs is a lower bound.
+// For h=1 this is the classical "two of the m+1 largest share a machine"
+// bound. Returns 0 when n <= m (no pigeonhole applies).
+func Pigeonhole(in *pcmax.Instance) pcmax.Time {
+	n, m := in.N(), in.M
+	if n <= m || m < 1 {
+		return 0
+	}
+	desc := append([]pcmax.Time(nil), in.Times...)
+	sort.Slice(desc, func(a, b int) bool { return desc[a] > desc[b] })
+	var best pcmax.Time
+	for h := 1; h*m+1 <= n; h++ {
+		// The h+1 smallest of the h*m+1 largest jobs are
+		// desc[h*m-h .. h*m] (0-based, inclusive).
+		var s pcmax.Time
+		for i := h*m - h; i <= h*m; i++ {
+			s += desc[i]
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Best returns the maximum of all implemented lower bounds.
+func Best(in *pcmax.Instance) pcmax.Time {
+	b := Trivial(in)
+	if p := Pigeonhole(in); p > b {
+		b = p
+	}
+	if mt := MartelloToth(in); mt > b {
+		b = mt
+	}
+	return b
+}

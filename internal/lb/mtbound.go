@@ -1,0 +1,90 @@
+package lb
+
+import (
+	"sort"
+
+	"repro/pcmax"
+)
+
+// BinPackingL2 computes the Martello–Toth L2 lower bound on the number of
+// bins of capacity c needed for items given in non-increasing order:
+//
+//	L2 = max over thresholds K in [0, c/2] of
+//	     |J1| + |J2| + max(0, ceil((sum(J3) - (|J2|*c - sum(J2))) / c))
+//
+// where J1 = {x > c-K}, J2 = {c-K >= x > c/2}, J3 = {c/2 >= x >= K}. Items
+// larger than c/2 each occupy a distinct bin; J3 items must either fill the
+// J2 bins' residual space or open new bins; J1 items' bins admit no J2/J3
+// company at threshold K. Only thresholds equal to item sizes (plus 0) can
+// change the partition, so those suffice.
+//
+// The exact solver uses it to refute target makespans without branching,
+// which is the expensive half of its binary search on near-tight instances
+// (the LPT-adversarial family, triplets).
+func BinPackingL2(desc []pcmax.Time, c pcmax.Time) int {
+	n := len(desc)
+	if n == 0 || c < 1 {
+		return 0
+	}
+	best := 1
+	half := c / 2
+	evaluate := func(k pcmax.Time) {
+		var n1, n2 int
+		var sum2, sum3 pcmax.Time
+		for _, x := range desc {
+			switch {
+			case x > c-k:
+				n1++
+			case x > half:
+				n2++
+				sum2 += x
+			case x >= k:
+				sum3 += x
+			}
+		}
+		extra := sum3 - (pcmax.Time(n2)*c - sum2)
+		add := 0
+		if extra > 0 {
+			add = int((extra + c - 1) / c)
+		}
+		if l := n1 + n2 + add; l > best {
+			best = l
+		}
+	}
+	evaluate(0)
+	prev := pcmax.Time(-1)
+	for i := n - 1; i >= 0; i-- { // ascending sizes
+		x := desc[i]
+		if x > half {
+			break
+		}
+		if x != prev {
+			evaluate(x)
+			prev = x
+		}
+	}
+	return best
+}
+
+// MartelloToth returns the smallest capacity C for which BinPackingL2 needs
+// at most m bins — a lower bound on the optimal makespan that dominates the
+// trivial bound and often the pigeonhole bound.
+func MartelloToth(in *pcmax.Instance) pcmax.Time {
+	if in.M < 1 || in.N() == 0 {
+		return 0
+	}
+	desc := append([]pcmax.Time(nil), in.Times...)
+	sort.Slice(desc, func(a, b int) bool { return desc[a] > desc[b] })
+	lo := Trivial(in)
+	hi := in.UpperBound()
+	// BinPackingL2 is monotone non-increasing in c, so binary search works.
+	for lo < hi {
+		c := lo + (hi-lo)/2
+		if BinPackingL2(desc, c) <= in.M {
+			hi = c
+		} else {
+			lo = c + 1
+		}
+	}
+	return lo
+}

@@ -1,0 +1,106 @@
+// Package listsched implements the classical list-scheduling algorithms for
+// P||Cmax used as baselines in the paper:
+//
+//   - LS (Graham): scan jobs in input order, always placing the next job on
+//     the machine that becomes available first. 2-approximation.
+//   - LPT (Graham): LS on jobs sorted by non-increasing processing time.
+//     4/3-approximation.
+//
+// Ties between machines with equal loads are broken toward the lowest
+// machine index, exactly like the paper's Lines 45-48 which scan machines in
+// index order and keep the first strict minimum. This makes both algorithms
+// fully deterministic.
+package listsched
+
+import "repro/pcmax"
+
+// machineHeap is a binary min-heap of machines keyed by (load, index).
+type machineHeap struct {
+	load []pcmax.Time
+	idx  []int
+}
+
+func newMachineHeap(loads []pcmax.Time) *machineHeap {
+	h := &machineHeap{
+		load: append([]pcmax.Time(nil), loads...),
+		idx:  make([]int, len(loads)),
+	}
+	for i := range h.idx {
+		h.idx[i] = i
+	}
+	// Heapify: sift down from the last internal node.
+	for i := len(h.idx)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+	return h
+}
+
+func (h *machineHeap) less(a, b int) bool {
+	if h.load[a] != h.load[b] {
+		return h.load[a] < h.load[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+func (h *machineHeap) swap(a, b int) {
+	h.load[a], h.load[b] = h.load[b], h.load[a]
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+}
+
+func (h *machineHeap) down(i int) {
+	n := len(h.idx)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		h.swap(i, smallest)
+		i = smallest
+	}
+}
+
+// assign places job time t on the least-loaded machine and returns its index.
+func (h *machineHeap) assign(t pcmax.Time) int {
+	mi := h.idx[0]
+	h.load[0] += t
+	h.down(0)
+	return mi
+}
+
+// AssignGreedy appends the jobs listed in order (indices into in.Times) to
+// the schedule, each on the currently least-loaded machine, starting from the
+// machine loads implied by the schedule's existing assignments. This is the
+// primitive shared by LS, LPT and the PTAS short-job phase (paper Lines
+// 41-51, which extend the long-job schedule).
+func AssignGreedy(in *pcmax.Instance, sched *pcmax.Schedule, order []int) {
+	h := newMachineHeap(sched.Loads(in))
+	for _, j := range order {
+		sched.Assignment[j] = h.assign(in.Times[j])
+	}
+}
+
+// LS runs Graham's list scheduling over the jobs in input order.
+func LS(in *pcmax.Instance) *pcmax.Schedule {
+	sched := pcmax.NewSchedule(in.M, in.N())
+	order := make([]int, in.N())
+	for j := range order {
+		order[j] = j
+	}
+	AssignGreedy(in, sched, order)
+	return sched
+}
+
+// LPT runs Graham's longest-processing-time rule: list scheduling over the
+// jobs sorted by non-increasing processing time (ties by job index).
+func LPT(in *pcmax.Instance) *pcmax.Schedule {
+	sched := pcmax.NewSchedule(in.M, in.N())
+	AssignGreedy(in, sched, in.SortedIndex())
+	return sched
+}

@@ -1,0 +1,226 @@
+package listsched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestLSAssignsInInputOrder(t *testing.T) {
+	// Jobs 4,3,3 on 2 machines in input order: 4->m0, 3->m1, 3->m1 (load 3
+	// < 4), makespan 6.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{4, 3, 3}}
+	s := LS(in)
+	if got := s.Makespan(in); got != 6 {
+		t.Fatalf("LS makespan = %d, want 6", got)
+	}
+	if s.Assignment[0] != 0 || s.Assignment[1] != 1 || s.Assignment[2] != 1 {
+		t.Fatalf("LS assignment = %v", s.Assignment)
+	}
+}
+
+func TestLPTSortsFirst(t *testing.T) {
+	// Same jobs ordered adversarially for LS; LPT must reach the optimum 5:
+	// {4,3} sorted desc is 4,3,3 -> m0:4, m1:3, m1? no: m1 has 3 < 4 -> 3+3=6?
+	// Use the classic: jobs 3,3,2,2,2 on 2 machines: LPT gives 3+3=6 vs
+	// 3+2+2=7? LPT: 3->m0, 3->m1, 2->m0(3<=3 tie lowest index), 2->m1, 2->m0
+	// makespan 7? Let's assert against the known LPT trace instead.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{2, 3, 2, 3, 2}}
+	s := LPT(in)
+	// LPT order: 3(j1),3(j3),2(j0),2(j2),2(j4)
+	// m0: 3(j1), m1: 3(j3), m0: 2(j0) -> 5, m1: 2(j2) -> 5, m0: 2(j4) -> 7.
+	if got := s.Makespan(in); got != 7 {
+		t.Fatalf("LPT makespan = %d, want 7", got)
+	}
+}
+
+func TestLPTOptimalOnEqualJobs(t *testing.T) {
+	in := &pcmax.Instance{M: 3, Times: []pcmax.Time{5, 5, 5, 5, 5, 5}}
+	if got := LPT(in).Makespan(in); got != 10 {
+		t.Fatalf("LPT on equal jobs = %d, want 10", got)
+	}
+}
+
+func TestLPTKnownWorstCase(t *testing.T) {
+	// The classic adversarial family: LPT achieves exactly 4m-1 against the
+	// optimum 3m, i.e. ratio 4/3 - 1/(3m).
+	for _, m := range []int{2, 3, 5, 10} {
+		in, err := workload.AdversarialLPT(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := LPT(in).Makespan(in)
+		want := pcmax.Time(4*m - 1)
+		if got != want {
+			t.Fatalf("m=%d: LPT makespan %d, want %d", m, got, want)
+		}
+	}
+}
+
+func TestTieBreakTowardLowestMachine(t *testing.T) {
+	// All machines empty: the first job must land on machine 0, the second
+	// (equal loads except machine 0) on machine 1, etc.
+	in := &pcmax.Instance{M: 4, Times: []pcmax.Time{1, 1, 1, 1}}
+	s := LS(in)
+	for j := 0; j < 4; j++ {
+		if s.Assignment[j] != j {
+			t.Fatalf("job %d went to machine %d, want %d", j, s.Assignment[j], j)
+		}
+	}
+}
+
+func TestAssignGreedyRespectsExistingLoads(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{10, 2, 3}}
+	sched := pcmax.NewSchedule(2, 3)
+	sched.Assignment[0] = 0 // machine 0 preloaded with 10
+	AssignGreedy(in, sched, []int{1, 2})
+	if sched.Assignment[1] != 1 || sched.Assignment[2] != 1 {
+		t.Fatalf("greedy ignored preload: %v", sched.Assignment)
+	}
+	if got := sched.Makespan(in); got != 10 {
+		t.Fatalf("makespan = %d, want 10", got)
+	}
+}
+
+func TestAssignGreedyPartialOrder(t *testing.T) {
+	// Only the listed jobs get assigned.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 6, 7}}
+	sched := pcmax.NewSchedule(2, 3)
+	AssignGreedy(in, sched, []int{2})
+	if sched.Assignment[0] != -1 || sched.Assignment[1] != -1 || sched.Assignment[2] != 0 {
+		t.Fatalf("assignment = %v", sched.Assignment)
+	}
+}
+
+// naiveGreedy re-implements least-loaded assignment with a linear scan, as
+// an oracle for the heap.
+func naiveGreedy(in *pcmax.Instance, order []int) *pcmax.Schedule {
+	sched := pcmax.NewSchedule(in.M, in.N())
+	loads := make([]pcmax.Time, in.M)
+	for _, j := range order {
+		mi := 0
+		for i := 1; i < in.M; i++ {
+			if loads[i] < loads[mi] {
+				mi = i
+			}
+		}
+		loads[mi] += in.Times[j]
+		sched.Assignment[j] = mi
+	}
+	return sched
+}
+
+func TestHeapMatchesNaiveGreedyProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%10) + 1
+		n := int(nRaw%50) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(100))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		order := make([]int, n)
+		for j := range order {
+			order[j] = j
+		}
+		want := naiveGreedy(in, order)
+		got := pcmax.NewSchedule(m, n)
+		AssignGreedy(in, got, order)
+		for j := range order {
+			if got.Assignment[j] != want.Assignment[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLSTwoApproxProperty(t *testing.T) {
+	// LS makespan < LB + max t <= 2*OPT (Graham's bound in LB terms).
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%8) + 1
+		n := int(nRaw%40) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(200))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		ms := LS(in).Makespan(in)
+		return ms <= in.LowerBound()+in.MaxTime() && ms >= in.LowerBound()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTNeverWorseThanUpperBoundProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%8) + 1
+		n := int(nRaw%40) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(200))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		s := LPT(in)
+		if err := s.Validate(in); err != nil {
+			return false
+		}
+		ms := s.Makespan(in)
+		// 4/3 bound against the lower bound (a relaxation of the true 4/3
+		// OPT bound, so it must hold):
+		// LPT <= 4/3 OPT + ... actually LPT <= 4/3 OPT - 1/(3m); use the
+		// list-scheduling bound which is certain: LPT <= LB + max.
+		return ms <= in.LowerBound()+in.MaxTime() && ms >= in.LowerBound()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchedulesAreAlwaysValidProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%12) + 1
+		n := int(nRaw % 60)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(50))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		if n == 0 {
+			return LS(in).Makespan(in) == 0 && LPT(in).Makespan(in) == 0
+		}
+		return LS(in).Validate(in) == nil && LPT(in).Validate(in) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{4, 5, 6}}
+	if got := LS(in).Makespan(in); got != 15 {
+		t.Fatalf("LS on one machine = %d, want 15", got)
+	}
+	if got := LPT(in).Makespan(in); got != 15 {
+		t.Fatalf("LPT on one machine = %d, want 15", got)
+	}
+}
+
+func TestMoreMachinesThanJobs(t *testing.T) {
+	in := &pcmax.Instance{M: 10, Times: []pcmax.Time{9, 4}}
+	s := LPT(in)
+	if got := s.Makespan(in); got != 9 {
+		t.Fatalf("makespan = %d, want 9", got)
+	}
+}

@@ -1,0 +1,212 @@
+package multifit_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/listsched"
+	"repro/internal/multifit"
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestSolveSimpleOptimal(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 4, 3, 2}}
+	s, err := multifit.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(in); got != 7 {
+		t.Fatalf("MultiFit makespan = %d, want 7 (optimal)", got)
+	}
+}
+
+func TestSolveEqualJobs(t *testing.T) {
+	in := &pcmax.Instance{M: 3, Times: []pcmax.Time{4, 4, 4, 4, 4, 4}}
+	s, err := multifit.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(in); got != 8 {
+		t.Fatalf("makespan = %d, want 8", got)
+	}
+}
+
+func TestSolveSingleMachine(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{3, 9, 2}}
+	s, err := multifit.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(in); got != 14 {
+		t.Fatalf("makespan = %d, want 14", got)
+	}
+}
+
+func TestSolveMoreMachinesThanJobs(t *testing.T) {
+	in := &pcmax.Instance{M: 5, Times: []pcmax.Time{8, 2}}
+	s, err := multifit.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Makespan(in); got != 8 {
+		t.Fatalf("makespan = %d, want 8", got)
+	}
+}
+
+func TestSolveRejectsInvalidInstance(t *testing.T) {
+	if _, err := multifit.Solve(&pcmax.Instance{M: 0, Times: []pcmax.Time{1}}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestSolveIterationsRejectsBadK(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1, 2}}
+	if _, err := multifit.SolveIterations(in, 0); err == nil {
+		t.Fatal("want error for k=0")
+	}
+}
+
+func TestIterationsConvergeToFullSolve(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 5, N: 40, Seed: 3})
+	full, err := multifit.Solve(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enough iterations must match the converged search exactly.
+	k40, err := multifit.SolveIterations(in, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Makespan(in) != k40.Makespan(in) {
+		t.Fatalf("40 iterations %d != converged %d", k40.Makespan(in), full.Makespan(in))
+	}
+	// Few iterations are valid schedules too, possibly worse.
+	k1, err := multifit.SolveIterations(in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k1.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if k1.Makespan(in) < full.Makespan(in) {
+		t.Fatalf("truncated search beat the converged one: %d < %d", k1.Makespan(in), full.Makespan(in))
+	}
+}
+
+func TestKnownBoundAgainstOptimumProperty(t *testing.T) {
+	// MultiFit run to convergence is within 13/11 of optimal (Yue's bound);
+	// assert the looser classical 1.22 against brute force.
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%4) + 1
+		n := int(nRaw%10) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(60))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		s, err := multifit.Solve(in)
+		if err != nil || s.Validate(in) != nil {
+			return false
+		}
+		opt, err := exact.BruteForce(in)
+		if err != nil {
+			return false
+		}
+		return float64(s.Makespan(in)) <= 1.22*float64(opt.Makespan(in))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeatsLPTOnAdversarialFamily(t *testing.T) {
+
+	// LPT-adversarial family: FFD at capacity 3m pairs 2m-j with m+j and
+	// fills one bin with the three size-m jobs, so converged MultiFit finds
+	// the optimum 3m while LPT is stuck at 4m-1.
+	for _, m := range []int{2, 3, 5, 8, 10} {
+		in, err := workload.AdversarialLPT(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mf, err := multifit.Solve(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := mf.Makespan(in), pcmax.Time(3*m); got != want {
+			t.Fatalf("m=%d: MultiFit makespan %d, want %d", m, got, want)
+		}
+		if lpt := listsched.LPT(in).Makespan(in); mf.Makespan(in) >= lpt {
+			t.Fatalf("m=%d: MultiFit %d did not beat LPT %d", m, mf.Makespan(in), lpt)
+		}
+	}
+}
+
+func TestHeuristicVariantsBothValid(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 6, N: 50, Seed: 4})
+	ffd, err := multifit.SolveHeuristic(in, multifit.FFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bfd, err := multifit.SolveHeuristic(in, multifit.BFD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ffd.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if err := bfd.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if ffd.Makespan(in) < in.LowerBound() || bfd.Makespan(in) < in.LowerBound() {
+		t.Fatal("makespan below lower bound")
+	}
+}
+
+func TestHeuristicUnknownRejected(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1, 2}}
+	if _, err := multifit.SolveHeuristic(in, multifit.Heuristic(9)); err == nil {
+		t.Fatal("want unknown-heuristic error")
+	}
+}
+
+func TestHeuristicStrings(t *testing.T) {
+	if multifit.FFD.String() != "FFD" || multifit.BFD.String() != "BFD" {
+		t.Fatal("heuristic names changed")
+	}
+	if multifit.Heuristic(9).String() == "" {
+		t.Fatal("unknown heuristic should render")
+	}
+}
+
+func TestBFDWithinBoundProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%4) + 1
+		n := int(nRaw%10) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(60))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		s, err := multifit.SolveHeuristic(in, multifit.BFD)
+		if err != nil || s.Validate(in) != nil {
+			return false
+		}
+		opt, err := exact.BruteForce(in)
+		if err != nil {
+			return false
+		}
+		return float64(s.Makespan(in)) <= 1.25*float64(opt.Makespan(in))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,62 @@
+package par
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkPoolRound measures the cost of one empty parallel-for round (the
+// per-level barrier the DP pays on every anti-diagonal).
+func BenchmarkPoolRound(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8, 16} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			p := NewPool(workers)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(workers, RoundRobin, func(int) {})
+			}
+		})
+	}
+}
+
+// BenchmarkForStrategies measures scheduling overhead per strategy over a
+// level-sized iteration space with trivial bodies.
+func BenchmarkForStrategies(b *testing.B) {
+	const n = 4096
+	var sink atomic.Int64
+	for _, strategy := range Strategies {
+		b.Run(strategy.String(), func(b *testing.B) {
+			p := NewPool(4)
+			defer p.Close()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p.For(n, strategy, func(j int) {
+					if j == n-1 {
+						sink.Add(1)
+					}
+				})
+			}
+		})
+	}
+}
+
+// BenchmarkOneShotFor measures the convenience wrapper's pool start-up cost
+// relative to a persistent pool.
+func BenchmarkOneShotFor(b *testing.B) {
+	const n = 1024
+	b.Run("one-shot", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			For(4, n, Chunked, func(int) {})
+		}
+	})
+	b.Run("pooled", func(b *testing.B) {
+		p := NewPool(4)
+		defer p.Close()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p.For(n, Chunked, func(int) {})
+		}
+	})
+}

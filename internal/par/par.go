@@ -1,0 +1,213 @@
+// Package par is the shared-memory parallel substrate used by the parallel
+// PTAS. It provides a "parallel for" over an index range with the scheduling
+// strategies of an OpenMP runtime:
+//
+//   - RoundRobin: iteration i goes to worker i mod P. This is the paper's
+//     "each of the P processors will be assigned one iteration of the for
+//     loop in a round-robin fashion" (OpenMP schedule(static,1)).
+//   - Chunked: worker w takes the contiguous block [w*n/P, (w+1)*n/P)
+//     (OpenMP schedule(static)).
+//   - Dynamic: workers repeatedly claim fixed-size chunks from an atomic
+//     counter (OpenMP schedule(dynamic,grain)).
+//
+// A Pool keeps P goroutines alive across many parallel-for rounds so that a
+// level-synchronous computation (one round per DP anti-diagonal, thousands of
+// rounds) does not pay goroutine start-up per round.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Strategy selects how iterations are divided among workers.
+type Strategy int
+
+// Available scheduling strategies.
+const (
+	RoundRobin Strategy = iota
+	Chunked
+	Dynamic
+)
+
+// String names the strategy.
+func (s Strategy) String() string {
+	switch s {
+	case RoundRobin:
+		return "round-robin"
+	case Chunked:
+		return "chunked"
+	case Dynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// Strategies lists all scheduling strategies, for ablation sweeps.
+var Strategies = []Strategy{RoundRobin, Chunked, Dynamic}
+
+// Normalize clamps a requested worker count: values below 1 become
+// GOMAXPROCS, everything else is returned unchanged. The paper's P is a free
+// parameter, so worker counts above the hardware parallelism are allowed
+// (they emulate oversubscription) but not chosen by default.
+func Normalize(workers int) int {
+	if workers < 1 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
+// round describes one parallel-for executed by a Pool.
+type round struct {
+	n        int
+	strategy Strategy
+	grain    int
+	body     func(worker, i int)
+	next     *atomic.Int64 // shared cursor for Dynamic
+	done     *sync.WaitGroup
+}
+
+// Pool is a set of persistent worker goroutines. The zero value is unusable;
+// construct with NewPool and release with Close. A Pool must not run two
+// overlapping For calls; the PTAS driver issues strictly sequential rounds.
+type Pool struct {
+	workers int
+	feeds   []chan round
+	closed  bool
+
+	panicMu  sync.Mutex
+	panicked any
+}
+
+// NewPool starts workers goroutines (GOMAXPROCS if workers < 1).
+func NewPool(workers int) *Pool {
+	workers = Normalize(workers)
+	p := &Pool{workers: workers, feeds: make([]chan round, workers)}
+	for w := 0; w < workers; w++ {
+		p.feeds[w] = make(chan round)
+		go p.worker(w)
+	}
+	return p
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Close terminates the worker goroutines. The pool must be idle.
+func (p *Pool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	for _, ch := range p.feeds {
+		close(ch)
+	}
+}
+
+func (p *Pool) worker(w int) {
+	for r := range p.feeds[w] {
+		p.run(w, r)
+	}
+}
+
+// run executes worker w's share of round r, converting a body panic into a
+// recorded failure so the barrier still completes.
+func (p *Pool) run(w int, r round) {
+	defer func() {
+		if e := recover(); e != nil {
+			p.panicMu.Lock()
+			if p.panicked == nil {
+				p.panicked = e
+			}
+			p.panicMu.Unlock()
+		}
+		r.done.Done()
+	}()
+	switch r.strategy {
+	case RoundRobin:
+		for i := w; i < r.n; i += p.workers {
+			r.body(w, i)
+		}
+	case Chunked:
+		lo := w * r.n / p.workers
+		hi := (w + 1) * r.n / p.workers
+		for i := lo; i < hi; i++ {
+			r.body(w, i)
+		}
+	case Dynamic:
+		for {
+			start := int(r.next.Add(int64(r.grain))) - r.grain
+			if start >= r.n {
+				return
+			}
+			end := start + r.grain
+			if end > r.n {
+				end = r.n
+			}
+			for i := start; i < end; i++ {
+				r.body(w, i)
+			}
+		}
+	}
+}
+
+// For runs body(i) for every i in [0, n) across the pool's workers and waits
+// for completion. If any body call panics, For re-panics in the caller after
+// all workers finished, so the pool stays usable.
+func (p *Pool) For(n int, strategy Strategy, body func(i int)) {
+	p.ForWorker(n, strategy, 0, func(_, i int) { body(i) })
+}
+
+// ForWorker is For with the executing worker's id passed to the body (for
+// per-worker scratch space) and an explicit Dynamic chunk size (grain <= 0
+// selects max(1, n/(8*workers)); the static strategies ignore it).
+func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, i int)) {
+	if p.closed {
+		panic("par: For on closed Pool")
+	}
+	if n <= 0 {
+		return
+	}
+	if grain <= 0 {
+		grain = n / (8 * p.workers)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(p.workers)
+	r := round{n: n, strategy: strategy, grain: grain, body: body, next: new(atomic.Int64), done: &wg}
+	for _, ch := range p.feeds {
+		ch <- r
+	}
+	wg.Wait()
+	p.panicMu.Lock()
+	e := p.panicked
+	p.panicked = nil
+	p.panicMu.Unlock()
+	if e != nil {
+		panic(e)
+	}
+}
+
+// For is the one-shot variant: it spawns workers goroutines, runs body(i)
+// for i in [0, n) with the given strategy, and waits. Use a Pool when the
+// same worker set runs many rounds.
+func For(workers, n int, strategy Strategy, body func(i int)) {
+	workers = Normalize(workers)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	p := NewPool(workers)
+	defer p.Close()
+	p.For(n, strategy, body)
+}

@@ -1,0 +1,253 @@
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func coverageCheck(t *testing.T, n int, run func(mark func(i int))) {
+	t.Helper()
+	counts := make([]int64, n)
+	run(func(i int) { atomic.AddInt64(&counts[i], 1) })
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d executed %d times", i, c)
+		}
+	}
+}
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, strategy := range Strategies {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			for _, n := range []int{0, 1, 2, 5, 100, 1023} {
+				coverageCheck(t, n, func(mark func(int)) {
+					For(workers, n, strategy, mark)
+				})
+			}
+		}
+	}
+}
+
+func TestPoolForCoversEveryIndexOnce(t *testing.T) {
+	for _, strategy := range Strategies {
+		for _, workers := range []int{1, 2, 5, 16} {
+			p := NewPool(workers)
+			for _, n := range []int{0, 1, 7, 256} {
+				coverageCheck(t, n, func(mark func(int)) {
+					p.For(n, strategy, mark)
+				})
+			}
+			p.Close()
+		}
+	}
+}
+
+func TestPoolReusedAcrossManyRounds(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var total atomic.Int64
+	const rounds, n = 500, 37
+	for r := 0; r < rounds; r++ {
+		p.For(n, RoundRobin, func(i int) { total.Add(1) })
+	}
+	if got := total.Load(); got != rounds*n {
+		t.Fatalf("executed %d bodies, want %d", got, rounds*n)
+	}
+}
+
+func TestForWorkerIDsInRange(t *testing.T) {
+	for _, strategy := range Strategies {
+		p := NewPool(5)
+		var bad atomic.Int64
+		p.ForWorker(1000, strategy, 0, func(w, i int) {
+			if w < 0 || w >= 5 {
+				bad.Add(1)
+			}
+		})
+		p.Close()
+		if bad.Load() != 0 {
+			t.Fatalf("strategy %v produced out-of-range worker ids", strategy)
+		}
+	}
+}
+
+func TestRoundRobinAssignsByModulo(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	workerOf := make([]int32, 64)
+	p.ForWorker(64, RoundRobin, 0, func(w, i int) {
+		atomic.StoreInt32(&workerOf[i], int32(w))
+	})
+	for i, w := range workerOf {
+		if int(w) != i%4 {
+			t.Fatalf("index %d ran on worker %d, want %d (paper's round-robin)", i, w, i%4)
+		}
+	}
+}
+
+func TestChunkedAssignsContiguousBlocks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	workerOf := make([]int32, 100)
+	p.ForWorker(100, Chunked, 0, func(w, i int) {
+		atomic.StoreInt32(&workerOf[i], int32(w))
+	})
+	for i := range workerOf {
+		want := -1
+		for w := 0; w < 4; w++ {
+			if i >= w*100/4 && i < (w+1)*100/4 {
+				want = w
+			}
+		}
+		if int(workerOf[i]) != want {
+			t.Fatalf("index %d on worker %d, want %d", i, workerOf[i], want)
+		}
+	}
+}
+
+func TestDynamicGrainRespected(t *testing.T) {
+	// With grain 10 over 100 indices, every run of 10 consecutive indices
+	// must execute on a single worker.
+	p := NewPool(3)
+	defer p.Close()
+	workerOf := make([]int32, 100)
+	p.ForWorker(100, Dynamic, 10, func(w, i int) {
+		atomic.StoreInt32(&workerOf[i], int32(w))
+	})
+	for chunk := 0; chunk < 10; chunk++ {
+		w := workerOf[chunk*10]
+		for i := chunk*10 + 1; i < (chunk+1)*10; i++ {
+			if workerOf[i] != w {
+				t.Fatalf("chunk %d split across workers %d and %d", chunk, w, workerOf[i])
+			}
+		}
+	}
+}
+
+func TestBodyPanicPropagatesAndPoolSurvives(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic in body did not propagate")
+			}
+		}()
+		p.For(10, RoundRobin, func(i int) {
+			if i == 7 {
+				panic("boom")
+			}
+		})
+	}()
+	// The pool must still work.
+	coverageCheck(t, 20, func(mark func(int)) {
+		p.For(20, Dynamic, mark)
+	})
+}
+
+func TestForOnClosedPoolPanics(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("For on closed pool did not panic")
+		}
+	}()
+	p.For(1, RoundRobin, func(int) {})
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Close()
+	p.Close() // must not panic
+}
+
+func TestNormalize(t *testing.T) {
+	if got := Normalize(3); got != 3 {
+		t.Fatalf("Normalize(3) = %d", got)
+	}
+	if got := Normalize(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(0) = %d, want GOMAXPROCS", got)
+	}
+	if got := Normalize(-5); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Normalize(-5) = %d, want GOMAXPROCS", got)
+	}
+}
+
+func TestWorkersAccessor(t *testing.T) {
+	p := NewPool(6)
+	defer p.Close()
+	if p.Workers() != 6 {
+		t.Fatalf("Workers = %d", p.Workers())
+	}
+}
+
+func TestStrategyStrings(t *testing.T) {
+	for s, want := range map[Strategy]string{
+		RoundRobin: "round-robin", Chunked: "chunked", Dynamic: "dynamic",
+	} {
+		if s.String() != want {
+			t.Fatalf("%d.String() = %q", int(s), s.String())
+		}
+	}
+	if Strategy(42).String() == "" {
+		t.Fatal("unknown strategy should still render")
+	}
+}
+
+func TestNoDataRacesUnderSharedWrites(t *testing.T) {
+	// Run with -race: each index writes its own slot; the WaitGroup barrier
+	// must publish all writes to the caller.
+	p := NewPool(8)
+	defer p.Close()
+	out := make([]int, 4096)
+	p.For(len(out), Dynamic, func(i int) { out[i] = i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d after barrier", i, v)
+		}
+	}
+}
+
+func TestSequentialOneWorkerOrder(t *testing.T) {
+	// A single worker with RoundRobin must preserve index order.
+	var mu sync.Mutex
+	var order []int
+	For(1, 10, RoundRobin, func(i int) {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCloseStopsWorkerGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	pools := make([]*Pool, 8)
+	for i := range pools {
+		pools[i] = NewPool(8)
+	}
+	during := runtime.NumGoroutine()
+	if during < before+32 {
+		t.Fatalf("expected worker goroutines to start: before=%d during=%d", before, during)
+	}
+	for _, p := range pools {
+		p.Close()
+	}
+	// Workers exit asynchronously after Close; poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+4 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+}

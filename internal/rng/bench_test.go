@@ -1,0 +1,31 @@
+package rng
+
+import "testing"
+
+// BenchmarkUint64 measures raw generator throughput.
+func BenchmarkUint64(b *testing.B) {
+	src := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= src.Uint64()
+	}
+	_ = sink
+}
+
+// BenchmarkUniform measures bounded draws (rejection sampling included).
+func BenchmarkUniform(b *testing.B) {
+	src := New(1)
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink ^= src.MustUniform(1, 1000)
+	}
+	_ = sink
+}
+
+// BenchmarkPerm measures Fisher-Yates on a workload-sized slice.
+func BenchmarkPerm(b *testing.B) {
+	src := New(1)
+	for i := 0; i < b.N; i++ {
+		src.Perm(100)
+	}
+}

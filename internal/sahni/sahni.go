@@ -1,0 +1,190 @@
+// Package sahni implements Sahni's dynamic-programming scheme for P||Cmax
+// with a fixed number of machines, cited in the paper's related work
+// ("Sahni proposed a FPTAS for the special case in which the number of
+// parallel machines is fixed"). It complements the Hochbaum–Shmoys PTAS: for
+// small m it is exact or an FPTAS, while the PTAS handles m as part of the
+// input.
+//
+// The algorithm sweeps the jobs once, maintaining the set of reachable
+// machine-load vectors in canonical (sorted) form. With Epsilon == 0 the set
+// is exact (loads are integers, so states are finite); with Epsilon > 0 the
+// load space is quantized to a grid of delta = eps*LB/(2n), keeping one
+// representative per grid cell, which bounds every load's drift by
+// n*delta <= eps*LB/2 and yields a (1+eps)-approximation. The state set is
+// exponential in m, so the solver enforces a machine and state budget and
+// fails fast beyond it.
+package sahni
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/pcmax"
+)
+
+// Options configures Solve.
+type Options struct {
+	// Epsilon selects the approximation: 0 means exact, > 0 means a
+	// (1+Epsilon)-approximation via load quantization.
+	Epsilon float64
+	// MaxStates bounds the state set per job step; <= 0 selects
+	// DefaultMaxStates. ErrTooManyStates is returned beyond it.
+	MaxStates int
+	// MaxMachines bounds m; <= 0 selects DefaultMaxMachines.
+	MaxMachines int
+}
+
+// Defaults for the state and machine budgets.
+const (
+	DefaultMaxStates   = 1 << 19
+	DefaultMaxMachines = 5
+)
+
+// Typed failures.
+var (
+	ErrTooManyStates   = errors.New("sahni: state budget exceeded")
+	ErrTooManyMachines = errors.New("sahni: machine count too large for fixed-m dynamic programming")
+	ErrBadEpsilon      = errors.New("sahni: epsilon must be >= 0")
+)
+
+// state is one reachable load vector in canonical non-decreasing order,
+// with provenance for schedule reconstruction.
+type state struct {
+	loads  []pcmax.Time
+	parent int32 // index into the previous job's state arena
+	slot   int8  // which canonical slot received the job
+}
+
+// Solve schedules the instance exactly (Epsilon == 0) or within (1+Epsilon)
+// of optimal, for instances with at most Options.MaxMachines machines.
+func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Epsilon < 0 {
+		return nil, fmt.Errorf("%w (eps=%v)", ErrBadEpsilon, opts.Epsilon)
+	}
+	maxM := opts.MaxMachines
+	if maxM <= 0 {
+		maxM = DefaultMaxMachines
+	}
+	if in.M > maxM {
+		return nil, fmt.Errorf("%w (m=%d, limit %d)", ErrTooManyMachines, in.M, maxM)
+	}
+	maxStates := opts.MaxStates
+	if maxStates <= 0 {
+		maxStates = DefaultMaxStates
+	}
+	m, n := in.M, in.N()
+	sched := pcmax.NewSchedule(m, n)
+	if n == 0 {
+		return sched, nil
+	}
+
+	// Quantization grid. delta = 1 keeps exact integer states.
+	delta := pcmax.Time(1)
+	if opts.Epsilon > 0 {
+		delta = pcmax.Time(opts.Epsilon * float64(in.LowerBound()) / float64(2*n))
+		if delta < 1 {
+			delta = 1
+		}
+	}
+
+	// Generation 0: all machines empty.
+	cur := []state{{loads: make([]pcmax.Time, m), parent: -1, slot: -1}}
+	// history[j] is the state arena after placing job j.
+	history := make([][]state, n)
+
+	keyBuf := make([]pcmax.Time, m)
+	for j := 0; j < n; j++ {
+		t := in.Times[j]
+		next := make([]state, 0, len(cur))
+		seen := make(map[string]bool, len(cur)*m)
+		for pi := range cur {
+			p := &cur[pi]
+			for s := 0; s < m; s++ {
+				// Equal canonical loads are interchangeable slots.
+				if s > 0 && p.loads[s] == p.loads[s-1] {
+					continue
+				}
+				loads := make([]pcmax.Time, m)
+				copy(loads, p.loads)
+				loads[s] += t
+				sort.Slice(loads, func(a, b int) bool { return loads[a] < loads[b] })
+				for i, l := range loads {
+					keyBuf[i] = l / delta
+				}
+				k := key(keyBuf)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				if len(next) >= maxStates {
+					return nil, fmt.Errorf("%w (job %d, limit %d)", ErrTooManyStates, j, maxStates)
+				}
+				next = append(next, state{loads: loads, parent: int32(pi), slot: int8(s)})
+			}
+		}
+		history[j] = next
+		cur = next
+	}
+
+	// Pick the final state with the smallest makespan (last canonical load).
+	best := 0
+	for i := range cur {
+		if cur[i].loads[m-1] < cur[best].loads[m-1] {
+			best = i
+		}
+	}
+
+	// Walk parents to recover each job's canonical slot, then replay
+	// forward against actual machine identities: the multiset of actual
+	// loads always equals the state's canonical loads, so a machine with
+	// the canonical pre-assignment load always exists.
+	slots := make([]int8, n)
+	idx := int32(best)
+	for j := n - 1; j >= 0; j-- {
+		st := &history[j][idx]
+		slots[j] = st.slot
+		idx = st.parent
+	}
+	actual := make([]pcmax.Time, m)
+	canon := make([]pcmax.Time, m) // canonical loads before the current job
+	for j := 0; j < n; j++ {
+		target := canon[slots[j]]
+		mi := -1
+		for i := 0; i < m; i++ {
+			if actual[i] == target {
+				mi = i
+				break
+			}
+		}
+		if mi < 0 {
+			return nil, fmt.Errorf("sahni: internal error: no machine with load %d before job %d", target, j)
+		}
+		sched.Assignment[j] = mi
+		actual[mi] += in.Times[j]
+		// The canonical loads after job j are exactly sorted(actual): the
+		// state chain built them the same way.
+		canon = append(canon[:0:0], actual...)
+		sort.Slice(canon, func(a, b int) bool { return canon[a] < canon[b] })
+	}
+	if err := sched.Validate(in); err != nil {
+		return nil, fmt.Errorf("sahni: produced invalid schedule: %v", err)
+	}
+	return sched, nil
+}
+
+// key encodes quantized loads as a compact map key.
+func key(loads []pcmax.Time) string {
+	buf := make([]byte, 0, len(loads)*9)
+	for _, l := range loads {
+		for l >= 0x80 {
+			buf = append(buf, byte(l)|0x80)
+			l >>= 7
+		}
+		buf = append(buf, byte(l))
+	}
+	return string(buf)
+}

@@ -1,0 +1,193 @@
+package sahni
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+func TestExactMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%4) + 1
+		n := int(nRaw%9) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(40))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		sched, err := Solve(in, Options{Epsilon: 0})
+		if err != nil || sched.Validate(in) != nil {
+			return false
+		}
+		bf, err := exact.BruteForce(in)
+		if err != nil {
+			return false
+		}
+		return sched.Makespan(in) == bf.Makespan(in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactMatchesTwoMachineDP(t *testing.T) {
+	src := rng.New(3)
+	for trial := 0; trial < 30; trial++ {
+		n := 5 + src.Intn(15)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(60))
+		}
+		in := &pcmax.Instance{M: 2, Times: times}
+		sched, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		want, err := exact.TwoMachineOpt(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sched.Makespan(in) != want {
+			t.Fatalf("trial %d: %d vs %d", trial, sched.Makespan(in), want)
+		}
+	}
+}
+
+func TestFPTASGuaranteeProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, epsRaw uint8) bool {
+		src := rng.New(seed)
+		n := int(nRaw%12) + 1
+		epsChoices := []float64{0.1, 0.3, 0.5}
+		eps := epsChoices[int(epsRaw)%len(epsChoices)]
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(300))
+		}
+		in := &pcmax.Instance{M: 3, Times: times}
+		approx, err := Solve(in, Options{Epsilon: eps})
+		if err != nil || approx.Validate(in) != nil {
+			return false
+		}
+		opt, err := Solve(in, Options{Epsilon: 0})
+		if err != nil {
+			return false
+		}
+		return float64(approx.Makespan(in)) <= (1+eps)*float64(opt.Makespan(in))+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizationShrinksStates(t *testing.T) {
+	// On a large-range instance the FPTAS must succeed where the exact DP
+	// would still be fine, but with visibly coarser effort: both must solve
+	// and the approximate makespan must be >= the exact one.
+	src := rng.New(9)
+	times := make([]pcmax.Time, 14)
+	for j := range times {
+		times[j] = pcmax.Time(1 + src.Int64n(200))
+	}
+	in := &pcmax.Instance{M: 3, Times: times}
+	exactSched, err := Solve(in, Options{Epsilon: 0, MaxStates: 1 << 22})
+	if err != nil {
+		t.Fatal(err)
+	}
+	approx, err := Solve(in, Options{Epsilon: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.Makespan(in) < exactSched.Makespan(in) {
+		t.Fatal("approximation beat the exact optimum")
+	}
+	if float64(approx.Makespan(in)) > 1.4*float64(exactSched.Makespan(in)) {
+		t.Fatalf("guarantee violated: %d vs %d", approx.Makespan(in), exactSched.Makespan(in))
+	}
+}
+
+func TestMachineLimit(t *testing.T) {
+	in := &pcmax.Instance{M: 10, Times: []pcmax.Time{1, 2}}
+	if _, err := Solve(in, Options{}); !errors.Is(err, ErrTooManyMachines) {
+		t.Fatalf("want ErrTooManyMachines, got %v", err)
+	}
+	// But a raised limit accepts it (n tiny, so the states stay small).
+	if _, err := Solve(in, Options{MaxMachines: 10}); err != nil {
+		t.Fatalf("raised limit: %v", err)
+	}
+}
+
+func TestStateBudget(t *testing.T) {
+	src := rng.New(4)
+	times := make([]pcmax.Time, 30)
+	for j := range times {
+		times[j] = pcmax.Time(1 + src.Int64n(10000))
+	}
+	in := &pcmax.Instance{M: 4, Times: times}
+	if _, err := Solve(in, Options{Epsilon: 0, MaxStates: 100}); !errors.Is(err, ErrTooManyStates) {
+		t.Fatalf("want ErrTooManyStates, got %v", err)
+	}
+}
+
+func TestBadEpsilon(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1}}
+	if _, err := Solve(in, Options{Epsilon: -0.1}); !errors.Is(err, ErrBadEpsilon) {
+		t.Fatalf("want ErrBadEpsilon, got %v", err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := &pcmax.Instance{M: 3}
+	s, err := Solve(empty, Options{})
+	if err != nil || s.Makespan(empty) != 0 {
+		t.Fatalf("empty: %v", err)
+	}
+	one := &pcmax.Instance{M: 3, Times: []pcmax.Time{42}}
+	s, err = Solve(one, Options{})
+	if err != nil || s.Makespan(one) != 42 {
+		t.Fatalf("single: %v %d", err, s.Makespan(one))
+	}
+}
+
+func TestSingleMachine(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{4, 6, 8}}
+	s, err := Solve(in, Options{})
+	if err != nil || s.Makespan(in) != 18 {
+		t.Fatalf("m=1: %v %d", err, s.Makespan(in))
+	}
+}
+
+func TestRejectsInvalidInstance(t *testing.T) {
+	if _, err := Solve(&pcmax.Instance{M: 0, Times: []pcmax.Time{1}}, Options{}); err == nil {
+		t.Fatal("want validation error")
+	}
+}
+
+func TestExactMatchesBranchAndBoundLarger(t *testing.T) {
+	// Beyond brute-force reach: m=3 instances with up to 22 jobs,
+	// cross-checked against the bin-completion branch-and-bound.
+	src := rng.New(71)
+	for trial := 0; trial < 15; trial++ {
+		n := 12 + src.Intn(11)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(50))
+		}
+		in := &pcmax.Instance{M: 3, Times: times}
+		sched, err := Solve(in, Options{Epsilon: 0, MaxStates: 1 << 21})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		_, res, err := exact.Solve(in, exact.Options{})
+		if err != nil || !res.Optimal {
+			t.Fatalf("trial %d: exact %v optimal=%v", trial, err, res.Optimal)
+		}
+		if sched.Makespan(in) != res.Makespan {
+			t.Fatalf("trial %d: Sahni %d != B&B %d", trial, sched.Makespan(in), res.Makespan)
+		}
+	}
+}

@@ -1,0 +1,198 @@
+package simsched
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// flatProfile builds a profile with one table whose levels all hold q
+// entries, `levels` levels total, a single config per entry and the given
+// measured sequential fill time.
+func flatProfile(levels int, q int64, seqFill time.Duration) *Profile {
+	ls := make([]int64, levels)
+	for i := range ls {
+		ls[i] = q
+	}
+	return &Profile{
+		Levels:  [][]int64{ls},
+		Configs: []int{1},
+		SeqFill: seqFill,
+	}
+}
+
+func TestTotalWork(t *testing.T) {
+	p := &Profile{
+		Levels:  [][]int64{{1, 2, 3}, {4}},
+		Configs: []int{10, 5},
+	}
+	// (1+2+3)*10 + 4*5 = 80.
+	if got := p.TotalWork(); got != 80 {
+		t.Fatalf("TotalWork = %v, want 80", got)
+	}
+}
+
+func TestTotalWorkZeroConfigsClamped(t *testing.T) {
+	p := &Profile{Levels: [][]int64{{5}}, Configs: []int{0}}
+	if got := p.TotalWork(); got != 5 {
+		t.Fatalf("TotalWork = %v, want 5 (configs clamped to 1)", got)
+	}
+}
+
+func TestSingleWorkerMatchesSequentialTime(t *testing.T) {
+	// With 1 worker and no barriers, the model must return exactly the
+	// calibration time.
+	p := flatProfile(10, 8, 800*time.Nanosecond) // 80 entries, 10ns each
+	got, err := Machine{Workers: 1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 800*time.Nanosecond {
+		t.Fatalf("FillTime(1) = %v, want 800ns", got)
+	}
+}
+
+func TestPerfectDivisionSpeedup(t *testing.T) {
+	// 10 levels x 8 entries on 4 workers with zero barrier: each level is
+	// ceil(8/4)=2 rounds -> exactly 4x speedup.
+	p := flatProfile(10, 8, 8000*time.Nanosecond)
+	sp, err := Speedup(p, 4, -1) // negative barrier: keep explicit zero out of the default
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = sp
+	one, err := Machine{Workers: 1, BarrierNs: -1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four, err := Machine{Workers: 4, BarrierNs: -1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one != 4*four {
+		t.Fatalf("one=%v four=%v, want exact 4x", one, four)
+	}
+}
+
+func TestCeilDivisionRemainder(t *testing.T) {
+	// q=9 on 4 workers: ceil(9/4)=3 rounds per level, not 2.25.
+	p := flatProfile(1, 9, 900*time.Nanosecond) // 100ns per entry
+	got, err := Machine{Workers: 4, BarrierNs: -1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 300*time.Nanosecond {
+		t.Fatalf("FillTime = %v, want 300ns (3 rounds x 100ns)", got)
+	}
+}
+
+func TestUndersubscribedLevels(t *testing.T) {
+	// q=2 with 16 workers: one round per level regardless of P — the
+	// paper's "q_l processors out of P" case.
+	p := flatProfile(5, 2, 1000*time.Nanosecond)
+	t16, err := Machine{Workers: 16, BarrierNs: -1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := Machine{Workers: 2, BarrierNs: -1}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t16 != t2 {
+		t.Fatalf("16 workers (%v) should not beat 2 workers (%v) when q_l=2", t16, t2)
+	}
+}
+
+func TestBarrierPenalizesManyLevels(t *testing.T) {
+	// Small levels + barrier: parallel can lose to sequential, which is
+	// exactly the small-table regime discussed in EXPERIMENTS.md.
+	p := flatProfile(100, 1, 1000*time.Nanosecond) // 10ns per entry
+	seq, err := Machine{Workers: 1, BarrierNs: 2000}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parT, err := Machine{Workers: 8, BarrierNs: 2000}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parT <= seq {
+		t.Fatalf("barrier-dominated profile should slow down: seq=%v par=%v", seq, parT)
+	}
+}
+
+func TestSpeedupMonotoneProperty(t *testing.T) {
+	// With zero barrier, more workers never hurt.
+	f := func(levelsRaw, qRaw uint8) bool {
+		levels := int(levelsRaw%20) + 1
+		q := int64(qRaw%60) + 1
+		p := flatProfile(levels, q, time.Duration(levels)*time.Duration(q)*100)
+		prev := time.Duration(1 << 62)
+		for _, w := range []int{1, 2, 4, 8, 16, 32} {
+			ft, err := Machine{Workers: w, BarrierNs: -1}.FillTime(p)
+			if err != nil {
+				return false
+			}
+			if ft > prev {
+				return false
+			}
+			prev = ft
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	p := flatProfile(2, 2, time.Microsecond)
+	if _, err := (Machine{Workers: 0}).FillTime(p); err == nil {
+		t.Fatal("want error for 0 workers")
+	}
+	bad := &Profile{Levels: [][]int64{{1}}, Configs: []int{1, 2}, SeqFill: time.Second}
+	if _, err := (Machine{Workers: 1}).FillTime(bad); err == nil {
+		t.Fatal("want error for mismatched profile")
+	}
+	noTime := &Profile{Levels: [][]int64{{1}}, Configs: []int{1}}
+	if _, err := (Machine{Workers: 1}).FillTime(noTime); err == nil {
+		t.Fatal("want error for zero SeqFill")
+	}
+}
+
+func TestEmptyWorkProfile(t *testing.T) {
+	p := &Profile{Levels: [][]int64{}, Configs: []int{}, SeqFill: time.Second}
+	ft, err := Machine{Workers: 4}.FillTime(p)
+	if err != nil || ft != 0 {
+		t.Fatalf("empty profile: %v, %v", ft, err)
+	}
+}
+
+func TestSpeedupHelper(t *testing.T) {
+	p := flatProfile(4, 16, 6400*time.Nanosecond)
+	sp, err := Speedup(p, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp < 3.99 || sp > 4.01 {
+		t.Fatalf("Speedup = %v, want ~4", sp)
+	}
+	sp1, err := Speedup(p, 1, -1)
+	if err != nil || sp1 != 1 {
+		t.Fatalf("Speedup(1) = %v, %v", sp1, err)
+	}
+}
+
+func TestDefaultBarrierUsedWhenZero(t *testing.T) {
+	p := flatProfile(10, 1, time.Microsecond)
+	withDefault, err := Machine{Workers: 2, BarrierNs: 0}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withExplicit, err := Machine{Workers: 2, BarrierNs: DefaultBarrierNs}.FillTime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDefault != withExplicit {
+		t.Fatalf("default barrier not applied: %v vs %v", withDefault, withExplicit)
+	}
+}

@@ -1,0 +1,73 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// The paper evaluates uniform processing times only. Real job traces are
+// rarely uniform, so the library additionally ships two common shapes for
+// downstream users: a bimodal mix (many small interactive jobs, a few large
+// batch jobs — the renderfarm example's shape) and a log-uniform
+// distribution (heavy right tail across several orders of magnitude).
+
+// Bimodal generates n jobs of which roughly longFrac (in [0,1]) are drawn
+// from U(longLo, longHi) and the rest from U(shortLo, shortHi).
+func Bimodal(m, n int, shortLo, shortHi, longLo, longHi int64, longFrac float64, seed uint64) (*pcmax.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w (m=%d)", ErrBadMachines, m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w (n=%d)", ErrBadJobs, n)
+	}
+	if shortLo < 1 || shortHi < shortLo || longLo < 1 || longHi < longLo {
+		return nil, fmt.Errorf("workload: bimodal intervals invalid: short [%d,%d], long [%d,%d]",
+			shortLo, shortHi, longLo, longHi)
+	}
+	if longFrac < 0 || longFrac > 1 || math.IsNaN(longFrac) {
+		return nil, fmt.Errorf("workload: longFrac %v outside [0,1]", longFrac)
+	}
+	src := rng.New(seed ^ 0x62696d6f64)
+	times := make([]pcmax.Time, n)
+	for j := range times {
+		if src.Float64() < longFrac {
+			times[j] = pcmax.Time(src.MustUniform(longLo, longHi))
+		} else {
+			times[j] = pcmax.Time(src.MustUniform(shortLo, shortHi))
+		}
+	}
+	return &pcmax.Instance{M: m, Times: times}, nil
+}
+
+// LogUniform generates n jobs whose processing times are log-uniform on
+// [lo, hi]: uniform in the exponent, so each decade of sizes is equally
+// likely. lo must be >= 1 and hi >= lo.
+func LogUniform(m, n int, lo, hi int64, seed uint64) (*pcmax.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w (m=%d)", ErrBadMachines, m)
+	}
+	if n < 1 {
+		return nil, fmt.Errorf("%w (n=%d)", ErrBadJobs, n)
+	}
+	if lo < 1 || hi < lo {
+		return nil, fmt.Errorf("workload: log-uniform interval [%d,%d] invalid", lo, hi)
+	}
+	src := rng.New(seed ^ 0x6c6f6775)
+	logLo, logHi := math.Log(float64(lo)), math.Log(float64(hi))
+	times := make([]pcmax.Time, n)
+	for j := range times {
+		v := math.Exp(logLo + src.Float64()*(logHi-logLo))
+		t := pcmax.Time(math.Round(v))
+		if t < pcmax.Time(lo) {
+			t = pcmax.Time(lo)
+		}
+		if t > pcmax.Time(hi) {
+			t = pcmax.Time(hi)
+		}
+		times[j] = t
+	}
+	return &pcmax.Instance{M: m, Times: times}, nil
+}

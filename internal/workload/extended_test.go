@@ -1,0 +1,152 @@
+package workload_test
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestBimodalBounds(t *testing.T) {
+	in, err := workload.Bimodal(5, 500, 1, 10, 100, 200, 0.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, large := 0, 0
+	for _, tt := range in.Times {
+		switch {
+		case tt >= 1 && tt <= 10:
+			small++
+		case tt >= 100 && tt <= 200:
+			large++
+		default:
+			t.Fatalf("time %d in neither mode", tt)
+		}
+	}
+	// ~20% large with 500 draws: between 5% and 40% with overwhelming odds.
+	if large < 25 || large > 200 {
+		t.Fatalf("large mode count %d implausible for frac 0.2", large)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBimodalFractionExtremes(t *testing.T) {
+	allShort, err := workload.Bimodal(2, 50, 1, 5, 100, 200, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range allShort.Times {
+		if tt > 5 {
+			t.Fatalf("longFrac=0 produced long job %d", tt)
+		}
+	}
+	allLong, err := workload.Bimodal(2, 50, 1, 5, 100, 200, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range allLong.Times {
+		if tt < 100 {
+			t.Fatalf("longFrac=1 produced short job %d", tt)
+		}
+	}
+}
+
+func TestBimodalDeterministic(t *testing.T) {
+	a, _ := workload.Bimodal(3, 40, 1, 9, 50, 90, 0.3, 11)
+	b, _ := workload.Bimodal(3, 40, 1, 9, 50, 90, 0.3, 11)
+	for j := range a.Times {
+		if a.Times[j] != b.Times[j] {
+			t.Fatal("bimodal not deterministic")
+		}
+	}
+}
+
+func TestBimodalErrors(t *testing.T) {
+	cases := []struct{ m, n int }{{0, 5}, {2, 0}}
+	for _, c := range cases {
+		if _, err := workload.Bimodal(c.m, c.n, 1, 5, 10, 20, 0.5, 1); err == nil {
+			t.Fatalf("m=%d n=%d accepted", c.m, c.n)
+		}
+	}
+	if _, err := workload.Bimodal(2, 5, 5, 1, 10, 20, 0.5, 1); err == nil {
+		t.Fatal("inverted short interval accepted")
+	}
+	if _, err := workload.Bimodal(2, 5, 1, 5, 10, 20, 1.5, 1); err == nil {
+		t.Fatal("longFrac > 1 accepted")
+	}
+	if _, err := workload.Bimodal(2, 5, 0, 5, 10, 20, 0.5, 1); err == nil {
+		t.Fatal("zero lower bound accepted")
+	}
+}
+
+func TestLogUniformBounds(t *testing.T) {
+	in, err := workload.LogUniform(4, 1000, 1, 100000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range in.Times {
+		if tt < 1 || tt > 100000 {
+			t.Fatalf("time %d out of range", tt)
+		}
+	}
+	// Log-uniform: the median should sit near sqrt(lo*hi) ~ 316, far below
+	// the arithmetic midpoint 50000. Count how many fall below 1000.
+	below := 0
+	for _, tt := range in.Times {
+		if tt < 1000 {
+			below++
+		}
+	}
+	if below < 400 {
+		t.Fatalf("only %d/1000 samples below 1000 — not log-uniform (uniform would give ~10)", below)
+	}
+}
+
+func TestLogUniformDegenerate(t *testing.T) {
+	in, err := workload.LogUniform(2, 20, 7, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tt := range in.Times {
+		if tt != 7 {
+			t.Fatalf("point interval produced %d", tt)
+		}
+	}
+}
+
+func TestLogUniformErrors(t *testing.T) {
+	if _, err := workload.LogUniform(0, 5, 1, 10, 1); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := workload.LogUniform(2, 0, 1, 10, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := workload.LogUniform(2, 5, 0, 10, 1); err == nil {
+		t.Fatal("lo=0 accepted")
+	}
+	if _, err := workload.LogUniform(2, 5, 10, 5, 1); err == nil {
+		t.Fatal("inverted interval accepted")
+	}
+}
+
+func TestExtendedFamiliesSchedulable(t *testing.T) {
+	// The generators must produce instances every solver handles.
+	bi, err := workload.Bimodal(6, 80, 10, 50, 500, 900, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lu, err := workload.LogUniform(6, 80, 1, 5000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range []*pcmax.Instance{bi, lu} {
+		if in.LowerBound() <= 0 || in.UpperBound() < in.LowerBound() {
+			t.Fatalf("bounds broken: %v", in)
+		}
+	}
+}

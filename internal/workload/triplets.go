@@ -1,0 +1,46 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// Triplets generates the classic "triplet" hard instances for exact P||Cmax
+// solvers: n = 3m jobs constructed so that a perfect schedule exists in
+// which every machine runs exactly three jobs summing to the same value B.
+// Because the load bound is tight everywhere, branch-and-bound search gets
+// no slack from the trivial lower bound and must essentially solve a
+// 3-partition feasibility problem — the known worst case for this problem
+// class. The optimal makespan of the returned instance is exactly B.
+//
+// Construction: for each machine, draw a, b from U(B/4, B/3]-ish ranges and
+// set the third job to B-a-b, resampling until all three parts lie in
+// (B/5, B/2), which keeps the parts "triplet-shaped" (no part can pair with
+// two others from different triples to beat B... the bound stays tight).
+func Triplets(m int, targetB pcmax.Time, seed uint64) (*pcmax.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w (m=%d)", ErrBadMachines, m)
+	}
+	if targetB < 12 {
+		return nil, fmt.Errorf("workload: triplet target B=%d too small (need >= 12)", targetB)
+	}
+	src := rng.New(seed ^ 0x7472697065)
+	lo := targetB/5 + 1
+	hi := targetB / 2
+	times := make([]pcmax.Time, 0, 3*m)
+	for i := 0; i < m; i++ {
+		for {
+			a := pcmax.Time(src.MustUniform(int64(lo), int64(hi)))
+			b := pcmax.Time(src.MustUniform(int64(lo), int64(hi)))
+			c := targetB - a - b
+			if c > lo && c < hi {
+				times = append(times, a, b, c)
+				break
+			}
+		}
+	}
+	src.Shuffle(times)
+	return &pcmax.Instance{M: m, Times: times}, nil
+}

@@ -1,0 +1,191 @@
+// Package workload generates the problem instances used throughout the
+// paper's evaluation (Section V.A). Processing times are drawn from uniform
+// distributions whose bounds may depend on the number of machines m or the
+// number of jobs n:
+//
+//	U(1, 2m-1)   machine-coupled range
+//	U(1, 100)    medium fixed range
+//	U(1, 10)     small fixed range ("small processing times")
+//	U(1, 10n)    job-coupled heavy range ("large processing times")
+//	U(m, 2m-1)   the LPT-adversarial family (used with n = 2m+1, Section V.B)
+//	U(95, 105)   narrow range family (Section V.B)
+//
+// Every generator takes an explicit seed so that instance (family, m, n,
+// seed) is a pure function.
+package workload
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// Family identifies one of the paper's processing-time distributions.
+type Family int
+
+// The paper's six instance families.
+const (
+	// U1_2m1 is U(1, 2m-1).
+	U1_2m1 Family = iota
+	// U1_100 is U(1, 100).
+	U1_100
+	// U1_10 is U(1, 10).
+	U1_10
+	// U1_10n is U(1, 10n).
+	U1_10n
+	// Um_2m1 is U(m, 2m-1), the near-worst-case family for LPT.
+	Um_2m1
+	// U95_105 is U(95, 105), a narrow range of processing times.
+	U95_105
+	numFamilies
+)
+
+// Families lists every family in declaration order, for iteration in
+// experiments and tests.
+var Families = []Family{U1_2m1, U1_100, U1_10, U1_10n, Um_2m1, U95_105}
+
+// SpeedupFamilies lists the four families used in the paper's speedup and
+// running-time experiments (Figures 2-4).
+var SpeedupFamilies = []Family{U1_2m1, U1_100, U1_10, U1_10n}
+
+// String returns the paper's notation for the family.
+func (f Family) String() string {
+	switch f {
+	case U1_2m1:
+		return "U(1,2m-1)"
+	case U1_100:
+		return "U(1,100)"
+	case U1_10:
+		return "U(1,10)"
+	case U1_10n:
+		return "U(1,10n)"
+	case Um_2m1:
+		return "U(m,2m-1)"
+	case U95_105:
+		return "U(95,105)"
+	default:
+		return fmt.Sprintf("Family(%d)", int(f))
+	}
+}
+
+// ParseFamily converts the paper notation (as printed by String) back to a
+// Family. It accepts a few common spelling variants.
+func ParseFamily(s string) (Family, error) {
+	switch s {
+	case "U(1,2m-1)", "u1-2m1", "U1_2m1":
+		return U1_2m1, nil
+	case "U(1,100)", "u1-100", "U1_100":
+		return U1_100, nil
+	case "U(1,10)", "u1-10", "U1_10":
+		return U1_10, nil
+	case "U(1,10n)", "u1-10n", "U1_10n":
+		return U1_10n, nil
+	case "U(m,2m-1)", "um-2m1", "Um_2m1":
+		return Um_2m1, nil
+	case "U(95,105)", "u95-105", "U95_105":
+		return U95_105, nil
+	}
+	return 0, fmt.Errorf("workload: unknown family %q", s)
+}
+
+// Bounds returns the inclusive interval [lo, hi] of the family for the given
+// instance dimensions.
+func (f Family) Bounds(m, n int) (lo, hi int64, err error) {
+	switch f {
+	case U1_2m1:
+		lo, hi = 1, 2*int64(m)-1
+	case U1_100:
+		lo, hi = 1, 100
+	case U1_10:
+		lo, hi = 1, 10
+	case U1_10n:
+		lo, hi = 1, 10*int64(n)
+	case Um_2m1:
+		lo, hi = int64(m), 2*int64(m)-1
+	case U95_105:
+		lo, hi = 95, 105
+	default:
+		return 0, 0, fmt.Errorf("workload: unknown family %d", int(f))
+	}
+	if hi < lo {
+		return 0, 0, fmt.Errorf("workload: family %v with m=%d n=%d has empty interval [%d,%d]", f, m, n, lo, hi)
+	}
+	return lo, hi, nil
+}
+
+// Spec fully determines one random instance.
+type Spec struct {
+	Family Family
+	M      int // machines
+	N      int // jobs
+	Seed   uint64
+}
+
+// Validation errors.
+var (
+	ErrBadMachines = errors.New("workload: spec needs at least one machine")
+	ErrBadJobs     = errors.New("workload: spec needs at least one job")
+)
+
+// Generate materializes the instance described by the spec. The result is a
+// pure function of the spec: same spec, same instance.
+func Generate(spec Spec) (*pcmax.Instance, error) {
+	if spec.M < 1 {
+		return nil, fmt.Errorf("%w (m=%d)", ErrBadMachines, spec.M)
+	}
+	if spec.N < 1 {
+		return nil, fmt.Errorf("%w (n=%d)", ErrBadJobs, spec.N)
+	}
+	lo, hi, err := spec.Family.Bounds(spec.M, spec.N)
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seedFor(spec))
+	times := make([]pcmax.Time, spec.N)
+	for j := range times {
+		times[j] = pcmax.Time(src.MustUniform(lo, hi))
+	}
+	return &pcmax.Instance{M: spec.M, Times: times}, nil
+}
+
+// MustGenerate is Generate for statically valid specs; it panics on error.
+func MustGenerate(spec Spec) *pcmax.Instance {
+	in, err := Generate(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}
+
+// seedFor folds all spec fields into the RNG seed so that two specs that
+// differ in any field (not just Seed) generate independent instances.
+func seedFor(spec Spec) uint64 {
+	h := spec.Seed
+	mix := func(v uint64) {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	}
+	mix(uint64(spec.Family) + 1)
+	mix(uint64(spec.M))
+	mix(uint64(spec.N))
+	return h
+}
+
+// AdversarialLPT builds the deterministic textbook worst case for LPT with
+// ratio approaching 4/3: n = 2m+1 jobs with sizes
+// 2m-1, 2m-1, 2m-2, 2m-2, ..., m+1, m+1, m, m, m. Its optimal makespan is 3m.
+// The paper's Section V.B random family U(m,2m-1) with n=2m+1 is a noisy
+// version of this instance; the deterministic one is useful in tests because
+// its optimum is known in closed form.
+func AdversarialLPT(m int) (*pcmax.Instance, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("%w (m=%d)", ErrBadMachines, m)
+	}
+	times := make([]pcmax.Time, 0, 2*m+1)
+	for s := 2*m - 1; s >= m+1; s-- {
+		times = append(times, pcmax.Time(s), pcmax.Time(s))
+	}
+	times = append(times, pcmax.Time(m), pcmax.Time(m), pcmax.Time(m))
+	return &pcmax.Instance{M: m, Times: times}, nil
+}

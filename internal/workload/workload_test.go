@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/pcmax"
+)
+
+func TestFamilyStringParseRoundTrip(t *testing.T) {
+	for _, f := range Families {
+		got, err := ParseFamily(f.String())
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if got != f {
+			t.Fatalf("round trip %v -> %v", f, got)
+		}
+	}
+}
+
+func TestParseFamilyAliases(t *testing.T) {
+	for alias, want := range map[string]Family{
+		"u1-100": U1_100, "U1_10n": U1_10n, "um-2m1": Um_2m1,
+	} {
+		got, err := ParseFamily(alias)
+		if err != nil || got != want {
+			t.Fatalf("ParseFamily(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+}
+
+func TestParseFamilyUnknown(t *testing.T) {
+	if _, err := ParseFamily("U(2,3)"); err == nil {
+		t.Fatal("expected error for unknown family")
+	}
+}
+
+func TestBoundsPerFamily(t *testing.T) {
+	cases := []struct {
+		fam    Family
+		m, n   int
+		lo, hi int64
+	}{
+		{U1_2m1, 10, 50, 1, 19},
+		{U1_100, 10, 50, 1, 100},
+		{U1_10, 10, 50, 1, 10},
+		{U1_10n, 10, 50, 1, 500},
+		{Um_2m1, 10, 21, 10, 19},
+		{U95_105, 10, 50, 95, 105},
+	}
+	for _, c := range cases {
+		lo, hi, err := c.fam.Bounds(c.m, c.n)
+		if err != nil {
+			t.Fatalf("%v: %v", c.fam, err)
+		}
+		if lo != c.lo || hi != c.hi {
+			t.Fatalf("%v bounds = [%d,%d], want [%d,%d]", c.fam, lo, hi, c.lo, c.hi)
+		}
+	}
+}
+
+func TestGenerateWithinBounds(t *testing.T) {
+	for _, fam := range Families {
+		in, err := Generate(Spec{Family: fam, M: 10, N: 200, Seed: 5})
+		if err != nil {
+			t.Fatalf("%v: %v", fam, err)
+		}
+		if in.M != 10 || in.N() != 200 {
+			t.Fatalf("%v: got m=%d n=%d", fam, in.M, in.N())
+		}
+		lo, hi, _ := fam.Bounds(10, 200)
+		for j, tt := range in.Times {
+			if int64(tt) < lo || int64(tt) > hi {
+				t.Fatalf("%v: job %d time %d outside [%d,%d]", fam, j, tt, lo, hi)
+			}
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%v: invalid instance: %v", fam, err)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Family: U1_100, M: 10, N: 50, Seed: 7}
+	a := MustGenerate(spec)
+	b := MustGenerate(spec)
+	for j := range a.Times {
+		if a.Times[j] != b.Times[j] {
+			t.Fatalf("same spec diverged at job %d", j)
+		}
+	}
+}
+
+func TestGenerateSeedMatters(t *testing.T) {
+	a := MustGenerate(Spec{Family: U1_100, M: 10, N: 50, Seed: 7})
+	b := MustGenerate(Spec{Family: U1_100, M: 10, N: 50, Seed: 8})
+	same := 0
+	for j := range a.Times {
+		if a.Times[j] == b.Times[j] {
+			same++
+		}
+	}
+	if same == len(a.Times) {
+		t.Fatal("different seeds produced identical instances")
+	}
+}
+
+func TestGenerateFamilyMatters(t *testing.T) {
+	// Same seed, different family: the seed folding must separate streams
+	// even when the value ranges overlap.
+	a := MustGenerate(Spec{Family: U1_100, M: 10, N: 50, Seed: 7})
+	b := MustGenerate(Spec{Family: U1_10n, M: 10, N: 50, Seed: 7})
+	same := 0
+	for j := range a.Times {
+		if a.Times[j] == b.Times[j] {
+			same++
+		}
+	}
+	if same == len(a.Times) {
+		t.Fatal("different families produced identical instances")
+	}
+}
+
+func TestGenerateDimensionsMatter(t *testing.T) {
+	a := MustGenerate(Spec{Family: U1_100, M: 10, N: 50, Seed: 7})
+	b := MustGenerate(Spec{Family: U1_100, M: 20, N: 50, Seed: 7})
+	same := 0
+	for j := range a.Times {
+		if a.Times[j] == b.Times[j] {
+			same++
+		}
+	}
+	if same == len(a.Times) {
+		t.Fatal("different m produced identical instances")
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(Spec{Family: U1_100, M: 0, N: 5}); !errors.Is(err, ErrBadMachines) {
+		t.Fatalf("want ErrBadMachines, got %v", err)
+	}
+	if _, err := Generate(Spec{Family: U1_100, M: 5, N: 0}); !errors.Is(err, ErrBadJobs) {
+		t.Fatalf("want ErrBadJobs, got %v", err)
+	}
+	if _, err := Generate(Spec{Family: Family(99), M: 5, N: 5}); err == nil {
+		t.Fatal("want error for unknown family")
+	}
+}
+
+func TestU12m1DegenerateSingleMachine(t *testing.T) {
+	// m=1 gives U(1,1): all jobs take one unit.
+	in := MustGenerate(Spec{Family: U1_2m1, M: 1, N: 10, Seed: 3})
+	for _, tt := range in.Times {
+		if tt != 1 {
+			t.Fatalf("U(1,1) produced %d", tt)
+		}
+	}
+}
+
+func TestAdversarialLPTStructure(t *testing.T) {
+	for _, m := range []int{1, 2, 3, 5, 10} {
+		in, err := AdversarialLPT(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if in.M != m || in.N() != 2*m+1 {
+			t.Fatalf("m=%d: got m=%d n=%d, want n=%d", m, in.M, in.N(), 2*m+1)
+		}
+		// Total work is exactly 3m per machine.
+		if got, want := in.TotalTime(), pcmax.Time(3*m*m); got != want {
+			t.Fatalf("m=%d: total %d, want %d", m, got, want)
+		}
+		if got := in.LowerBound(); got != pcmax.Time(3*m) && m > 1 {
+			t.Fatalf("m=%d: lower bound %d, want %d", m, got, 3*m)
+		}
+	}
+}
+
+func TestAdversarialLPTRejectsBadM(t *testing.T) {
+	if _, err := AdversarialLPT(0); !errors.Is(err, ErrBadMachines) {
+		t.Fatalf("want ErrBadMachines, got %v", err)
+	}
+}
+
+func TestGeneratePureFunctionProperty(t *testing.T) {
+	f := func(seed uint64, famRaw, mRaw, nRaw uint8) bool {
+		spec := Spec{
+			Family: Families[int(famRaw)%len(Families)],
+			M:      int(mRaw%20) + 1,
+			N:      int(nRaw%60) + 1,
+			Seed:   seed,
+		}
+		a, errA := Generate(spec)
+		b, errB := Generate(spec)
+		if errA != nil || errB != nil {
+			return errA != nil && errB != nil
+		}
+		for j := range a.Times {
+			if a.Times[j] != b.Times[j] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,42 @@
+package pcmax_test
+
+import (
+	"fmt"
+	"os"
+
+	"repro/pcmax"
+)
+
+func ExampleNewInstance() {
+	in, err := pcmax.NewInstance(2, []pcmax.Time{5, 4, 3, 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(in.N(), "jobs on", in.M, "machines, lower bound", in.LowerBound())
+	// Output: 4 jobs on 2 machines, lower bound 7
+}
+
+func ExampleInstance_LowerBound() {
+	// The bound is the larger of the average load and the longest job.
+	byAverage := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 5, 4}}
+	byLongest := &pcmax.Instance{M: 2, Times: []pcmax.Time{9, 1, 1}}
+	fmt.Println(byAverage.LowerBound(), byLongest.LowerBound())
+	// Output: 7 9
+}
+
+func ExampleSchedule_Makespan() {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 4, 3}}
+	sched := &pcmax.Schedule{M: 2, Assignment: []int{0, 1, 1}}
+	fmt.Println(sched.Makespan(in))
+	// Output: 7
+}
+
+func ExampleWriteText() {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 4, 3}}
+	if err := pcmax.WriteText(os.Stdout, in); err != nil {
+		panic(err)
+	}
+	// Output:
+	// m 2
+	// 5 4 3
+}

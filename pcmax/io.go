@@ -1,0 +1,172 @@
+package pcmax
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The text format is one instance per stream:
+//
+//	# comment lines start with '#'
+//	m <machines>
+//	<t1> <t2> ... (any number of whitespace-separated times, any line split)
+//
+// The JSON format is {"m": <machines>, "times": [t1, t2, ...]}.
+
+// ErrBadFormat reports a malformed instance stream.
+var ErrBadFormat = errors.New("pcmax: malformed instance")
+
+// WriteText writes the instance in the line-oriented text format.
+func WriteText(w io.Writer, in *Instance) error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "m %d\n", in.M)
+	for j, t := range in.Times {
+		if j > 0 {
+			if j%16 == 0 {
+				bw.WriteByte('\n')
+			} else {
+				bw.WriteByte(' ')
+			}
+		}
+		bw.WriteString(strconv.FormatInt(int64(t), 10))
+	}
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// ReadText parses the text format written by WriteText.
+func ReadText(r io.Reader) (*Instance, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	in := &Instance{}
+	seenM := false
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		i := 0
+		if !seenM {
+			if len(fields) < 2 || fields[0] != "m" {
+				return nil, fmt.Errorf("%w: expected 'm <machines>' header, got %q", ErrBadFormat, line)
+			}
+			m, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad machine count %q: %v", ErrBadFormat, fields[1], err)
+			}
+			in.M = m
+			seenM = true
+			i = 2
+		}
+		for ; i < len(fields); i++ {
+			t, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: bad time %q: %v", ErrBadFormat, fields[i], err)
+			}
+			in.Times = append(in.Times, Time(t))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if !seenM {
+		return nil, fmt.Errorf("%w: missing 'm' header", ErrBadFormat)
+	}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+type jsonInstance struct {
+	M     int     `json:"m"`
+	Times []int64 `json:"times"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (in *Instance) MarshalJSON() ([]byte, error) {
+	times := make([]int64, len(in.Times))
+	for j, t := range in.Times {
+		times[j] = int64(t)
+	}
+	return json.Marshal(jsonInstance{M: in.M, Times: times})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. The decoded instance is
+// validated.
+func (in *Instance) UnmarshalJSON(data []byte) error {
+	var ji jsonInstance
+	if err := json.Unmarshal(data, &ji); err != nil {
+		return err
+	}
+	in.M = ji.M
+	in.Times = make([]Time, len(ji.Times))
+	for j, t := range ji.Times {
+		in.Times[j] = Time(t)
+	}
+	return in.Validate()
+}
+
+// String renders a compact one-line summary, not the full instance.
+func (in *Instance) String() string {
+	return fmt.Sprintf("pcmax.Instance{m=%d n=%d sum=%d max=%d}", in.M, in.N(), in.TotalTime(), in.MaxTime())
+}
+
+type jsonSchedule struct {
+	M          int   `json:"m"`
+	Assignment []int `json:"assignment"`
+}
+
+// MarshalJSON implements json.Marshaler for schedules.
+func (s *Schedule) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonSchedule{M: s.M, Assignment: s.Assignment})
+}
+
+// UnmarshalJSON implements json.Unmarshaler. Machine indices are checked
+// against [0, m) or -1 (unassigned); full validation against an instance
+// still requires Validate.
+func (s *Schedule) UnmarshalJSON(data []byte) error {
+	var js jsonSchedule
+	if err := json.Unmarshal(data, &js); err != nil {
+		return err
+	}
+	if js.M < 1 {
+		return fmt.Errorf("%w (m=%d)", ErrNoMachines, js.M)
+	}
+	for j, mi := range js.Assignment {
+		if mi < -1 || mi >= js.M {
+			return fmt.Errorf("%w (job %d -> machine %d of %d)", ErrBadAssignment, j, mi, js.M)
+		}
+	}
+	s.M = js.M
+	s.Assignment = js.Assignment
+	return nil
+}
+
+// Gantt renders an ASCII per-machine view of the schedule: one line per
+// machine listing its jobs as j:t pairs and the machine load. Intended for
+// examples and debugging, not machine parsing.
+func (s *Schedule) Gantt(in *Instance) string {
+	var b strings.Builder
+	loads := s.Loads(in)
+	perMachine := s.MachineJobs()
+	width := len(strconv.Itoa(s.M - 1))
+	for mi := 0; mi < s.M; mi++ {
+		fmt.Fprintf(&b, "machine %*d | load %6d |", width, mi, loads[mi])
+		for _, j := range perMachine[mi] {
+			fmt.Fprintf(&b, " %d:%d", j, in.Times[j])
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "makespan %d\n", s.Makespan(in))
+	return b.String()
+}

@@ -1,0 +1,224 @@
+// Package pcmax defines the problem model for P||Cmax, the problem of
+// scheduling n jobs with integer processing times on m parallel identical
+// machines to minimize the makespan (the maximum machine completion time).
+//
+// The package holds only data types and pure helpers: instances, schedules,
+// loads, makespans and validation. Algorithms live in package solver and its
+// internal implementations.
+package pcmax
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Time is the unit of processing time. The model follows the paper and
+// requires all processing times to be positive integers.
+type Time = int64
+
+// Instance is a P||Cmax problem instance: M identical machines and one
+// processing time per job. Job j is identified by its index in Times.
+type Instance struct {
+	// M is the number of identical machines, m >= 1.
+	M int
+	// Times holds the processing time of each job, all > 0.
+	Times []Time
+}
+
+// Common validation errors.
+var (
+	ErrNoMachines      = errors.New("pcmax: instance needs at least one machine")
+	ErrNonPositiveTime = errors.New("pcmax: job processing times must be positive")
+	ErrNilInstance     = errors.New("pcmax: nil instance")
+)
+
+// NewInstance builds a validated instance. The job times are copied.
+func NewInstance(m int, times []Time) (*Instance, error) {
+	in := &Instance{M: m, Times: append([]Time(nil), times...)}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// N returns the number of jobs.
+func (in *Instance) N() int { return len(in.Times) }
+
+// Validate checks that the instance is well formed.
+func (in *Instance) Validate() error {
+	if in == nil {
+		return ErrNilInstance
+	}
+	if in.M < 1 {
+		return fmt.Errorf("%w (m=%d)", ErrNoMachines, in.M)
+	}
+	for j, t := range in.Times {
+		if t <= 0 {
+			return fmt.Errorf("%w (job %d has t=%d)", ErrNonPositiveTime, j, t)
+		}
+	}
+	return nil
+}
+
+// TotalTime returns the sum of all processing times.
+func (in *Instance) TotalTime() Time {
+	var sum Time
+	for _, t := range in.Times {
+		sum += t
+	}
+	return sum
+}
+
+// MaxTime returns the largest processing time, or 0 for an empty instance.
+func (in *Instance) MaxTime() Time {
+	var max Time
+	for _, t := range in.Times {
+		if t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// LowerBound returns the trivial lower bound on the optimal makespan used by
+// the paper's equation (1) with the floor replaced by a ceiling (the ceiling
+// is also a valid — and tighter — bound because machine loads are integers).
+func (in *Instance) LowerBound() Time {
+	if in.M < 1 {
+		return 0
+	}
+	sum := in.TotalTime()
+	lb := (sum + Time(in.M) - 1) / Time(in.M)
+	if mx := in.MaxTime(); mx > lb {
+		lb = mx
+	}
+	return lb
+}
+
+// UpperBound returns the paper's equation (2) upper bound on the optimal
+// makespan: ceil(sum/m) + max t. Any list schedule fits within it.
+func (in *Instance) UpperBound() Time {
+	if in.M < 1 {
+		return 0
+	}
+	sum := in.TotalTime()
+	return (sum+Time(in.M)-1)/Time(in.M) + in.MaxTime()
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	return &Instance{M: in.M, Times: append([]Time(nil), in.Times...)}
+}
+
+// SortedIndex returns job indices ordered by non-increasing processing time,
+// breaking ties by job index for determinism. The instance is not modified.
+func (in *Instance) SortedIndex() []int {
+	idx := make([]int, len(in.Times))
+	for j := range idx {
+		idx[j] = j
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ta, tb := in.Times[idx[a]], in.Times[idx[b]]
+		if ta != tb {
+			return ta > tb
+		}
+		return idx[a] < idx[b]
+	})
+	return idx
+}
+
+// Schedule assigns every job of an instance to a machine.
+// Assignment[j] is the machine index (0-based) that runs job j.
+type Schedule struct {
+	M          int
+	Assignment []int
+}
+
+// NewSchedule returns an empty schedule for m machines and n jobs with every
+// assignment set to -1 (unassigned).
+func NewSchedule(m, n int) *Schedule {
+	s := &Schedule{M: m, Assignment: make([]int, n)}
+	for j := range s.Assignment {
+		s.Assignment[j] = -1
+	}
+	return s
+}
+
+// Schedule validation errors.
+var (
+	ErrBadAssignment = errors.New("pcmax: schedule assigns a job to an invalid machine")
+	ErrWrongJobCount = errors.New("pcmax: schedule has a different number of jobs than the instance")
+	ErrNilSchedule   = errors.New("pcmax: nil schedule")
+)
+
+// Validate checks that the schedule is a complete, legal assignment for in.
+func (s *Schedule) Validate(in *Instance) error {
+	if s == nil {
+		return ErrNilSchedule
+	}
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	if len(s.Assignment) != in.N() {
+		return fmt.Errorf("%w (schedule %d, instance %d)", ErrWrongJobCount, len(s.Assignment), in.N())
+	}
+	if s.M != in.M {
+		return fmt.Errorf("%w (schedule m=%d, instance m=%d)", ErrBadAssignment, s.M, in.M)
+	}
+	for j, mi := range s.Assignment {
+		if mi < 0 || mi >= s.M {
+			return fmt.Errorf("%w (job %d -> machine %d of %d)", ErrBadAssignment, j, mi, s.M)
+		}
+	}
+	return nil
+}
+
+// Loads returns the total processing time assigned to each machine.
+// Unassigned jobs (machine -1) are ignored.
+func (s *Schedule) Loads(in *Instance) []Time {
+	loads := make([]Time, s.M)
+	for j, mi := range s.Assignment {
+		if mi >= 0 && mi < s.M && j < len(in.Times) {
+			loads[mi] += in.Times[j]
+		}
+	}
+	return loads
+}
+
+// Makespan returns the maximum machine load of the schedule on in.
+func (s *Schedule) Makespan(in *Instance) Time {
+	var ms Time
+	for _, l := range s.Loads(in) {
+		if l > ms {
+			ms = l
+		}
+	}
+	return ms
+}
+
+// MachineJobs returns, per machine, the list of job indices assigned to it,
+// each list in increasing job order.
+func (s *Schedule) MachineJobs() [][]int {
+	out := make([][]int, s.M)
+	for j, mi := range s.Assignment {
+		if mi >= 0 && mi < s.M {
+			out[mi] = append(out[mi], j)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schedule.
+func (s *Schedule) Clone() *Schedule {
+	return &Schedule{M: s.M, Assignment: append([]int(nil), s.Assignment...)}
+}
+
+// Ratio returns the actual approximation ratio of the schedule against a
+// reference optimal makespan, as a float64. It returns 0 if opt <= 0.
+func (s *Schedule) Ratio(in *Instance, opt Time) float64 {
+	if opt <= 0 {
+		return 0
+	}
+	return float64(s.Makespan(in)) / float64(opt)
+}

@@ -1,0 +1,135 @@
+package pcmax
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func sampleInstance() *Instance {
+	return &Instance{M: 3, Times: []Time{7, 5, 3, 2}}
+}
+
+func TestNewScheduleUnassigned(t *testing.T) {
+	s := NewSchedule(3, 4)
+	for j, mi := range s.Assignment {
+		if mi != -1 {
+			t.Fatalf("job %d starts assigned to %d", j, mi)
+		}
+	}
+}
+
+func TestLoadsAndMakespan(t *testing.T) {
+	in := sampleInstance()
+	s := NewSchedule(3, 4)
+	s.Assignment = []int{0, 1, 1, 2}
+	loads := s.Loads(in)
+	if loads[0] != 7 || loads[1] != 8 || loads[2] != 2 {
+		t.Fatalf("Loads = %v", loads)
+	}
+	if got := s.Makespan(in); got != 8 {
+		t.Fatalf("Makespan = %d, want 8", got)
+	}
+}
+
+func TestLoadsIgnoreUnassigned(t *testing.T) {
+	in := sampleInstance()
+	s := NewSchedule(3, 4)
+	s.Assignment[1] = 0
+	loads := s.Loads(in)
+	if loads[0] != 5 || loads[1] != 0 || loads[2] != 0 {
+		t.Fatalf("Loads = %v", loads)
+	}
+}
+
+func TestValidateCompleteSchedule(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 3, Assignment: []int{0, 1, 2, 0}}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnassigned(t *testing.T) {
+	in := sampleInstance()
+	s := NewSchedule(3, 4)
+	if err := s.Validate(in); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("want ErrBadAssignment, got %v", err)
+	}
+}
+
+func TestValidateRejectsOutOfRangeMachine(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 3, Assignment: []int{0, 1, 3, 0}}
+	if err := s.Validate(in); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("want ErrBadAssignment, got %v", err)
+	}
+}
+
+func TestValidateRejectsJobCountMismatch(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 3, Assignment: []int{0, 1}}
+	if err := s.Validate(in); !errors.Is(err, ErrWrongJobCount) {
+		t.Fatalf("want ErrWrongJobCount, got %v", err)
+	}
+}
+
+func TestValidateRejectsMachineCountMismatch(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 5, Assignment: []int{0, 1, 2, 0}}
+	if err := s.Validate(in); !errors.Is(err, ErrBadAssignment) {
+		t.Fatalf("want ErrBadAssignment, got %v", err)
+	}
+}
+
+func TestValidateNilSchedule(t *testing.T) {
+	var s *Schedule
+	if err := s.Validate(sampleInstance()); !errors.Is(err, ErrNilSchedule) {
+		t.Fatalf("want ErrNilSchedule, got %v", err)
+	}
+}
+
+func TestMachineJobsGrouping(t *testing.T) {
+	s := &Schedule{M: 2, Assignment: []int{1, 0, 1, 1}}
+	groups := s.MachineJobs()
+	if len(groups[0]) != 1 || groups[0][0] != 1 {
+		t.Fatalf("machine 0 jobs = %v", groups[0])
+	}
+	if len(groups[1]) != 3 || groups[1][0] != 0 || groups[1][1] != 2 || groups[1][2] != 3 {
+		t.Fatalf("machine 1 jobs = %v", groups[1])
+	}
+}
+
+func TestScheduleCloneIndependence(t *testing.T) {
+	s := &Schedule{M: 2, Assignment: []int{0, 1}}
+	cp := s.Clone()
+	cp.Assignment[0] = 1
+	if s.Assignment[0] != 0 {
+		t.Fatal("Clone shares assignment slice")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 3, Assignment: []int{0, 1, 1, 2}} // makespan 8
+	if got := s.Ratio(in, 8); got != 1.0 {
+		t.Fatalf("Ratio = %v, want 1.0", got)
+	}
+	if got := s.Ratio(in, 4); got != 2.0 {
+		t.Fatalf("Ratio = %v, want 2.0", got)
+	}
+	if got := s.Ratio(in, 0); got != 0 {
+		t.Fatalf("Ratio with opt=0 = %v, want 0", got)
+	}
+}
+
+func TestGanttMentionsEveryMachineAndMakespan(t *testing.T) {
+	in := sampleInstance()
+	s := &Schedule{M: 3, Assignment: []int{0, 1, 1, 2}}
+	g := s.Gantt(in)
+	for _, want := range []string{"machine 0", "machine 1", "machine 2", "makespan 8"} {
+		if !strings.Contains(g, want) {
+			t.Fatalf("Gantt output missing %q:\n%s", want, g)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package solver_test
+
+import (
+	"fmt"
+
+	"repro/pcmax"
+	"repro/solver"
+)
+
+func ExamplePTAS() {
+	in, _ := pcmax.NewInstance(2, []pcmax.Time{9, 8, 7, 6, 5, 4, 3})
+	opts := solver.DefaultPTASOptions() // eps = 0.3, sequential
+	sched, stats, err := solver.PTAS(in, opts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("makespan %d (k=%d, guarantee %.1fx optimal)\n",
+		sched.Makespan(in), stats.K, 1+opts.Epsilon)
+	// Output: makespan 21 (k=4, guarantee 1.3x optimal)
+}
+
+func ExampleLPT() {
+	in, _ := pcmax.NewInstance(3, []pcmax.Time{5, 5, 4, 4, 3, 3})
+	sched, err := solver.LPT(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("makespan", sched.Makespan(in))
+	// Output: makespan 8
+}
+
+func ExampleExact() {
+	in, _ := pcmax.NewInstance(2, []pcmax.Time{5, 4, 3, 2})
+	_, res, err := solver.Exact(in, solver.ExactOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal makespan %d (proved: %v)\n", res.Makespan, res.Optimal)
+	// Output: optimal makespan 7 (proved: true)
+}
+
+func ExampleSahni() {
+	// Exact for small m via Sahni's fixed-m dynamic program.
+	in, _ := pcmax.NewInstance(3, []pcmax.Time{7, 6, 5, 4, 3, 2, 1})
+	sched, err := solver.Sahni(in, solver.SahniOptions{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("optimal makespan", sched.Makespan(in))
+	// Output: optimal makespan 10
+}

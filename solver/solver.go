@@ -1,0 +1,244 @@
+// Package solver is the public API of the library: one-call access to every
+// scheduling algorithm in the repository.
+//
+//   - LS: Graham's list scheduling, 2-approximation.
+//   - LPT: longest processing time, 4/3-approximation.
+//   - MultiFit: Coffman–Garey–Johnson MF algorithm.
+//   - PTAS: the Hochbaum–Shmoys (1+eps)-approximation scheme, sequential or
+//     parallel (the paper's contribution) depending on Workers.
+//   - Exact: optimal makespan by branch-and-bound (the paper's CPLEX "IP"
+//     baseline).
+//
+// All functions validate their inputs and never panic on bad instances.
+package solver
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/exact"
+	"repro/internal/listsched"
+	"repro/internal/multifit"
+	"repro/internal/par"
+	"repro/internal/sahni"
+	"repro/pcmax"
+)
+
+// LS runs Graham's list scheduling in job input order.
+func LS(in *pcmax.Instance) (*pcmax.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return listsched.LS(in), nil
+}
+
+// LPT runs Graham's longest-processing-time algorithm.
+func LPT(in *pcmax.Instance) (*pcmax.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return listsched.LPT(in), nil
+}
+
+// MultiFit runs the MF algorithm with the capacity search at full
+// convergence.
+func MultiFit(in *pcmax.Instance) (*pcmax.Schedule, error) {
+	return multifit.Solve(in)
+}
+
+// PTASOptions configures PTAS. The zero value is invalid (Epsilon must be
+// positive); start from DefaultPTASOptions.
+type PTASOptions struct {
+	// Epsilon is the relative error of the scheme; the schedule's makespan
+	// is at most (1+Epsilon) times optimal (for coarse epsilons this relies
+	// on the default LPT fallback — integer rounding otherwise leaves a
+	// small additive slack; see ALGORITHM.md §2). The paper evaluates 0.3.
+	Epsilon float64
+	// Workers is the number of parallel DP workers. 1 runs the sequential
+	// PTAS; values below 1 select GOMAXPROCS. The parallel and sequential
+	// variants produce identical schedules.
+	Workers int
+	// ShortJobsLS switches the short-job placement from the paper's LPT
+	// rule to the original Hochbaum–Shmoys LS rule.
+	ShortJobsLS bool
+	// PaperFaithful selects the presentation-faithful variants: the
+	// recursive memoized sequential DP (paper Algorithm 2) and per-level
+	// full table scans in the parallel DP (paper Algorithm 3). The default
+	// uses the optimized equivalents (bottom-up sweep, level buckets).
+	PaperFaithful bool
+	// MaxTableEntries caps the DP table size; <= 0 uses the library default
+	// (1<<25 entries). The PTAS fails with a descriptive error when an
+	// instance/epsilon combination would exceed it.
+	MaxTableEntries int64
+	// MaxConfigs caps machine-configuration enumeration; <= 0 uses the
+	// library default.
+	MaxConfigs int
+	// SpeculativeProbes, when > 1, parallelizes across the bisection search
+	// instead of within the DP fill: that many target makespans are probed
+	// concurrently per round, each with a sequential fill. An extension
+	// beyond the paper; it preserves the (1+eps) guarantee. When set,
+	// Workers is ignored for the fill.
+	SpeculativeProbes int
+	// AdaptiveFill falls back to the sequential fill for DP tables too
+	// small to amortize parallel coordination, even with Workers > 1.
+	// DefaultPTASOptions enables it; disable for paper-faithful timing.
+	AdaptiveFill bool
+	// TimeLimit aborts the solve with an error when exceeded (checked
+	// between bisection probes; a single DP fill is never interrupted).
+	// <= 0 disables. Small epsilons can take super-exponential time, so
+	// production callers should set this.
+	TimeLimit time.Duration
+	// NoLPTFallback disables returning plain LPT's schedule when it beats
+	// the PTAS construction. The fallback (on by default through
+	// DefaultPTASOptions) never hurts and is what makes the stated
+	// guarantee robust for coarse epsilons under integer rounding; disable
+	// only for paper-faithful measurements.
+	NoLPTFallback bool
+}
+
+// DefaultPTASOptions mirrors the paper's experimental configuration:
+// eps = 0.3 and sequential execution.
+func DefaultPTASOptions() PTASOptions {
+	return PTASOptions{Epsilon: 0.3, Workers: 1, AdaptiveFill: true}
+}
+
+// PTASStats reports what one PTAS run did (bisection iterations, final
+// target makespan, table dimensions, ...).
+type PTASStats struct {
+	K          int
+	Iterations int
+	LB0, UB0   pcmax.Time
+	FinalT     pcmax.Time
+
+	LongJobs, ShortJobs int
+	RoundingUnit        pcmax.Time
+	SizeClasses         int
+	TableEntries        int64
+	Configs             int
+	MachinesUsed        int
+
+	TotalEntriesFilled int64
+	FillTime           time.Duration
+	// UsedLPTFallback reports that plain LPT beat the PTAS construction and
+	// its (never worse) schedule was returned.
+	UsedLPTFallback bool
+}
+
+// PTAS runs the (1+eps)-approximation scheme, parallel when
+// opts.Workers != 1.
+func PTAS(in *pcmax.Instance, opts PTASOptions) (*pcmax.Schedule, *PTASStats, error) {
+	copts := core.Options{
+		Epsilon:           opts.Epsilon,
+		Workers:           opts.Workers,
+		MaxTableEntries:   opts.MaxTableEntries,
+		MaxConfigs:        opts.MaxConfigs,
+		Strategy:          par.RoundRobin,
+		SpeculativeProbes: opts.SpeculativeProbes,
+		AdaptiveFill:      opts.AdaptiveFill,
+		TimeLimit:         opts.TimeLimit,
+		LPTFallback:       !opts.NoLPTFallback,
+	}
+	if opts.SpeculativeProbes > 1 {
+		copts.Workers = 1
+	}
+	if opts.ShortJobsLS {
+		copts.ShortRule = core.ShortLS
+	}
+	if opts.PaperFaithful {
+		copts.SeqFill = core.SeqRecursive
+		copts.LevelMode = dp.LevelScan
+		copts.PerEntryConfigs = true
+	}
+	sched, st, err := core.Solve(in, copts)
+	if err != nil {
+		return nil, nil, err
+	}
+	pst := PTASStats(*st)
+	return sched, &pst, nil
+}
+
+// ExactOptions bounds the exact solver.
+type ExactOptions struct {
+	// NodeLimit caps search nodes; <= 0 uses the library default.
+	NodeLimit int64
+	// TimeLimit caps wall-clock time; <= 0 means unlimited.
+	TimeLimit time.Duration
+	// Workers > 1 parallelizes each feasibility probe by racing the
+	// first-bin subtrees across that many goroutines (an extension in the
+	// paper's future-work direction). The optimal makespan is unchanged;
+	// only wall-clock time and the specific optimal schedule may differ.
+	Workers int
+}
+
+// ExactResult reports the exact solve outcome.
+type ExactResult struct {
+	Makespan pcmax.Time
+	// Optimal is false when a limit interrupted the optimality proof; the
+	// returned schedule is then the best incumbent found.
+	Optimal    bool
+	Nodes      int64
+	LowerBound pcmax.Time
+}
+
+// Exact computes an optimal schedule by branch-and-bound (the repository's
+// substitute for the paper's CPLEX IP baseline).
+func Exact(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
+	eopts := exact.Options{NodeLimit: opts.NodeLimit, TimeLimit: opts.TimeLimit}
+	var (
+		sched *pcmax.Schedule
+		res   exact.Result
+		err   error
+	)
+	if opts.Workers > 1 {
+		sched, res, err = exact.SolveParallel(in, eopts, opts.Workers)
+	} else {
+		sched, res, err = exact.Solve(in, eopts)
+	}
+	if err != nil {
+		return nil, ExactResult{}, err
+	}
+	return sched, ExactResult(res), nil
+}
+
+// ExactIP solves the instance with a branch-and-bound over the assignment
+// formulation of the problem's integer program — the search a MIP solver
+// performs on the paper's IP model, with only the LP-relaxation bound. It is
+// the repository's stand-in for the paper's CPLEX baseline: expect running
+// times that vary wildly across instance families, exactly as the paper
+// reports for CPLEX. For a certified optimum use Exact, which is uniformly
+// stronger.
+func ExactIP(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
+	sched, res, err := exact.SolveAssignment(in, exact.Options{NodeLimit: opts.NodeLimit, TimeLimit: opts.TimeLimit})
+	if err != nil {
+		return nil, ExactResult{}, err
+	}
+	return sched, ExactResult(res), nil
+}
+
+// SahniOptions configures Sahni, the fixed-m dynamic-programming scheme
+// from the paper's related work.
+type SahniOptions struct {
+	// Epsilon selects the approximation: 0 is exact (integer loads keep the
+	// state space finite), > 0 is a (1+Epsilon)-approximation with a
+	// quantized state space.
+	Epsilon float64
+	// MaxStates bounds the DP state set per job; <= 0 uses the library
+	// default. Exceeding it returns an error: the scheme is only practical
+	// for small m.
+	MaxStates int
+	// MaxMachines bounds m; <= 0 uses the library default (5).
+	MaxMachines int
+}
+
+// Sahni schedules the instance with Sahni's fixed-m dynamic program: exact
+// for Epsilon == 0, a (1+Epsilon)-approximation otherwise. Complementary to
+// PTAS: use it when m is small and certified optimality (or an FPTAS-grade
+// guarantee) matters more than scaling in m.
+func Sahni(in *pcmax.Instance, opts SahniOptions) (*pcmax.Schedule, error) {
+	return sahni.Solve(in, sahni.Options{
+		Epsilon:     opts.Epsilon,
+		MaxStates:   opts.MaxStates,
+		MaxMachines: opts.MaxMachines,
+	})
+}

@@ -1,0 +1,194 @@
+package solver_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/rng"
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+func sampleInstance() *pcmax.Instance {
+	return workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 5, N: 30, Seed: 12})
+}
+
+func TestLSValid(t *testing.T) {
+	in := sampleInstance()
+	s, err := solver.LS(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLPTValid(t *testing.T) {
+	in := sampleInstance()
+	s, err := solver.LPT(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiFitValid(t *testing.T) {
+	in := sampleInstance()
+	s, err := solver.MultiFit(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllRejectInvalidInstances(t *testing.T) {
+	bad := &pcmax.Instance{M: 0, Times: []pcmax.Time{1}}
+	if _, err := solver.LS(bad); err == nil {
+		t.Fatal("LS accepted invalid instance")
+	}
+	if _, err := solver.LPT(bad); err == nil {
+		t.Fatal("LPT accepted invalid instance")
+	}
+	if _, err := solver.MultiFit(bad); err == nil {
+		t.Fatal("MultiFit accepted invalid instance")
+	}
+	if _, _, err := solver.PTAS(bad, solver.DefaultPTASOptions()); err == nil {
+		t.Fatal("PTAS accepted invalid instance")
+	}
+	if _, _, err := solver.Exact(bad, solver.ExactOptions{}); err == nil {
+		t.Fatal("Exact accepted invalid instance")
+	}
+}
+
+func TestPTASDefaultsMatchPaper(t *testing.T) {
+	opts := solver.DefaultPTASOptions()
+	if opts.Epsilon != 0.3 || opts.Workers != 1 {
+		t.Fatalf("defaults = %+v", opts)
+	}
+	in := sampleInstance()
+	s, st, err := solver.PTAS(in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.K != 4 {
+		t.Fatalf("k = %d, want 4 for eps=0.3", st.K)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTASRejectsZeroOptions(t *testing.T) {
+	if _, _, err := solver.PTAS(sampleInstance(), solver.PTASOptions{}); err == nil {
+		t.Fatal("zero options (eps=0) must be rejected")
+	}
+}
+
+func TestPTASVariantsAgree(t *testing.T) {
+	in := sampleInstance()
+	base := solver.DefaultPTASOptions()
+	ref, _, err := solver.PTAS(in, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	variants := []solver.PTASOptions{
+		{Epsilon: 0.3, Workers: 4},
+		{Epsilon: 0.3, Workers: 1, PaperFaithful: true},
+		{Epsilon: 0.3, Workers: 4, PaperFaithful: true},
+		{Epsilon: 0.3, Workers: 1, ShortJobsLS: false},
+	}
+	for i, opts := range variants {
+		got, _, err := solver.PTAS(in, opts)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if got.Makespan(in) != ref.Makespan(in) {
+			t.Fatalf("variant %d: makespan %d != %d", i, got.Makespan(in), ref.Makespan(in))
+		}
+	}
+}
+
+func TestPTASShortJobsLSMayDifferButIsValid(t *testing.T) {
+	in := sampleInstance()
+	s, _, err := solver.PTAS(in, solver.PTASOptions{Epsilon: 0.3, Workers: 1, ShortJobsLS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPTASTableBudgetError(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 20, N: 41, Seed: 2})
+	opts := solver.DefaultPTASOptions()
+	opts.MaxTableEntries = 2
+	if _, _, err := solver.PTAS(in, opts); err == nil {
+		t.Fatal("want table budget error")
+	}
+}
+
+func TestExactOptimalAndOrdered(t *testing.T) {
+	in := sampleInstance()
+	s, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("small instance not proved optimal")
+	}
+	if res.Makespan != s.Makespan(in) || res.Makespan < res.LowerBound {
+		t.Fatalf("inconsistent result %+v vs schedule %d", res, s.Makespan(in))
+	}
+}
+
+func TestEndToEndOrderingProperty(t *testing.T) {
+	// Fundamental ordering on every random instance:
+	// opt <= PTAS <= (1+eps)*opt, opt <= LPT, opt <= MultiFit, opt <= LS.
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%5) + 1
+		n := int(nRaw%25) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(99))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		exactS, res, err := solver.Exact(in, solver.ExactOptions{})
+		if err != nil || !res.Optimal {
+			return false
+		}
+		opt := exactS.Makespan(in)
+		ptas, _, err := solver.PTAS(in, solver.DefaultPTASOptions())
+		if err != nil {
+			return false
+		}
+		lpt, err := solver.LPT(in)
+		if err != nil {
+			return false
+		}
+		ls, err := solver.LS(in)
+		if err != nil {
+			return false
+		}
+		mf, err := solver.MultiFit(in)
+		if err != nil {
+			return false
+		}
+		return ptas.Makespan(in) >= opt &&
+			float64(ptas.Makespan(in)) <= 1.3*float64(opt)+1e-9 &&
+			lpt.Makespan(in) >= opt &&
+			ls.Makespan(in) >= opt &&
+			mf.Makespan(in) >= opt
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
