@@ -275,6 +275,64 @@ func BenchmarkDPFillScaling(b *testing.B) {
 	}
 }
 
+// BenchmarkDPFillPruned compares the optimized fill path (Jobs-sorted pruned
+// configuration scan, odometer decoding, config-outer sequential sweep)
+// against the seed path (LegacyFill: division decode, full configuration
+// scan) on the rounded tables the Fig. 2-4 workloads actually produce. The
+// differential tests prove both paths fill bit-identical tables, so ns/op is
+// the only difference. `cmd/schedbench dp -json` captures the same grid in
+// BENCH_dp.json.
+func BenchmarkDPFillPruned(b *testing.B) {
+	shapes := []struct {
+		name string
+		m, n int
+		fam  workload.Family
+	}{
+		{"fig2", 20, 100, workload.U1_100},
+		{"fig3", 10, 50, workload.U1_100},
+		{"fig4", 10, 30, workload.U1_10n},
+	}
+	for _, shape := range shapes {
+		in := speedupInstance(b, shape.fam, shape.m, shape.n)
+		_, st, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sizes, counts, err := core.RoundedClasses(in, st.K, st.FinalT)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(sizes) == 0 {
+			continue
+		}
+		tbl, err := dp.New(sizes, counts, st.FinalT, 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, legacy := range []bool{false, true} {
+			path := "optimized"
+			if legacy {
+				path = "legacy"
+			}
+			b.Run(fmt.Sprintf("%s/%v/seq/%s", shape.name, shape.fam, path), func(b *testing.B) {
+				tbl.LegacyFill = legacy
+				for i := 0; i < b.N; i++ {
+					tbl.FillSequential()
+				}
+			})
+			b.Run(fmt.Sprintf("%s/%v/buckets-4/%s", shape.name, shape.fam, path), func(b *testing.B) {
+				pool := par.NewPool(4)
+				defer pool.Close()
+				tbl.LegacyFill = legacy
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					tbl.FillParallel(pool, dp.LevelBuckets, par.RoundRobin)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkBaselines measures the classical algorithms at the paper's
 // largest scale.
 func BenchmarkBaselines(b *testing.B) {

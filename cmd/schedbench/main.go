@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -40,9 +42,12 @@ func run(args []string) error {
 		noWall   = fs.Bool("no-wallclock", false, "skip measured wall-clock parallel runs")
 		faithful = fs.Bool("paper-faithful", false, "use the presentation-faithful DP variants")
 		csv      = fs.Bool("csv", false, "render tables as CSV")
+		jsonOut  = fs.Bool("json", false, "dp: also write results to "+benchJSONName)
+		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|all}")
+		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|dp|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -51,6 +56,32 @@ func run(args []string) error {
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "schedbench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "schedbench:", err)
+			}
+		}()
 	}
 
 	cfg := exper.DefaultConfig()
@@ -116,6 +147,8 @@ func run(args []string) error {
 			return err
 		}
 		return res.Render(cfg)
+	case "dp":
+		return runDPBench(cfg.Cores, cfg.Epsilon, cfg.Seed, *jsonOut)
 	case "hard":
 		res, err := cfg.RunHard(nil, 0)
 		if err != nil {

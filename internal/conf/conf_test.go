@@ -176,6 +176,88 @@ func TestCountMatchesNaiveProperty(t *testing.T) {
 	}
 }
 
+func TestSortByJobsBounds(t *testing.T) {
+	sizes, counts, T, stride := paperExample()
+	configs, err := Enumerate(sizes, counts, T, stride, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := SortByJobs(configs)
+	for i := 1; i < len(configs); i++ {
+		if configs[i-1].Jobs > configs[i].Jobs {
+			t.Fatalf("configs not sorted by Jobs at %d: %d > %d", i, configs[i-1].Jobs, configs[i].Jobs)
+		}
+	}
+	// Bounds[l] must count exactly the configs with Jobs <= l.
+	for l := int32(0); l < int32(len(bounds)); l++ {
+		want := 0
+		for _, c := range configs {
+			if c.Jobs <= l {
+				want++
+			}
+		}
+		if int(bounds.Upto(l)) != want {
+			t.Fatalf("Upto(%d) = %d, want %d", l, bounds.Upto(l), want)
+		}
+	}
+	// Clamping beyond the largest configuration covers everything.
+	if int(bounds.Upto(1000)) != len(configs) {
+		t.Fatalf("Upto(1000) = %d, want %d", bounds.Upto(1000), len(configs))
+	}
+	if bounds.Upto(-1) != 0 {
+		t.Fatalf("Upto(-1) = %d, want 0", bounds.Upto(-1))
+	}
+}
+
+func TestSortByJobsStable(t *testing.T) {
+	sizes, counts, T, stride := paperExample()
+	configs, err := Enumerate(sizes, counts, T, stride, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	SortByJobs(configs)
+	// Within equal Jobs, the lexicographic enumeration order must survive:
+	// offsets ascend because enumeration emits count vectors lexicographically
+	// and offset is monotone in the vector for this stride layout.
+	for i := 1; i < len(configs); i++ {
+		if configs[i-1].Jobs == configs[i].Jobs && configs[i-1].Offset >= configs[i].Offset {
+			t.Fatalf("equal-Jobs order not stable at %d: offsets %d >= %d",
+				i, configs[i-1].Offset, configs[i].Offset)
+		}
+	}
+}
+
+func TestEmptyJobsBounds(t *testing.T) {
+	bounds := SortByJobs(nil)
+	if bounds.Upto(0) != 0 || bounds.Upto(5) != 0 {
+		t.Fatalf("empty bounds should always return 0, got %d/%d", bounds.Upto(0), bounds.Upto(5))
+	}
+}
+
+func TestSetMatchesConfigs(t *testing.T) {
+	sizes, counts, T, stride := paperExample()
+	configs, err := Enumerate(sizes, counts, T, stride, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bounds := SortByJobs(configs)
+	set := NewSet(configs, len(sizes), bounds)
+	if set.N != len(configs) || set.D != len(sizes) {
+		t.Fatalf("set dims N=%d D=%d", set.N, set.D)
+	}
+	for i, c := range configs {
+		row := set.Row(i)
+		for j := range row {
+			if row[j] != c.Counts[j] {
+				t.Fatalf("row %d = %v, want %v", i, row, c.Counts)
+			}
+		}
+		if set.Offsets[i] != c.Offset || set.Jobs[i] != c.Jobs {
+			t.Fatalf("row %d offset/jobs mismatch", i)
+		}
+	}
+}
+
 func TestDefaultLimitApplied(t *testing.T) {
 	// maxConfigs <= 0 must select the default rather than zero.
 	configs, err := Enumerate([]pcmax.Time{3}, []int{2}, 10, []int64{1}, -1)

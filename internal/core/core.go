@@ -128,6 +128,13 @@ type Options struct {
 	// across Solve calls. When nil and Workers != 1, Solve creates and
 	// closes its own pool.
 	Pool *par.Pool
+	// Cache optionally supplies a DP cache shared across Solve calls, so
+	// repeated solves over similar instances reuse configuration
+	// enumerations and level-bucket indexes. When nil, Solve creates a
+	// per-call cache — the bisection still reuses work across its own
+	// probes (the converged target is always attempted twice, and counts
+	// vectors repeat between probes).
+	Cache *dp.Cache
 	// Profile, when non-nil, receives the work profile of every DP fill
 	// (anti-diagonal level sizes, configuration-set sizes and total fill
 	// time) for the simulated-multicore model in package simsched. Profiles
@@ -166,6 +173,9 @@ type Stats struct {
 	// 4/3 - 1/(3m) — which absorbs the +k additive slop of integer rounding
 	// (see round.go) whenever eps >= 1/3.
 	UsedLPTFallback bool
+	// Cache reports DP-cache traffic for the solve (enumeration and
+	// level-index reuse across bisection probes).
+	Cache dp.CacheStats
 }
 
 // Typed failures.
@@ -226,6 +236,14 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 			defer pool.Close()
 		}
 	}
+
+	// Every probe of the bisection shares one DP cache: the converged target
+	// is always attempted twice, counts vectors repeat across probes, and a
+	// caller-supplied cache extends the reuse across Solve calls.
+	if opts.Cache == nil {
+		opts.Cache = dp.NewCache()
+	}
+	defer func() { stats.Cache = opts.Cache.Stats() }()
 
 	var deadline time.Time
 	if opts.TimeLimit > 0 {

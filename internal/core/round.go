@@ -81,6 +81,25 @@ func newSplit(in *pcmax.Instance, k int, T pcmax.Time) (*split, error) {
 	return sp, nil
 }
 
+// RoundedClasses exposes the long-job rounding of one bisection probe: the
+// distinct rounded sizes and per-class counts the DP table would be built
+// over at target makespan T with k = ceil(1/eps). Benchmark harnesses
+// (bench_test.go, cmd/schedbench) use it to isolate the DP fill a solve
+// performs at its converged target.
+func RoundedClasses(in *pcmax.Instance, k int, T pcmax.Time) (sizes []pcmax.Time, counts []int, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k=%d < 1", k)
+	}
+	sp, err := newSplit(in, k, T)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sp.sizes, sp.counts, nil
+}
+
 // longJobs returns the number of long jobs.
 func (sp *split) longJobs() int {
 	n := 0

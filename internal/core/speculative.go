@@ -60,7 +60,7 @@ func runAttempt(in *pcmax.Instance, k int, T pcmax.Time, opts Options, pool *par
 	if len(sp.sizes) == 0 {
 		return attemptResult{sp: sp, feasible: true}, nil // no long jobs
 	}
-	tbl, err := dp.New(sp.sizes, sp.counts, T, opts.MaxTableEntries, opts.MaxConfigs)
+	tbl, err := dp.NewCached(sp.sizes, sp.counts, T, opts.MaxTableEntries, opts.MaxConfigs, opts.Cache)
 	if err != nil {
 		return attemptResult{}, err
 	}

@@ -1,0 +1,174 @@
+package dp
+
+import (
+	"strconv"
+	"sync"
+
+	"repro/internal/conf"
+	"repro/pcmax"
+)
+
+// Cache memoizes the two expensive table-independent artifacts of a DP
+// build across bisection iterations:
+//
+//   - configuration sets, keyed by (sizes, counts, T, maxConfigs): the
+//     bisection re-attempts its converged target (always one repeated key
+//     per solve), speculative probing revisits targets across rounds, and a
+//     production caller solving many similar instances repeats keys freely;
+//   - level-bucket indexes, keyed by the counts vector alone: the bucket
+//     order of FillParallel depends only on the per-class counts, which
+//     repeat across probes even when T (and therefore sizes and the
+//     configuration set) differ.
+//
+// All cached artifacts are immutable and shared by reference; a Cache is
+// safe for concurrent use (speculative bisection probes hit it from many
+// goroutines). Eviction is generational: when a map outgrows its budget it
+// is dropped wholesale, which keeps the bookkeeping trivial and bounds
+// retained memory without LRU machinery.
+type Cache struct {
+	mu      sync.Mutex
+	configs map[string]configsEntry
+	levels  map[string]*levelIndex
+	// levelElems tracks the total retained order-array elements, the
+	// dominant memory cost (8 bytes each).
+	levelElems int64
+	stats      CacheStats
+}
+
+// configsEntry pairs a Jobs-sorted configuration list with its flat scan view.
+type configsEntry struct {
+	configs []conf.Config
+	set     *conf.Set
+}
+
+// maxCachedConfigSets bounds the configuration map (a bisection probes
+// O(log range) distinct targets; 64 covers several solves between resets).
+const maxCachedConfigSets = 64
+
+// maxCachedLevelElems bounds the total order-array elements retained across
+// cached level indexes — one DefaultMaxEntries-sized table's worth.
+const maxCachedLevelElems = int64(DefaultMaxEntries)
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		configs: make(map[string]configsEntry),
+		levels:  make(map[string]*levelIndex),
+	}
+}
+
+// CacheStats counts cache traffic; retrieve a snapshot with Stats.
+type CacheStats struct {
+	// ConfigHits and ConfigMisses count configuration-set lookups.
+	ConfigHits, ConfigMisses int64
+	// LevelHits and LevelMisses count level-bucket-index lookups.
+	LevelHits, LevelMisses int64
+}
+
+// Stats returns a snapshot of the cache counters. A nil cache reports zeros.
+func (c *Cache) Stats() CacheStats {
+	if c == nil {
+		return CacheStats{}
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// configKey serializes the enumeration inputs. Strides derive from counts,
+// so they carry no extra information.
+func configKey(sizes []pcmax.Time, counts []int, T pcmax.Time, maxConfigs int) string {
+	b := make([]byte, 0, 16+8*len(sizes))
+	b = strconv.AppendInt(b, int64(T), 10)
+	b = append(b, '|')
+	b = strconv.AppendInt(b, int64(maxConfigs), 10)
+	for i := range sizes {
+		b = append(b, '|')
+		b = strconv.AppendInt(b, int64(sizes[i]), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(counts[i]), 10)
+	}
+	return string(b)
+}
+
+// countsKey serializes a counts vector.
+func countsKey(counts []int) string {
+	b := make([]byte, 0, 4*len(counts))
+	for i, n := range counts {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, int64(n), 10)
+	}
+	return string(b)
+}
+
+// configSet returns the Jobs-sorted configuration list and its flat view
+// for the given enumeration inputs, consulting the cache when non-nil.
+// Errors (e.g. conf.ErrTooMany) are never cached.
+func (c *Cache) configSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int) ([]conf.Config, *conf.Set, error) {
+	if c == nil {
+		return buildConfigSet(sizes, counts, T, stride, maxConfigs)
+	}
+	key := configKey(sizes, counts, T, maxConfigs)
+	c.mu.Lock()
+	if e, ok := c.configs[key]; ok {
+		c.stats.ConfigHits++
+		c.mu.Unlock()
+		return e.configs, e.set, nil
+	}
+	c.stats.ConfigMisses++
+	c.mu.Unlock()
+
+	configs, set, err := buildConfigSet(sizes, counts, T, stride, maxConfigs)
+	if err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	if len(c.configs) >= maxCachedConfigSets {
+		c.configs = make(map[string]configsEntry)
+	}
+	c.configs[key] = configsEntry{configs: configs, set: set}
+	c.mu.Unlock()
+	return configs, set, nil
+}
+
+// buildConfigSet enumerates, Jobs-sorts and flattens a configuration set.
+func buildConfigSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int) ([]conf.Config, *conf.Set, error) {
+	configs, err := conf.Enumerate(sizes, counts, T, stride, maxConfigs)
+	if err != nil {
+		return nil, nil, err
+	}
+	bounds := conf.SortByJobs(configs)
+	return configs, conf.NewSet(configs, len(sizes), bounds), nil
+}
+
+// levelIndexFor returns the level-bucket index for the given counts vector,
+// building it with build on a miss. Two goroutines missing concurrently may
+// both build; the last store wins — the artifact is deterministic, so either
+// copy is correct.
+func (c *Cache) levelIndexFor(counts []int, build func() *levelIndex) *levelIndex {
+	key := countsKey(counts)
+	c.mu.Lock()
+	if li, ok := c.levels[key]; ok {
+		c.stats.LevelHits++
+		c.mu.Unlock()
+		return li
+	}
+	c.stats.LevelMisses++
+	c.mu.Unlock()
+
+	li := build()
+	elems := int64(len(li.order))
+	c.mu.Lock()
+	if c.levelElems+elems > maxCachedLevelElems {
+		c.levels = make(map[string]*levelIndex)
+		c.levelElems = 0
+	}
+	if elems <= maxCachedLevelElems {
+		c.levels[key] = li
+		c.levelElems += elems
+	}
+	c.mu.Unlock()
+	return li
+}

@@ -1,0 +1,125 @@
+package dp
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/par"
+	"repro/pcmax"
+)
+
+func TestCacheReusesConfigSets(t *testing.T) {
+	cache := NewCache()
+	sizes := []pcmax.Time{6, 11}
+	counts := []int{2, 3}
+	a, err := NewCached(sizes, counts, 30, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCached(sizes, counts, 30, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Configs[0] != &b.Configs[0] {
+		t.Fatal("second build with the same key should share the cached config slice")
+	}
+	st := cache.Stats()
+	if st.ConfigHits != 1 || st.ConfigMisses != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// A different T is a different key.
+	if _, err := NewCached(sizes, counts, 29, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigMisses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses", st)
+	}
+}
+
+func TestCachedTablesFillIdentically(t *testing.T) {
+	cache := NewCache()
+	sizes := []pcmax.Time{5, 7, 9}
+	counts := []int{3, 2, 4}
+	ref, err := New(sizes, counts, 25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.FillSequential()
+
+	pool := par.NewPool(3)
+	defer pool.Close()
+	// Fill twice through the cache so the second parallel fill takes the
+	// level-index hit path.
+	for round := 0; round < 2; round++ {
+		tbl, err := NewCached(sizes, counts, 25, 0, 0, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.FillParallel(pool, LevelBuckets, par.Dynamic)
+		for i := range tbl.Opt {
+			if tbl.Opt[i] != ref.Opt[i] {
+				t.Fatalf("round %d entry %d = %d, want %d", round, i, tbl.Opt[i], ref.Opt[i])
+			}
+		}
+	}
+	st := cache.Stats()
+	if st.LevelHits != 1 || st.LevelMisses != 1 {
+		t.Fatalf("level stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestCacheConcurrentAccess(t *testing.T) {
+	// Speculative bisection hits one cache from many goroutines; run with
+	// -race to verify the locking.
+	cache := NewCache()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 20; rep++ {
+				T := pcmax.Time(20 + (g+rep)%5)
+				tbl, err := NewCached([]pcmax.Time{4, 7}, []int{3, 3}, T, 0, 0, cache)
+				if err != nil {
+					panic(err)
+				}
+				tbl.FillSequential()
+				if _, err := tbl.OptValue(); err != nil {
+					panic(err)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	st := cache.Stats()
+	if st.ConfigHits+st.ConfigMisses != 8*20 {
+		t.Fatalf("lookups = %d, want %d", st.ConfigHits+st.ConfigMisses, 8*20)
+	}
+}
+
+func TestCacheEvictionKeepsWorking(t *testing.T) {
+	cache := NewCache()
+	// Overflow the config map; builds must stay correct through the reset.
+	for i := 0; i < maxCachedConfigSets+10; i++ {
+		T := pcmax.Time(30 + i)
+		tbl, err := NewCached([]pcmax.Time{6, 11}, []int{2, 3}, T, 0, 0, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tbl.FillSequential()
+		if opt, err := tbl.OptValue(); err != nil || opt < 1 {
+			t.Fatalf("T=%d: opt=%d err=%v", T, opt, err)
+		}
+	}
+	if n := len(cache.configs); n > maxCachedConfigSets {
+		t.Fatalf("config cache holds %d entries, budget %d", n, maxCachedConfigSets)
+	}
+}
+
+func TestNilCacheStats(t *testing.T) {
+	var c *Cache
+	if st := c.Stats(); st != (CacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+}

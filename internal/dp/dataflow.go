@@ -32,7 +32,9 @@ func (t *Table) FillDataflow(workers int) {
 
 	// In-degree of entry v = |C_v| = number of configurations fitting v.
 	// Children of v are the entries v+s for configurations s with
-	// v+s <= N componentwise.
+	// v+s <= N componentwise. The scan is level-pruned (configurations
+	// beyond the entry's digit sum cannot fit) and the digit vector rides
+	// an odometer across each worker's contiguous range.
 	indeg := make([]int32, t.Sigma)
 	{
 		var wg sync.WaitGroup
@@ -45,16 +47,22 @@ func (t *Table) FillDataflow(workers int) {
 				if hi > t.Sigma {
 					hi = t.Sigma
 				}
+				if lo >= hi {
+					return
+				}
 				v := make([]int32, d)
+				t.digits(lo, v)
+				lvl := sumDigits(v)
 				for idx := lo; idx < hi; idx++ {
-					t.digits(idx, v)
 					var deg int32
-					for ci := range t.Configs {
-						if conf.Fits(t.Configs[ci].Counts, v) {
+					bound := int(t.set.Bounds.Upto(lvl))
+					for ci := 0; ci < bound; ci++ {
+						if conf.Fits(t.set.Row(ci), v) {
 							deg++
 						}
 					}
 					indeg[idx] = deg
+					lvl += t.advanceOne(v)
 				}
 			}(int64(w) * chunk)
 		}
@@ -81,7 +89,8 @@ func (t *Table) FillDataflow(workers int) {
 			}
 			for idx := range ready {
 				if idx != 0 {
-					t.computeEntry(idx, t.digits(idx, v))
+					t.digits(idx, v)
+					t.computeEntry(idx, v, sumDigits(v))
 				} else {
 					t.digits(idx, v)
 				}

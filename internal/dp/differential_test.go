@@ -1,0 +1,253 @@
+package dp
+
+// Differential coverage for the optimized fill pipeline: every fill variant
+// (sequential, recursive, parallel in both level modes under all three
+// scheduling strategies, dataflow; shared configs and per-entry enumeration;
+// legacy and optimized scan paths; cached and uncached builds) must produce
+// the same Opt table and the same reconstruction as a seed-faithful oracle
+// on a population of random instances.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/conf"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// fillOracle computes the Opt table exactly as the seed implementation's
+// FillSequential did: division decode per entry and an unpruned scan of the
+// full configuration list. It is the reference all optimized paths must
+// match bit for bit.
+func fillOracle(t *Table) []int32 {
+	opt := make([]int32, t.Sigma)
+	v := make([]int32, len(t.Stride))
+	for idx := int64(1); idx < t.Sigma; idx++ {
+		t.digits(idx, v)
+		best := int32(math.MaxInt32)
+		for ci := range t.Configs {
+			c := &t.Configs[ci]
+			if conf.Fits(c.Counts, v) {
+				if o := opt[idx-c.Offset]; o < best {
+					best = o
+				}
+			}
+		}
+		opt[idx] = best + 1
+	}
+	return opt
+}
+
+// randomInstance draws a small random (sizes, counts, T) triple; tables stay
+// under a few thousand entries so the full sweep is fast.
+func randomInstance(src *rng.Source) ([]pcmax.Time, []int, pcmax.Time) {
+	d := 1 + src.Intn(4)
+	sizes := make([]pcmax.Time, 0, d)
+	counts := make([]int, 0, d)
+	s := pcmax.Time(0)
+	for i := 0; i < d; i++ {
+		s += 1 + pcmax.Time(src.Int64n(12))
+		sizes = append(sizes, s)
+		counts = append(counts, src.Intn(5))
+	}
+	T := s + pcmax.Time(src.Int64n(35))
+	return sizes, counts, T
+}
+
+func optEqual(t *testing.T, label string, got, want []int32) {
+	t.Helper()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: Opt[%d] = %d, want %d", label, i, got[i], want[i])
+		}
+	}
+}
+
+func machinesEqual(t *testing.T, label string, got, want [][]int32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d machines, want %d", label, len(got), len(want))
+	}
+	for m := range want {
+		for c := range want[m] {
+			if got[m][c] != want[m][c] {
+				t.Fatalf("%s: machine %d = %v, want %v", label, m, got[m], want[m])
+			}
+		}
+	}
+}
+
+func TestDifferentialAllFillVariants(t *testing.T) {
+	pool := par.NewPool(4)
+	defer pool.Close()
+	cache := NewCache()
+
+	const instances = 50
+	for seed := uint64(1); seed <= instances; seed++ {
+		src := rng.New(seed)
+		sizes, counts, T := randomInstance(src)
+		mk := func() *Table {
+			tbl, err := New(sizes, counts, T, 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return tbl
+		}
+
+		ref := mk()
+		oracle := fillOracle(ref)
+		ref.FillSequential()
+		optEqual(t, fmt.Sprintf("seed %d: FillSequential vs oracle", seed), ref.Opt, oracle)
+		refMachines, err := ref.Reconstruct()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+
+		check := func(label string, tbl *Table) {
+			t.Helper()
+			optEqual(t, fmt.Sprintf("seed %d: %s", seed, label), tbl.Opt, oracle)
+			machines, err := tbl.Reconstruct()
+			if err != nil {
+				t.Fatalf("seed %d: %s: %v", seed, label, err)
+			}
+			machinesEqual(t, fmt.Sprintf("seed %d: %s", seed, label), machines, refMachines)
+		}
+
+		// Legacy scan path (the ablation baseline) must agree entry for entry.
+		leg := mk()
+		leg.LegacyFill = true
+		leg.FillSequential()
+		check("legacy FillSequential", leg)
+
+		// Recursive fill leaves unreachable entries unset; compare the
+		// computed subset plus the reconstruction.
+		rec := mk()
+		rec.FillRecursive()
+		for i := range rec.Opt {
+			if rec.Opt[i] != unset && rec.Opt[i] != oracle[i] {
+				t.Fatalf("seed %d: FillRecursive Opt[%d] = %d, want %d", seed, i, rec.Opt[i], oracle[i])
+			}
+		}
+		recMachines, err := rec.Reconstruct()
+		if err != nil {
+			t.Fatalf("seed %d: recursive: %v", seed, err)
+		}
+		machinesEqual(t, fmt.Sprintf("seed %d: FillRecursive", seed), recMachines, refMachines)
+
+		// Parallel fills: both level modes x all three strategies, shared
+		// and per-entry enumeration, plus the legacy path per mode.
+		for _, mode := range []LevelMode{LevelBuckets, LevelScan} {
+			for _, strategy := range par.Strategies {
+				p := mk()
+				p.FillParallel(pool, mode, strategy)
+				check(fmt.Sprintf("FillParallel/%v/%v", mode, strategy), p)
+
+				pe := mk()
+				pe.PerEntryEnum = true
+				pe.FillParallel(pool, mode, strategy)
+				check(fmt.Sprintf("FillParallel/%v/%v/per-entry", mode, strategy), pe)
+			}
+			pl := mk()
+			pl.LegacyFill = true
+			pl.FillParallel(pool, mode, par.RoundRobin)
+			check(fmt.Sprintf("FillParallel/%v/legacy", mode), pl)
+		}
+
+		// Dataflow fill.
+		df := mk()
+		df.FillDataflow(4)
+		check("FillDataflow", df)
+
+		// Cached builds: two rounds through one cache so the second fill
+		// exercises the shared config set and level-index hit paths.
+		for round := 0; round < 2; round++ {
+			ct, err := NewCached(sizes, counts, T, 0, 0, cache)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct.FillParallel(pool, LevelBuckets, par.Dynamic)
+			check(fmt.Sprintf("cached round %d", round), ct)
+		}
+	}
+	if st := cache.Stats(); st.ConfigHits == 0 || st.LevelHits == 0 {
+		t.Fatalf("cache saw no hits: %+v", cache.Stats())
+	}
+}
+
+// TestReconstructManyConfigs is the regression test for the level-bounded
+// reconstruction walk: a table whose configuration list is large (many
+// classes, generous T) must reconstruct correctly, and the Jobs-sorted
+// early-exit must agree with an unpruned first-fit over the same order.
+func TestReconstructManyConfigs(t *testing.T) {
+	sizes := []pcmax.Time{3, 4, 5, 6, 7, 8}
+	counts := []int{4, 3, 3, 2, 2, 2}
+	tbl, err := New(sizes, counts, 30, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Configs) < 400 {
+		t.Fatalf("want a config-heavy table, got %d configs", len(tbl.Configs))
+	}
+	tbl.FillSequential()
+	machines, err := tbl.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := tbl.OptValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != opt {
+		t.Fatalf("reconstructed %d machines, want OPT=%d", len(machines), opt)
+	}
+	covered := make([]int32, len(sizes))
+	for _, cfg := range machines {
+		var w pcmax.Time
+		for c, cnt := range cfg {
+			covered[c] += cnt
+			w += pcmax.Time(cnt) * sizes[c]
+		}
+		if w > tbl.T {
+			t.Fatalf("machine %v weighs %d > T=%d", cfg, w, tbl.T)
+		}
+	}
+	for c := range covered {
+		if int(covered[c]) != counts[c] {
+			t.Fatalf("class %d covered %d, want %d", c, covered[c], counts[c])
+		}
+	}
+
+	// The unpruned walk over the same Jobs-sorted order must pick the same
+	// configurations: the break only skips configurations that cannot fit.
+	naive := func() [][]int32 {
+		v := make([]int32, len(tbl.Stride))
+		tbl.digits(tbl.Sigma-1, v)
+		idx := tbl.Sigma - 1
+		var out [][]int32
+		for idx != 0 {
+			target := tbl.Opt[idx]
+			found := -1
+			for ci := range tbl.Configs {
+				c := &tbl.Configs[ci]
+				if conf.Fits(c.Counts, v) && tbl.Opt[idx-c.Offset] == target-1 {
+					found = ci
+					break
+				}
+			}
+			if found < 0 {
+				t.Fatal("naive walk stuck")
+			}
+			c := &tbl.Configs[found]
+			out = append(out, append([]int32(nil), c.Counts...))
+			idx -= c.Offset
+			for i := range v {
+				v[i] -= c.Counts[i]
+			}
+		}
+		return out
+	}()
+	machinesEqual(t, "pruned vs naive reconstruction", machines, naive)
+}

@@ -25,6 +25,26 @@
 //     anti-diagonal (equal digit sum, the paper's d_i values) are mutually
 //     independent; levels l = 0..n' run sequentially with a barrier, entries
 //     within a level run on P workers.
+//
+// The fill pipeline applies three compounding optimizations over a naive
+// translation of the recurrence (all preserving bit-identical Opt tables;
+// see ALGORITHM.md "Fill-path optimizations"):
+//
+//  1. Level-aware configuration pruning: Configs is kept stably sorted by
+//     ascending Jobs, so an entry on anti-diagonal level l scans only the
+//     prefix of configurations with Jobs <= l — a configuration placing more
+//     jobs than the entry has available can never fit. The prefix bounds are
+//     precomputed once per table (conf.JobsBounds).
+//  2. Flat scan layout: the hot loop walks a structure-of-arrays view of the
+//     configuration set (conf.Set) instead of chasing one heap-allocated
+//     Counts slice per configuration.
+//  3. Odometer decoding: per-entry division loops are replaced by incremental
+//     mixed-radix counters — the sequential sweep and the level/bucket index
+//     construction advance digit vectors in amortized O(1), and the parallel
+//     fill decodes once per worker chunk and advances from there.
+//
+// The LegacyFill switch restores the unpruned, division-decoded fill for
+// ablation benchmarks (the "seed path" in BENCH_dp.json).
 package dp
 
 import (
@@ -96,7 +116,8 @@ type Table struct {
 	// NPrime is the number of long jobs, sum(n_i); the table has NPrime+1
 	// anti-diagonal levels.
 	NPrime int
-	// Configs are all feasible non-zero machine configurations.
+	// Configs are all feasible non-zero machine configurations, stably
+	// sorted by ascending Jobs (level-aware pruning relies on this order).
 	Configs []conf.Config
 	// Opt holds OPT(v) per entry after a Fill method ran.
 	Opt []int32
@@ -109,6 +130,19 @@ type Table struct {
 	// exists for fidelity runs and ablation benchmarks.
 	PerEntryEnum bool
 
+	// LegacyFill restores the pre-optimization fill path — full
+	// configuration scans (no level pruning, per-Config heap slices) and
+	// division-based digit decoding — for ablation benchmarks against the
+	// seed implementation. Opt tables and reconstructions are identical
+	// either way.
+	LegacyFill bool
+
+	// set is the flat Jobs-sorted scan view of Configs (shared, read-only).
+	set *conf.Set
+	// cache, when non-nil, memoizes configuration sets and level-bucket
+	// indexes across tables (bisection probes repeat both).
+	cache *Cache
+
 	filled bool
 }
 
@@ -117,6 +151,14 @@ type Table struct {
 // <= 0 selects DefaultMaxEntries, maxConfigs <= 0 selects
 // conf.DefaultMaxConfigs.
 func New(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int) (*Table, error) {
+	return NewCached(sizes, counts, T, maxEntries, maxConfigs, nil)
+}
+
+// NewCached is New with a shared Cache: configuration enumeration and (in
+// FillParallel) the level-bucket index are reused when another table with
+// the same rounded classes was built against the same cache — which is
+// exactly what a bisection search produces. A nil cache disables reuse.
+func NewCached(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int, cache *Cache) (*Table, error) {
 	if len(sizes) != len(counts) {
 		return nil, fmt.Errorf("dp: %d sizes but %d counts", len(sizes), len(counts))
 	}
@@ -146,6 +188,7 @@ func New(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxCo
 		Counts: append([]int(nil), counts...),
 		T:      T,
 		Stride: make([]int64, d),
+		cache:  cache,
 	}
 	sigma := int64(1)
 	for i := d - 1; i >= 0; i-- {
@@ -158,11 +201,12 @@ func New(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxCo
 		t.NPrime += counts[i]
 	}
 	t.Sigma = sigma
-	configs, err := conf.Enumerate(t.Sizes, t.Counts, T, t.Stride, maxConfigs)
+	configs, set, err := cache.configSet(t.Sizes, t.Counts, T, t.Stride, maxConfigs)
 	if err != nil {
 		return nil, err
 	}
 	t.Configs = configs
+	t.set = set
 	t.Opt = make([]int32, sigma)
 	return t, nil
 }
@@ -178,7 +222,8 @@ func (t *Table) digits(idx int64, dst []int32) []int32 {
 	return dst
 }
 
-// levelOf returns the digit sum (anti-diagonal index) of an entry.
+// levelOf returns the digit sum (anti-diagonal index) of an entry by
+// division; the optimized paths use odometer advancement instead.
 func (t *Table) levelOf(idx int64) int32 {
 	var s int32
 	rem := idx
@@ -189,20 +234,129 @@ func (t *Table) levelOf(idx int64) int32 {
 	return s
 }
 
+// sumDigits returns the digit sum (anti-diagonal level) of a decoded vector.
+func sumDigits(v []int32) int32 {
+	var s int32
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// advance adds delta >= 0 to the mixed-radix digit vector v, with carries,
+// and returns the resulting change of the digit sum. The result index must
+// stay inside the table. Cost is O(d) worst case but the loop exits as soon
+// as the remaining delta is zero, so advancing between nearby entries only
+// touches the fastest digits.
+func (t *Table) advance(v []int32, delta int64) int32 {
+	var dl int32
+	for i := len(v) - 1; i >= 0 && delta > 0; i-- {
+		radix := int64(t.Counts[i]) + 1
+		digit := delta % radix
+		delta /= radix
+		nv := int64(v[i]) + digit
+		if nv >= radix {
+			nv -= radix
+			delta++
+		}
+		dl += int32(nv) - v[i]
+		v[i] = int32(nv)
+	}
+	return dl
+}
+
+// advanceOne is the odometer increment (advance by exactly 1), returning the
+// digit-sum change. Incrementing the last entry wraps to the zero vector;
+// callers never advance past the end.
+func (t *Table) advanceOne(v []int32) int32 {
+	var dl int32
+	for i := len(v) - 1; i >= 0; i-- {
+		if int(v[i]) < t.Counts[i] {
+			v[i]++
+			return dl + 1
+		}
+		dl -= v[i]
+		v[i] = 0
+	}
+	return dl
+}
+
+// decoder incrementally decodes ascending entry indices for one worker: the
+// first index (and any backward jump) pays a full division decode, every
+// later index is reached by mixed-radix advancement. With LegacyFill it
+// degrades to a division decode per entry, reproducing the seed path.
+type decoder struct {
+	t    *Table
+	v    []int32
+	last int64
+}
+
+func newDecoders(t *Table, workers int) []decoder {
+	decs := make([]decoder, workers)
+	for w := range decs {
+		decs[w] = decoder{t: t, v: make([]int32, len(t.Stride)), last: -1}
+	}
+	return decs
+}
+
+func (dc *decoder) reset() { dc.last = -1 }
+
+// at returns the digit vector of idx. Successive calls on one decoder must
+// use non-decreasing indices for the incremental path to engage; a backward
+// jump falls back to a full decode.
+func (dc *decoder) at(idx int64) []int32 {
+	t := dc.t
+	switch {
+	case t.LegacyFill || dc.last < 0 || idx < dc.last:
+		t.digits(idx, dc.v)
+	case idx > dc.last:
+		t.advance(dc.v, idx-dc.last)
+	}
+	dc.last = idx
+	return dc.v
+}
+
 // computeEntry evaluates the recurrence for one non-zero entry whose decoded
-// digits are v. All dependencies (smaller digit sums) must be final.
-func (t *Table) computeEntry(idx int64, v []int32) {
+// digits are v with digit sum level. All dependencies (smaller digit sums)
+// must be final.
+func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 	if t.PerEntryEnum {
 		t.computeEntryPerEnum(idx, v)
 		return
 	}
 	best := int32(math.MaxInt32)
-	for ci := range t.Configs {
-		c := &t.Configs[ci]
-		if conf.Fits(c.Counts, v) {
-			if o := t.Opt[idx-c.Offset]; o < best {
-				best = o
+	if t.LegacyFill {
+		for ci := range t.Configs {
+			c := &t.Configs[ci]
+			if conf.Fits(c.Counts, v) {
+				if o := t.Opt[idx-c.Offset]; o < best {
+					best = o
+				}
 			}
+		}
+		t.Opt[idx] = best + 1
+		return
+	}
+	s := t.set
+	d := s.D
+	// Level-aware pruning: a configuration with Jobs > level cannot satisfy
+	// s <= v because its digit sum exceeds v's. The prefix holds exactly the
+	// candidates.
+	bound := int(s.Bounds.Upto(level))
+	counts := s.Counts
+	offsets := s.Offsets
+	base := 0
+scan:
+	for ci := 0; ci < bound; ci++ {
+		row := counts[base : base+d]
+		base += d
+		for j, sv := range row {
+			if sv > v[j] {
+				continue scan
+			}
+		}
+		if o := t.Opt[idx-offsets[ci]]; o < best {
+			best = o
 		}
 	}
 	// A non-zero entry always admits at least one singleton configuration
@@ -239,22 +393,91 @@ func (t *Table) computeEntryPerEnum(idx int64, v []int32) {
 	t.Opt[idx] = best + 1
 }
 
-// FillSequential computes every entry bottom-up in index order.
+// FillSequential computes every entry bottom-up. The default path runs the
+// configuration-outer relaxation sweep (fillConfigOuter); LegacyFill and
+// PerEntryEnum keep the entry-ordered recurrence sweep, where the digit
+// vector and its level ride an odometer increment so no entry pays a
+// division decode.
 func (t *Table) FillSequential() {
+	if !t.LegacyFill && !t.PerEntryEnum {
+		t.fillConfigOuter()
+		return
+	}
 	t.Opt[0] = 0
 	d := len(t.Stride)
 	v := make([]int32, d)
+	level := int32(0)
 	for idx := int64(1); idx < t.Sigma; idx++ {
 		// Odometer increment with the last dimension fastest, mirroring the
-		// row-major index order.
+		// row-major index order; the digit sum is maintained alongside.
 		for i := d - 1; i >= 0; i-- {
-			v[i]++
-			if int64(v[i]) <= int64(t.Counts[i]) {
+			if int(v[i]) < t.Counts[i] {
+				v[i]++
+				level++
 				break
 			}
+			level -= v[i]
 			v[i] = 0
 		}
-		t.computeEntry(idx, v)
+		t.computeEntry(idx, v, level)
+	}
+	t.filled = true
+}
+
+// fillHuge is the transient "not yet reached" value of the config-outer
+// sweep. It must survive a +1 without overflowing; it never appears in a
+// finished table because every non-empty entry admits a singleton
+// configuration.
+const fillHuge = int32(1) << 30
+
+// fillConfigOuter fills the table by loop interchange: instead of scanning
+// the configuration list per entry, each configuration c relaxes its whole
+// sub-lattice {v : v >= c} in one streaming pass,
+//
+//	Opt[v] = min(Opt[v], Opt[v-c] + 1),
+//
+// visiting entries in ascending index order so repeated uses of c chain
+// within the pass. This is the unbounded min-coin-change loop interchange on
+// the mixed-radix lattice: the final values are the (unique) shortest
+// distances of the recurrence, so the table is bit-identical to the
+// entry-ordered sweep — but no entry ever pays a fits check or an index
+// decode, and the passes are pure strided array traffic.
+func (t *Table) fillConfigOuter() {
+	opt := t.Opt
+	for i := range opt {
+		opt[i] = fillHuge
+	}
+	opt[0] = 0
+	s := t.set
+	d := s.D
+	w := make([]int32, d)   // odometer over the sub-lattice, w = v - c
+	lim := make([]int32, d) // per-dimension odometer limits, Counts[j] - c_j
+	for ci := 0; ci < s.N; ci++ {
+		row := s.Counts[ci*d : ci*d+d]
+		for j, c := range row {
+			lim[j] = int32(t.Counts[j]) - c
+			w[j] = 0
+		}
+		off := s.Offsets[ci]
+		idx := off
+		for {
+			if o := opt[idx-off] + 1; o < opt[idx] {
+				opt[idx] = o
+			}
+			j := d - 1
+			for ; j >= 0; j-- {
+				if w[j] < lim[j] {
+					w[j]++
+					idx += t.Stride[j]
+					break
+				}
+				idx -= int64(w[j]) * t.Stride[j]
+				w[j] = 0
+			}
+			if j < 0 {
+				break
+			}
+		}
 	}
 	t.filled = true
 }
@@ -279,7 +502,8 @@ func (t *Table) solveRec(idx int64) int32 {
 	}
 	v := t.digits(idx, make([]int32, len(t.Stride)))
 	best := int32(math.MaxInt32)
-	if t.PerEntryEnum {
+	switch {
+	case t.PerEntryEnum:
 		d := len(t.Sizes)
 		var rec func(dim int, weight pcmax.Time, off int64, jobs int32)
 		rec = func(dim int, weight pcmax.Time, off int64, jobs int32) {
@@ -300,7 +524,7 @@ func (t *Table) solveRec(idx int64) int32 {
 			}
 		}
 		rec(0, 0, 0, 0)
-	} else {
+	case t.LegacyFill:
 		for ci := range t.Configs {
 			c := &t.Configs[ci]
 			if conf.Fits(c.Counts, v) {
@@ -309,9 +533,85 @@ func (t *Table) solveRec(idx int64) int32 {
 				}
 			}
 		}
+	default:
+		s := t.set
+		bound := int(s.Bounds.Upto(sumDigits(v)))
+		for ci := 0; ci < bound; ci++ {
+			if conf.Fits(s.Row(ci), v) {
+				if o := t.solveRec(idx - s.Offsets[ci]); o < best {
+					best = o
+				}
+			}
+		}
 	}
 	t.Opt[idx] = best + 1
 	return t.Opt[idx]
+}
+
+// fillLevels writes the digit sum of every entry into levels. The optimized
+// path splits the table into contiguous chunks, pays one division decode per
+// chunk and advances an odometer inside it; LegacyFill reproduces the seed's
+// division decode per entry.
+func (t *Table) fillLevels(pool *par.Pool, strategy par.Strategy, levels []int32) {
+	if t.LegacyFill {
+		pool.For(int(t.Sigma), strategy, func(i int) {
+			levels[i] = t.levelOf(int64(i))
+		})
+		return
+	}
+	chunkLen := t.Sigma / int64(8*pool.Workers())
+	if chunkLen < 1024 {
+		chunkLen = 1024
+	}
+	nChunks := int((t.Sigma + chunkLen - 1) / chunkLen)
+	d := len(t.Stride)
+	pool.For(nChunks, strategy, func(c int) {
+		lo := int64(c) * chunkLen
+		hi := lo + chunkLen
+		if hi > t.Sigma {
+			hi = t.Sigma
+		}
+		v := make([]int32, d)
+		t.digits(lo, v)
+		lvl := sumDigits(v)
+		for idx := lo; idx < hi; idx++ {
+			levels[idx] = lvl
+			lvl += t.advanceOne(v)
+		}
+	})
+}
+
+// levelIndex groups entry indices by anti-diagonal level: order holds the
+// indices sorted by (level, index) and start[l] is the first slot of level
+// l (len(start) == NPrime+2). It depends only on the per-class counts, so a
+// Cache can share it across every table of a bisection with the same
+// rounded classes. Read-only after construction.
+type levelIndex struct {
+	order []int64
+	start []int64
+}
+
+// buildLevelIndex counting-sorts the entries by level.
+func (t *Table) buildLevelIndex(pool *par.Pool, strategy par.Strategy) *levelIndex {
+	levels := make([]int32, t.Sigma)
+	t.fillLevels(pool, strategy, levels)
+	count := make([]int64, t.NPrime+2)
+	for _, l := range levels {
+		count[l+1]++
+	}
+	for l := 1; l < len(count); l++ {
+		count[l] += count[l-1]
+	}
+	start := count // start[l] is the first slot of level l
+	order := make([]int64, t.Sigma)
+	cursor := make([]int64, t.NPrime+1)
+	copy(cursor, start[:t.NPrime+1])
+	for i := int64(0); i < t.Sigma; i++ {
+		l := levels[i]
+		order[cursor[l]] = i
+		cursor[l]++
+	}
+	return &levelIndex{order: order, start: start}
 }
 
 // FillParallel computes the table with the paper's Parallel DP (Algorithm 3)
@@ -323,56 +623,48 @@ func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strate
 		t.filled = true
 		return
 	}
-	d := len(t.Stride)
-	workers := pool.Workers()
-	scratch := make([][]int32, workers)
-	for w := range scratch {
-		scratch[w] = make([]int32, d)
-	}
-
-	// Lines 4-8: compute the digit sums d_i of every entry in parallel.
-	levels := make([]int32, t.Sigma)
-	pool.For(int(t.Sigma), strategy, func(i int) {
-		levels[i] = t.levelOf(int64(i))
-	})
+	decs := newDecoders(t, pool.Workers())
 
 	t.Opt[0] = 0
 	switch mode {
 	case LevelScan:
-		// Lines 10-25, faithful: every level scans all sigma entries.
+		// Lines 4-8: compute the digit sums d_i of every entry in parallel,
+		// then (Lines 10-25, faithful) every level scans all sigma entries.
+		levels := make([]int32, t.Sigma)
+		t.fillLevels(pool, strategy, levels)
 		for l := int32(1); l <= int32(t.NPrime); l++ {
+			for w := range decs {
+				decs[w].reset()
+			}
 			pool.ForWorker(int(t.Sigma), strategy, 0, func(w, i int) {
 				if levels[i] != l {
 					return
 				}
 				idx := int64(i)
-				t.computeEntry(idx, t.digits(idx, scratch[w]))
+				t.computeEntry(idx, decs[w].at(idx), l)
 			})
 		}
 	case LevelBuckets:
-		// Counting sort of entries by level, then each level processes only
-		// its own entries.
-		count := make([]int64, t.NPrime+2)
-		for _, l := range levels {
-			count[l+1]++
-		}
-		for l := 1; l < len(count); l++ {
-			count[l] += count[l-1]
-		}
-		start := count // start[l] is the first slot of level l
-		order := make([]int64, t.Sigma)
-		cursor := make([]int64, t.NPrime+1)
-		copy(cursor, start[:t.NPrime+1])
-		for i := int64(0); i < t.Sigma; i++ {
-			l := levels[i]
-			order[cursor[l]] = i
-			cursor[l]++
+		// Counting sort of entries by level (reused from the cache when the
+		// same counts vector was bucketed before), then each level processes
+		// only its own entries.
+		var li *levelIndex
+		if t.cache != nil && !t.LegacyFill {
+			li = t.cache.levelIndexFor(t.Counts, func() *levelIndex {
+				return t.buildLevelIndex(pool, strategy)
+			})
+		} else {
+			li = t.buildLevelIndex(pool, strategy)
 		}
 		for l := 1; l <= t.NPrime; l++ {
-			bucket := order[start[l]:start[l+1]]
+			bucket := li.order[li.start[l]:li.start[l+1]]
+			for w := range decs {
+				decs[w].reset()
+			}
+			lvl := int32(l)
 			pool.ForWorker(len(bucket), strategy, 0, func(w, j int) {
 				idx := bucket[j]
-				t.computeEntry(idx, t.digits(idx, scratch[w]))
+				t.computeEntry(idx, decs[w].at(idx), lvl)
 			})
 		}
 	default:
@@ -419,7 +711,10 @@ func (t *Table) OptValue() (int, error) {
 
 // Reconstruct walks the filled table back from the full vector N and returns
 // one machine configuration (a per-size-class job count vector) per machine,
-// OPT(N) machines in total.
+// OPT(N) machines in total. The walk tracks the current entry's level and,
+// because Configs is Jobs-sorted, stops each scan at the first configuration
+// placing more jobs than remain — so a machine's re-search costs only the
+// level's candidate prefix instead of the full configuration list.
 func (t *Table) Reconstruct() ([][]int32, error) {
 	if !t.filled {
 		return nil, ErrNotFilled
@@ -428,6 +723,7 @@ func (t *Table) Reconstruct() ([][]int32, error) {
 	v := make([]int32, d)
 	t.digits(t.Sigma-1, v)
 	idx := t.Sigma - 1
+	level := int32(t.NPrime)
 	var machines [][]int32
 	for idx != 0 {
 		target := t.Opt[idx]
@@ -437,6 +733,9 @@ func (t *Table) Reconstruct() ([][]int32, error) {
 		found := -1
 		for ci := range t.Configs {
 			c := &t.Configs[ci]
+			if c.Jobs > level {
+				break // Jobs-sorted: nothing beyond can fit v
+			}
 			if conf.Fits(c.Counts, v) && t.Opt[idx-c.Offset] == target-1 {
 				found = ci
 				break
@@ -448,6 +747,7 @@ func (t *Table) Reconstruct() ([][]int32, error) {
 		c := &t.Configs[found]
 		machines = append(machines, append([]int32(nil), c.Counts...))
 		idx -= c.Offset
+		level -= c.Jobs
 		for i := range v {
 			v[i] -= c.Counts[i]
 		}

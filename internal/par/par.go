@@ -71,12 +71,23 @@ type round struct {
 }
 
 // Pool is a set of persistent worker goroutines. The zero value is unusable;
-// construct with NewPool and release with Close. A Pool must not run two
-// overlapping For calls; the PTAS driver issues strictly sequential rounds.
+// construct with NewPool and release with Close.
+//
+// Concurrency contract: at most one For/ForWorker call may be in flight at a
+// time — rounds are strictly sequential (the PTAS driver's levels are
+// barrier-separated). Close is safe to call concurrently with an in-flight
+// round and with other Close calls: it is idempotent, and the mutex around
+// round dispatch guarantees a round either fully dispatches before the feeds
+// close or observes the closed pool and panics with a descriptive message —
+// never a send on a closed channel.
 type Pool struct {
 	workers int
 	feeds   []chan round
-	closed  bool
+
+	// mu serializes round dispatch against Close (and Close against
+	// itself); closed is only read/written under mu.
+	mu     sync.Mutex
+	closed bool
 
 	panicMu  sync.Mutex
 	panicked any
@@ -96,8 +107,14 @@ func NewPool(workers int) *Pool {
 // Workers reports the pool size.
 func (p *Pool) Workers() int { return p.workers }
 
-// Close terminates the worker goroutines. The pool must be idle.
+// Close terminates the worker goroutines. Close is idempotent and safe to
+// call concurrently with itself and with an in-flight For/ForWorker round:
+// a round that already dispatched drains normally (its workers exit after
+// finishing), a round that has not yet dispatched panics with "For on
+// closed Pool".
 func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if p.closed {
 		return
 	}
@@ -165,10 +182,13 @@ func (p *Pool) For(n int, strategy Strategy, body func(i int)) {
 // per-worker scratch space) and an explicit Dynamic chunk size (grain <= 0
 // selects max(1, n/(8*workers)); the static strategies ignore it).
 func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, i int)) {
-	if p.closed {
-		panic("par: For on closed Pool")
-	}
 	if n <= 0 {
+		p.mu.Lock()
+		closed := p.closed
+		p.mu.Unlock()
+		if closed {
+			panic("par: For on closed Pool")
+		}
 		return
 	}
 	if grain <= 0 {
@@ -180,9 +200,19 @@ func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, 
 	var wg sync.WaitGroup
 	wg.Add(p.workers)
 	r := round{n: n, strategy: strategy, grain: grain, body: body, next: new(atomic.Int64), done: &wg}
+	// Dispatch under the mutex: a concurrent Close either waits for all
+	// sends to land (workers already hold the round, so closing the feeds
+	// afterwards cannot lose it) or wins the lock first, in which case the
+	// closed check panics instead of sending on a closed channel.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("par: For on closed Pool")
+	}
 	for _, ch := range p.feeds {
 		ch <- r
 	}
+	p.mu.Unlock()
 	wg.Wait()
 	p.panicMu.Lock()
 	e := p.panicked

@@ -165,6 +165,51 @@ func TestCloseIdempotent(t *testing.T) {
 	p.Close() // must not panic
 }
 
+func TestCloseConcurrentlyIdempotent(t *testing.T) {
+	// Many goroutines racing Close must close the feeds exactly once.
+	for rep := 0; rep < 50; rep++ {
+		p := NewPool(3)
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				p.Close()
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+// TestCloseDuringRoundsNeverSendsOnClosedChannel documents the Pool's
+// concurrency contract: rounds come from a single caller at a time, but
+// Close may race an in-flight round. The round either completes (it
+// dispatched before Close won the mutex) or panics with the descriptive
+// "For on closed Pool" — never the runtime's "send on closed channel".
+func TestCloseDuringRoundsNeverSendsOnClosedChannel(t *testing.T) {
+	for rep := 0; rep < 100; rep++ {
+		p := NewPool(2)
+		roundsDone := make(chan any, 1)
+		go func() {
+			var recovered any
+			func() {
+				defer func() { recovered = recover() }()
+				for i := 0; i < 1000; i++ {
+					p.For(8, RoundRobin, func(int) {})
+				}
+			}()
+			roundsDone <- recovered
+		}()
+		p.Close()
+		if r := <-roundsDone; r != nil {
+			msg, ok := r.(string)
+			if !ok || msg != "par: For on closed Pool" {
+				t.Fatalf("rep %d: round panicked with %v, want the documented closed-pool panic", rep, r)
+			}
+		}
+	}
+}
+
 func TestNormalize(t *testing.T) {
 	if got := Normalize(3); got != 3 {
 		t.Fatalf("Normalize(3) = %d", got)

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Repo-wide verification: build, vet, full test suite, then the race
+# detector over the packages with real concurrency (worker pool, parallel
+# DP fill + cache, solver facade). This is the gate every PR runs before
+# merging; ROADMAP.md points here.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test ./...
+go test -race ./internal/par ./internal/dp ./solver

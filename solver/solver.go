@@ -123,6 +123,9 @@ type PTASStats struct {
 	// UsedLPTFallback reports that plain LPT beat the PTAS construction and
 	// its (never worse) schedule was returned.
 	UsedLPTFallback bool
+	// Cache reports DP-cache traffic: how often the bisection reused
+	// configuration enumerations and level-bucket indexes across probes.
+	Cache dp.CacheStats
 }
 
 // PTAS runs the (1+eps)-approximation scheme, parallel when
