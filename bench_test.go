@@ -9,6 +9,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -50,7 +51,7 @@ func benchFigure(b *testing.B, m, n int) {
 		in := speedupInstance(b, fam, m, n)
 		b.Run(fmt.Sprintf("seqPTAS/%v", fam), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 1}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: 1}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -61,7 +62,7 @@ func benchFigure(b *testing.B, m, n int) {
 				defer pool.Close()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
-					if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: c, Pool: pool}); err != nil {
+					if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: c, Pool: pool}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -69,7 +70,7 @@ func benchFigure(b *testing.B, m, n int) {
 		}
 		b.Run(fmt.Sprintf("IP/%v", fam), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := exact.SolveAssignment(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+				if _, _, err := exact.SolveAssignment(context.Background(), in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -97,7 +98,7 @@ func BenchmarkFig5Ratios(b *testing.B) {
 		}
 		b.Run(ri.ID+"/parPTAS", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 2}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: 2}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -114,7 +115,7 @@ func BenchmarkFig5Ratios(b *testing.B) {
 		})
 		b.Run(ri.ID+"/exact", func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+				if _, _, err := exact.Solve(context.Background(), in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -138,7 +139,7 @@ func BenchmarkAblationLevelMode(b *testing.B) {
 			defer pool.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{
+				if _, _, err := core.Solve(context.Background(), in, core.Options{
 					Epsilon: 0.3, Workers: 4, Pool: pool, LevelMode: mode,
 				}); err != nil {
 					b.Fatal(err)
@@ -158,7 +159,7 @@ func BenchmarkAblationParFor(b *testing.B) {
 			defer pool.Close()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{
+				if _, _, err := core.Solve(context.Background(), in, core.Options{
 					Epsilon: 0.3, Workers: 4, Pool: pool, Strategy: strategy,
 				}); err != nil {
 					b.Fatal(err)
@@ -175,7 +176,7 @@ func BenchmarkAblationShortRule(b *testing.B) {
 	for rule, name := range map[core.ShortRule]string{core.ShortLPT: "LPT", core.ShortLS: "LS"} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, ShortRule: rule}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, ShortRule: rule}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -190,7 +191,7 @@ func BenchmarkAblationSeqFill(b *testing.B) {
 	for fill, name := range map[core.SeqFill]string{core.SeqBottomUp: "bottom-up", core.SeqRecursive: "recursive"} {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, SeqFill: fill}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, SeqFill: fill}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -210,7 +211,7 @@ func BenchmarkAblationConfigEnum(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, PerEntryConfigs: perEntry}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, PerEntryConfigs: perEntry}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -229,7 +230,7 @@ func BenchmarkAblationIncumbent(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := exact.Solve(in, exact.Options{
+				if _, _, err := exact.Solve(context.Background(), in, exact.Options{
 					NodeLimit: benchExactNodeLimit, DisableMultiFitIncumbent: disable,
 				}); err != nil {
 					b.Fatal(err)
@@ -294,7 +295,7 @@ func BenchmarkDPFillPruned(b *testing.B) {
 	}
 	for _, shape := range shapes {
 		in := speedupInstance(b, shape.fam, shape.m, shape.n)
-		_, st, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 1})
+		_, st, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -349,7 +350,7 @@ func BenchmarkBaselines(b *testing.B) {
 	})
 	b.Run("MultiFit", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := multifit.Solve(in); err != nil {
+			if _, err := multifit.Solve(context.Background(), in); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -362,28 +363,28 @@ func BenchmarkExtensionSahni(b *testing.B) {
 	in := speedupInstance(b, workload.U1_10, 3, 30)
 	b.Run("sahni-exact", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sahni.Solve(in, sahni.Options{}); err != nil {
+			if _, err := sahni.Solve(context.Background(), in, sahni.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("sahni-fptas-0.2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := sahni.Solve(in, sahni.Options{Epsilon: 0.2}); err != nil {
+			if _, err := sahni.Solve(context.Background(), in, sahni.Options{Epsilon: 0.2}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("exact-bb", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+			if _, _, err := exact.Solve(context.Background(), in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("ptas-0.2", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.2}); err != nil {
+			if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.2}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -396,7 +397,7 @@ func BenchmarkExtensionSpeculative(b *testing.B) {
 	in := speedupInstance(b, workload.U1_10n, 10, 50)
 	b.Run("sequential", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3}); err != nil {
+			if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -404,7 +405,7 @@ func BenchmarkExtensionSpeculative(b *testing.B) {
 	for _, probes := range []int{2, 4, 8} {
 		b.Run(fmt.Sprintf("probes=%d", probes), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, SpeculativeProbes: probes}); err != nil {
+				if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, SpeculativeProbes: probes}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -422,14 +423,14 @@ func BenchmarkExactTriplets(b *testing.B) {
 		}
 		b.Run(fmt.Sprintf("bin-completion/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := exact.Solve(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+				if _, _, err := exact.Solve(context.Background(), in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
 		b.Run(fmt.Sprintf("assignment-IP/m=%d", m), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, _, err := exact.SolveAssignment(in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
+				if _, _, err := exact.SolveAssignment(context.Background(), in, exact.Options{NodeLimit: benchExactNodeLimit}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -446,7 +447,7 @@ func BenchmarkAblationDataflow(b *testing.B) {
 		defer pool.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool}); err != nil {
+			if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -456,7 +457,7 @@ func BenchmarkAblationDataflow(b *testing.B) {
 		defer pool.Close()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, _, err := core.Solve(in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool, Dataflow: true}); err != nil {
+			if _, _, err := core.Solve(context.Background(), in, core.Options{Epsilon: 0.3, Workers: 4, Pool: pool, Dataflow: true}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -470,7 +471,7 @@ func BenchmarkAblationMultiFitHeuristic(b *testing.B) {
 	for _, h := range []multifit.Heuristic{multifit.FFD, multifit.BFD} {
 		b.Run(h.String(), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := multifit.SolveHeuristic(in, h); err != nil {
+				if _, err := multifit.SolveHeuristic(context.Background(), in, h); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -5,6 +5,13 @@
 // Usage:
 //
 //	psched -algo ptas -eps 0.3 -workers 4 instance.txt
+//	psched -algo ptas -deadline 100ms instance.txt
+//
+// Algorithms are dispatched through the solver registry, so -algo accepts
+// every registered name (ls, lpt, multifit, ptas, exact, ip, sahni) plus
+// "all" for a comparison table. -deadline bounds the whole solve through
+// context cancellation; an interrupted solve prints the fallback schedule
+// when the algorithm provides one.
 //
 // The instance format is the one written by cmd/instgen:
 //
@@ -13,7 +20,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -34,13 +43,14 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("psched", flag.ContinueOnError)
 	var (
-		algo    = fs.String("algo", "ptas", "algorithm: ls, lpt, multifit, ptas, exact, or all (comparison table)")
-		eps     = fs.Float64("eps", 0.3, "PTAS relative error")
-		workers = fs.Int("workers", 0, "PTAS workers (0 = all cores, 1 = sequential)")
-		ratio   = fs.Bool("ratio", false, "also solve exactly and print the actual approximation ratio")
-		gantt   = fs.Bool("gantt", false, "print the per-machine job lists")
-		asJSON  = fs.Bool("json", false, "emit the schedule as JSON instead of text")
-		timeout = fs.Duration("exact-timeout", time.Minute, "time limit for exact solves")
+		algo     = fs.String("algo", "ptas", "algorithm name from the solver registry, or all (comparison table)")
+		eps      = fs.Float64("eps", 0.3, "PTAS relative error")
+		workers  = fs.Int("workers", 0, "PTAS workers (0 = all cores, 1 = sequential)")
+		ratio    = fs.Bool("ratio", false, "also solve exactly and print the actual approximation ratio")
+		gantt    = fs.Bool("gantt", false, "print the per-machine job lists")
+		asJSON   = fs.Bool("json", false, "emit the schedule as JSON instead of text")
+		timeout  = fs.Duration("exact-timeout", time.Minute, "time limit for exact solves")
+		deadline = fs.Duration("deadline", 0, "overall deadline for the solve (0 = none); interrupted solves print the fallback schedule when available")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: psched [flags] [instance-file]")
@@ -69,42 +79,41 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return err
 	}
 
-	if *algo == "all" {
-		return compareAll(stdout, in, *eps, *workers, *timeout)
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
 	}
 
-	start := time.Now()
-	var sched *pcmax.Schedule
-	switch *algo {
-	case "ls":
-		sched, err = solver.LS(in)
-	case "lpt":
-		sched, err = solver.LPT(in)
-	case "multifit":
-		sched, err = solver.MultiFit(in)
-	case "ptas":
-		opts := solver.DefaultPTASOptions()
-		opts.Epsilon = *eps
-		opts.Workers = *workers
-		var st *solver.PTASStats
-		sched, st, err = solver.PTAS(in, opts)
-		if err == nil {
-			fmt.Fprintf(stdout, "ptas: k=%d iterations=%d finalT=%d table=%d entries, %d configs\n",
-				st.K, st.Iterations, st.FinalT, st.TableEntries, st.Configs)
-		}
-	case "exact":
-		var res solver.ExactResult
-		sched, res, err = solver.Exact(in, solver.ExactOptions{TimeLimit: *timeout})
-		if err == nil && !res.Optimal {
-			fmt.Fprintf(stdout, "exact: limit reached, best incumbent shown (lower bound %d)\n", res.LowerBound)
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q (want ls, lpt, multifit, ptas, exact or all)", *algo)
+	opts := solver.Options{Exact: solver.ExactOptions{TimeLimit: *timeout}}
+	opts.PTAS = solver.DefaultPTASOptions()
+	opts.PTAS.Epsilon = *eps
+	opts.PTAS.Workers = *workers
+
+	if *algo == "all" {
+		return compareAll(ctx, stdout, in, opts)
 	}
+
+	alg, err := solver.Lookup(*algo)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
+	sched, rep, err := alg.Solve(ctx, in, opts)
+	if err != nil {
+		if !errors.Is(err, solver.ErrCanceled) || sched == nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "%s: interrupted (%v), showing fallback schedule\n", *algo, err)
+	}
+	if rep.PTAS != nil && !rep.Interrupted {
+		st := rep.PTAS
+		fmt.Fprintf(stdout, "ptas: k=%d iterations=%d finalT=%d table=%d entries, %d configs\n",
+			st.K, st.Iterations, st.FinalT, st.TableEntries, st.Configs)
+	}
+	if rep.Exact != nil && !rep.Exact.Optimal {
+		fmt.Fprintf(stdout, "%s: limit reached, best incumbent shown (lower bound %d)\n", *algo, rep.Exact.LowerBound)
+	}
 
 	if *asJSON {
 		out := struct {
@@ -112,7 +121,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Makespan  int64           `json:"makespan"`
 			Seconds   float64         `json:"seconds"`
 			Schedule  *pcmax.Schedule `json:"schedule"`
-		}{*algo, int64(sched.Makespan(in)), elapsed.Seconds(), sched}
+		}{*algo, int64(sched.Makespan(in)), rep.Elapsed.Seconds(), sched}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -120,63 +129,78 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 
 	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d max=%d (lower bound %d)\n",
 		in.M, in.N(), in.TotalTime(), in.MaxTime(), in.LowerBound())
-	fmt.Fprintf(stdout, "%s makespan: %d (%.3fms)\n", *algo, sched.Makespan(in), elapsed.Seconds()*1000)
+	fmt.Fprintf(stdout, "%s makespan: %d (%.3fms)\n", *algo, sched.Makespan(in), rep.Elapsed.Seconds()*1000)
 	if *gantt {
 		fmt.Fprint(stdout, sched.Gantt(in))
 	}
 	if *ratio {
-		_, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: *timeout})
+		exactAlg, err := solver.Lookup("exact")
 		if err != nil {
 			return err
 		}
+		_, exRep, err := exactAlg.Solve(ctx, in, opts)
+		if err != nil && !errors.Is(err, solver.ErrCanceled) {
+			return err
+		}
 		qual := "optimal"
-		if !res.Optimal {
+		if exRep.Exact == nil || !exRep.Exact.Optimal {
 			qual = "best known (limit reached)"
 		}
 		fmt.Fprintf(stdout, "exact makespan: %d (%s), actual ratio %.4f\n",
-			res.Makespan, qual, sched.Ratio(in, res.Makespan))
+			exRep.Exact.Makespan, qual, sched.Ratio(in, exRep.Exact.Makespan))
 	}
 	return nil
 }
 
-// compareAll runs every algorithm on the instance and prints one comparison
-// row per algorithm, with ratios against the exact makespan.
-func compareAll(stdout io.Writer, in *pcmax.Instance, eps float64, workers int, timeout time.Duration) error {
-	exactSched, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: timeout})
+// compareAll runs every registered algorithm on the instance and prints one
+// comparison row per algorithm, with ratios against the exact makespan.
+// Algorithms that fail (e.g. sahni beyond its machine budget) or run into
+// the deadline are logged as such instead of aborting the table.
+func compareAll(ctx context.Context, stdout io.Writer, in *pcmax.Instance, opts solver.Options) error {
+	exactAlg, err := solver.Lookup("exact")
 	if err != nil {
 		return err
 	}
-	opt := res.Makespan
+	exactSched, res, err := exactAlg.Solve(ctx, in, opts)
+	if err != nil && !errors.Is(err, solver.ErrCanceled) {
+		return err
+	}
+	if exactSched == nil {
+		return fmt.Errorf("exact reference unavailable: %w", err)
+	}
+	opt := res.Exact.Makespan
 	qual := "optimal"
-	if !res.Optimal {
+	if !res.Exact.Optimal {
 		qual = "best known (limit reached)"
 	}
 	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d lower-bound=%d\n", in.M, in.N(), in.TotalTime(), in.LowerBound())
 	fmt.Fprintf(stdout, "reference: exact makespan %d (%s)\n\n", opt, qual)
 	fmt.Fprintf(stdout, "%-10s %-10s %-8s %-12s\n", "algorithm", "makespan", "ratio", "time")
 
-	type runFn func() (*pcmax.Schedule, error)
-	ptasOpts := solver.DefaultPTASOptions()
-	ptasOpts.Epsilon = eps
-	ptasOpts.Workers = workers
-	rows := []struct {
-		name string
-		fn   runFn
-	}{
-		{"ls", func() (*pcmax.Schedule, error) { return solver.LS(in) }},
-		{"lpt", func() (*pcmax.Schedule, error) { return solver.LPT(in) }},
-		{"multifit", func() (*pcmax.Schedule, error) { return solver.MultiFit(in) }},
-		{"ptas", func() (*pcmax.Schedule, error) { s, _, err := solver.PTAS(in, ptasOpts); return s, err }},
-		{"exact", func() (*pcmax.Schedule, error) { return exactSched, nil }},
-	}
-	for _, row := range rows {
-		start := time.Now()
-		sched, err := row.fn()
+	for _, name := range solver.Names() {
+		alg, err := solver.Lookup(name)
 		if err != nil {
-			return fmt.Errorf("%s: %w", row.name, err)
+			return err
 		}
-		fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s\n",
-			row.name, sched.Makespan(in), sched.Ratio(in, opt), time.Since(start).Round(time.Microsecond))
+		var (
+			sched *pcmax.Schedule
+			rep   solver.Report
+		)
+		if name == "exact" {
+			sched, rep = exactSched, res // don't pay the reference solve twice
+		} else {
+			sched, rep, err = alg.Solve(ctx, in, opts)
+		}
+		switch {
+		case err != nil && errors.Is(err, solver.ErrCanceled) && sched != nil:
+			fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s (interrupted, fallback)\n",
+				name, sched.Makespan(in), sched.Ratio(in, opt), rep.Elapsed.Round(time.Microsecond))
+		case err != nil:
+			fmt.Fprintf(stdout, "%-10s %-10s %-8s %v\n", name, "-", "-", err)
+		default:
+			fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s\n",
+				name, sched.Makespan(in), sched.Ratio(in, opt), rep.Elapsed.Round(time.Microsecond))
+		}
 	}
 	return nil
 }

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -53,9 +54,12 @@ const benchJSONName = "BENCH_dp.json"
 
 // measureFill times fill() after one warm-up call. It takes the best of
 // several short measurement windows — the minimum is the standard defense
-// against GC pauses and frequency wobble contaminating a single window.
-func measureFill(fill func()) int64 {
-	fill()
+// against GC pauses and frequency wobble contaminating a single window. A
+// fill error (context cancellation) aborts the measurement immediately.
+func measureFill(fill func() error) (int64, error) {
+	if err := fill(); err != nil {
+		return 0, err
+	}
 	const (
 		windows   = 5
 		minWindow = 10 * time.Millisecond
@@ -65,7 +69,9 @@ func measureFill(fill func()) int64 {
 		reps := 0
 		start := time.Now()
 		for {
-			fill()
+			if err := fill(); err != nil {
+				return 0, err
+			}
 			reps++
 			if d := time.Since(start); d >= minWindow && reps >= 3 {
 				if ns := d.Nanoseconds() / int64(reps); best == 0 || ns < best {
@@ -75,16 +81,20 @@ func measureFill(fill func()) int64 {
 			}
 		}
 	}
-	return best
+	return best, nil
 }
 
 // runDPBench measures every (shape, family, workers, mode, path) cell and
 // renders the result. Table entries are identical between the two paths (the
 // differential tests enforce it), so ns/op is the only varying quantity.
-func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
+// When ctx dies mid-sweep, the cells measured so far are still rendered and
+// the cancellation error is returned.
+func runDPBench(ctx context.Context, cores []int, eps float64, seed uint64, writeJSON bool) error {
 	cache := dp.NewCache()
 	var records []dpRecord
+	var benchErr error
 
+sweep:
 	for _, shape := range dpShapes {
 		for _, fam := range workload.SpeedupFamilies {
 			in, err := workload.Generate(workload.Spec{Family: fam, M: shape.M, N: shape.N, Seed: seed})
@@ -93,9 +103,10 @@ func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
 			}
 			opts := core.DefaultOptions()
 			opts.Epsilon = eps
-			_, st, err := core.Solve(in, opts)
+			_, st, err := core.Solve(ctx, in, opts)
 			if err != nil {
-				return err
+				benchErr = err
+				break sweep
 			}
 			sizes, counts, err := core.RoundedClasses(in, st.K, st.FinalT)
 			if err != nil {
@@ -109,9 +120,13 @@ func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
 				return err
 			}
 
-			measure := func(workers int, mode dp.LevelMode, legacy bool, fill func()) {
+			measure := func(workers int, mode dp.LevelMode, legacy bool, fill func() error) bool {
 				tbl.LegacyFill = legacy
-				ns := measureFill(fill)
+				ns, err := measureFill(fill)
+				if err != nil {
+					benchErr = err
+					return false
+				}
 				path := "optimized"
 				if legacy {
 					path = "legacy"
@@ -121,12 +136,15 @@ func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
 					Workers: workers, LevelMode: mode.String(), Path: path,
 					NsPerOp: ns, Entries: tbl.Sigma, Configs: len(tbl.Configs),
 				})
+				return true
 			}
 
 			// Sequential fill (workers = 1); level mode is moot, report as
 			// buckets for a stable key.
-			measure(1, dp.LevelBuckets, true, tbl.FillSequential)
-			measure(1, dp.LevelBuckets, false, tbl.FillSequential)
+			seq := func() error { return tbl.FillSequentialCtx(ctx) }
+			if !measure(1, dp.LevelBuckets, true, seq) || !measure(1, dp.LevelBuckets, false, seq) {
+				break sweep
+			}
 
 			for _, workers := range cores {
 				if workers <= 1 {
@@ -134,9 +152,11 @@ func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
 				}
 				pool := par.NewPool(workers)
 				for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
-					fill := func() { tbl.FillParallel(pool, mode, par.RoundRobin) }
-					measure(workers, mode, false, fill)
-					measure(workers, mode, true, fill)
+					fill := func() error { return tbl.FillParallelCtx(ctx, pool, mode, par.RoundRobin) }
+					if !measure(workers, mode, false, fill) || !measure(workers, mode, true, fill) {
+						pool.Close()
+						break sweep
+					}
 				}
 				pool.Close()
 			}
@@ -146,6 +166,10 @@ func runDPBench(cores []int, eps float64, seed uint64, writeJSON bool) error {
 	attachSpeedups(records)
 	renderDPRecords(records)
 	fmt.Printf("\nDP cache across workloads: %+v\n", cache.Stats())
+	if benchErr != nil {
+		fmt.Printf("\nsweep interrupted after %d cells: %v\n", len(records), benchErr)
+		return benchErr
+	}
 	if writeJSON {
 		blob, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {

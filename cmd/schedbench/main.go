@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,10 +40,12 @@ func run(args []string) error {
 		eps      = fs.Float64("eps", 0.3, "PTAS relative error (paper: 0.3)")
 		seed     = fs.Uint64("seed", 2017, "base RNG seed")
 		exactSec = fs.Duration("exact-timeout", 30*time.Second, "time limit per exact solve")
+		algoSec  = fs.Duration("algo-timeout", 0, "deadline per algorithm invocation (0 = none); timed-out cells are logged and skipped")
 		noWall   = fs.Bool("no-wallclock", false, "skip measured wall-clock parallel runs")
 		faithful = fs.Bool("paper-faithful", false, "use the presentation-faithful DP variants")
 		csv      = fs.Bool("csv", false, "render tables as CSV")
 		jsonOut  = fs.Bool("json", false, "dp: also write results to "+benchJSONName)
+		deadline = fs.Duration("deadline", 0, "dp: overall deadline for the benchmark sweep (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -89,6 +92,7 @@ func run(args []string) error {
 	cfg.Epsilon = *eps
 	cfg.Seed = *seed
 	cfg.ExactTimeLimit = *exactSec
+	cfg.AlgoTimeout = *algoSec
 	cfg.WallClock = !*noWall
 	cfg.PaperFaithful = *faithful
 	cfg.CSV = *csv
@@ -148,7 +152,13 @@ func run(args []string) error {
 		}
 		return res.Render(cfg)
 	case "dp":
-		return runDPBench(cfg.Cores, cfg.Epsilon, cfg.Seed, *jsonOut)
+		ctx := context.Background()
+		if *deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *deadline)
+			defer cancel()
+		}
+		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, *jsonOut)
 	case "hard":
 		res, err := cfg.RunHard(nil, 0)
 		if err != nil {

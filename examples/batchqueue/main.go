@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -48,7 +49,7 @@ func main() {
 	if in.N() <= 40 {
 		// Small queue: prove the optimum.
 		var res solver.ExactResult
-		sched, res, err = solver.Exact(in, solver.ExactOptions{TimeLimit: 5 * time.Second})
+		sched, res, err = solver.Exact(context.Background(), in, solver.ExactOptions{TimeLimit: 5 * time.Second})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 		opts := solver.DefaultPTASOptions()
 		opts.Epsilon = 0.1
 		opts.Workers = 0
-		sched, _, err = solver.PTAS(in, opts)
+		sched, _, err = solver.PTAS(context.Background(), in, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,7 +22,7 @@ func main() {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 20, N: 100, Seed: 7})
 	fmt.Println(in)
 
-	_, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: time.Minute})
+	_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{TimeLimit: time.Minute})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func main() {
 		opts.Epsilon = eps
 		opts.Workers = 0
 		start := time.Now()
-		sched, st, err := solver.PTAS(in, opts)
+		sched, st, err := solver.PTAS(context.Background(), in, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -48,7 +49,7 @@ func main() {
 			st.TableEntries, elapsed.Round(10*time.Microsecond))
 	}
 
-	lpt, err := solver.LPT(in)
+	lpt, err := solver.LPT(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -30,7 +31,7 @@ func main() {
 		// The IP-shaped solver (what a MIP does to this model): time-boxed,
 		// may fail to prove optimality.
 		start := time.Now()
-		_, ipRes, err := solver.ExactIP(in, solver.ExactOptions{
+		_, ipRes, err := solver.ExactIP(context.Background(), in, solver.ExactOptions{
 			NodeLimit: 5_000_000, TimeLimit: 10 * time.Second,
 		})
 		if err != nil {
@@ -44,7 +45,7 @@ func main() {
 
 		// The strong exact solver with parallel probes.
 		start = time.Now()
-		_, exRes, err := solver.Exact(in, solver.ExactOptions{Workers: 4, TimeLimit: 10 * time.Second})
+		_, exRes, err := solver.Exact(context.Background(), in, solver.ExactOptions{Workers: 4, TimeLimit: 10 * time.Second})
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func main() {
 		opts := solver.DefaultPTASOptions()
 		opts.Workers = 0
 		start = time.Now()
-		sched, _, err := solver.PTAS(in, opts)
+		sched, _, err := solver.PTAS(context.Background(), in, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -24,7 +25,7 @@ func main() {
 	opts := solver.DefaultPTASOptions()
 	opts.Epsilon = 0.2
 	opts.Workers = 0
-	sched, st, err := solver.PTAS(in, opts)
+	sched, st, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -33,18 +34,18 @@ func main() {
 	fmt.Print(sched.Gantt(in))
 
 	// Classical baselines for comparison.
-	lpt, err := solver.LPT(in)
+	lpt, err := solver.LPT(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
-	ls, err := solver.LS(in)
+	ls, err := solver.LS(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nLPT makespan: %d\nLS  makespan: %d\n", lpt.Makespan(in), ls.Makespan(in))
 
 	// And the certified optimum.
-	_, res, err := solver.Exact(in, solver.ExactOptions{})
+	_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 	if err != nil {
 		log.Fatal(err)
 	}

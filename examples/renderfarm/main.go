@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -52,7 +53,7 @@ func main() {
 		fmt.Printf("%-14s makespan %5ds — %s (deadline %ds)\n", name, ms, verdict, deadline)
 	}
 
-	lpt, err := solver.LPT(in)
+	lpt, err := solver.LPT(context.Background(), in)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func main() {
 	opts := solver.DefaultPTASOptions()
 	opts.Epsilon = 0.1 // tight schedule: spend more planning time
 	opts.Workers = 0   // all cores
-	ptas, st, err := solver.PTAS(in, opts)
+	ptas, st, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		log.Fatal(err)
 	}

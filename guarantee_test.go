@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -25,7 +26,7 @@ func TestGuaranteeAcrossFamiliesAndEpsilons(t *testing.T) {
 			}
 			for rep := 0; rep < 3; rep++ {
 				in := workload.MustGenerate(workload.Spec{Family: fam, M: m, N: n, Seed: 555 + uint64(rep)})
-				_, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: 20 * time.Second})
+				_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{TimeLimit: 20 * time.Second})
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -37,7 +38,7 @@ func TestGuaranteeAcrossFamiliesAndEpsilons(t *testing.T) {
 					opts := solver.DefaultPTASOptions()
 					opts.Epsilon = eps
 					opts.Workers = 2
-					sched, _, err := solver.PTAS(in, opts)
+					sched, _, err := solver.PTAS(context.Background(), in, opts)
 					if err != nil {
 						t.Fatalf("eps=%v rep=%d: %v", eps, rep, err)
 					}

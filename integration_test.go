@@ -2,6 +2,7 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -34,7 +35,7 @@ func TestEndToEndPipeline(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			exactSched, res, err := solver.Exact(loaded, solver.ExactOptions{TimeLimit: 20 * time.Second})
+			exactSched, res, err := solver.Exact(context.Background(), loaded, solver.ExactOptions{TimeLimit: 20 * time.Second})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -43,25 +44,25 @@ func TestEndToEndPipeline(t *testing.T) {
 			}
 			opt := exactSched.Makespan(loaded)
 
-			ptasSeq, _, err := solver.PTAS(loaded, solver.DefaultPTASOptions())
+			ptasSeq, _, err := solver.PTAS(context.Background(), loaded, solver.DefaultPTASOptions())
 			if err != nil {
 				t.Fatal(err)
 			}
 			parOpts := solver.DefaultPTASOptions()
 			parOpts.Workers = 4
-			ptasPar, _, err := solver.PTAS(loaded, parOpts)
+			ptasPar, _, err := solver.PTAS(context.Background(), loaded, parOpts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			lpt, err := solver.LPT(loaded)
+			lpt, err := solver.LPT(context.Background(), loaded)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ls, err := solver.LS(loaded)
+			ls, err := solver.LS(context.Background(), loaded)
 			if err != nil {
 				t.Fatal(err)
 			}
-			mf, err := solver.MultiFit(loaded)
+			mf, err := solver.MultiFit(context.Background(), loaded)
 			if err != nil {
 				t.Fatal(err)
 			}

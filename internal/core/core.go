@@ -13,12 +13,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/dp"
 	"repro/internal/listsched"
 	"repro/internal/par"
@@ -109,9 +111,12 @@ type Options struct {
 	// (sigma < ~10^4) are barrier-bound; this is the practical default a
 	// production caller wants (the solver facade enables it).
 	AdaptiveFill bool
-	// TimeLimit aborts the solve with ErrTimeLimit when exceeded. The check
-	// runs between bisection probes (a single table fill is never
-	// interrupted), so overshoot is bounded by one fill. <= 0 disables.
+	// TimeLimit aborts the solve with ErrTimeLimit when exceeded. It is a
+	// back-compat shim over context deadlines: Solve installs it via
+	// context.WithTimeout on the caller's ctx, so the abort lands inside a
+	// running DP fill (within the fills' cooperative-check granularity), not
+	// just between bisection probes. <= 0 disables. New callers should pass
+	// a context with a deadline instead.
 	TimeLimit time.Duration
 	// LPTFallback returns plain LPT's schedule when it beats the PTAS
 	// construction. It never hurts, and it caps the guarantee at LPT's
@@ -182,9 +187,14 @@ type Stats struct {
 var (
 	ErrBadEpsilon      = errors.New("core: epsilon must be positive")
 	ErrEpsilonTooSmall = errors.New("core: epsilon too small (k exceeds limit)")
-	ErrTimeLimit       = errors.New("core: time limit exceeded")
 	ErrInternal        = errors.New("core: internal invariant violated")
 )
+
+// ErrTimeLimit is a deprecated alias for cancel.ErrDeadline, kept so
+// pre-context callers testing errors.Is(err, core.ErrTimeLimit) keep working
+// now that TimeLimit is a context-deadline shim. It also matches
+// cancel.ErrCanceled (a deadline is one kind of cancellation).
+var ErrTimeLimit = cancel.ErrDeadline
 
 // maxK bounds k = ceil(1/eps); beyond this the DP table cannot possibly fit
 // any entry budget, so fail fast with a clear error.
@@ -208,7 +218,19 @@ func KFor(eps float64) (int, error) {
 
 // Solve runs the (parallel) PTAS on the instance and returns the schedule
 // and run statistics.
-func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
+//
+// Cancellation: when ctx dies (deadline, explicit cancel, parent teardown)
+// the solve aborts cooperatively — inside a running DP fill, not just
+// between probes — and degrades gracefully: it returns plain LPT's schedule
+// (non-nil, valid, just without the PTAS guarantee), the partial Stats
+// accumulated so far, and a *cancel.Error matching cancel.ErrCanceled (and
+// cancel.ErrDeadline when a deadline caused it) that carries the iteration
+// and entry counts at interruption time. A nil ctx is treated as
+// context.Background().
+func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -245,19 +267,34 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 	}
 	defer func() { stats.Cache = opts.Cache.Stats() }()
 
-	var deadline time.Time
-	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
+	// The legacy TimeLimit option becomes a context deadline, so the DP
+	// fills' cooperative checks honor it mid-fill.
+	ctx, cancelTL := cancel.WithTimeout(ctx, opts.TimeLimit)
+	defer cancelTL()
+
+	// degrade converts a cancellation into the graceful-fallback result:
+	// plain LPT's schedule (valid, no PTAS guarantee), the partial stats,
+	// and the structured error stamped with the progress made. Any other
+	// error passes through with no schedule.
+	degrade := func(err error) (*pcmax.Schedule, *Stats, error) {
+		var cerr *cancel.Error
+		if !errors.As(err, &cerr) {
+			return nil, nil, err
+		}
+		cerr.Iterations = stats.Iterations
+		cerr.EntriesFilled += stats.TotalEntriesFilled
+		stats.UsedLPTFallback = true
+		return listsched.LPT(in), stats, err
 	}
 
 	// attempt builds and fills the DP table for target T and reports whether
 	// the rounded long jobs fit on at most m machines. The table and split
 	// are returned for reuse when T turns out to be the final target.
 	attempt := func(T pcmax.Time) (*split, *dp.Table, bool, error) {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, nil, false, fmt.Errorf("%w (%v)", ErrTimeLimit, opts.TimeLimit)
+		if err := cancel.Check(ctx); err != nil {
+			return nil, nil, false, err
 		}
-		res, err := runAttempt(in, k, T, opts, pool)
+		res, err := runAttempt(ctx, in, k, T, opts, pool)
 		if err != nil {
 			return nil, nil, false, err
 		}
@@ -280,9 +317,9 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 		finalTable *dp.Table
 	)
 	if opts.SpeculativeProbes > 1 {
-		sp, tbl, T, err := speculativeBisection(in, k, lbT, ubT, opts, stats)
+		sp, tbl, T, err := speculativeBisection(ctx, in, k, lbT, ubT, opts, stats)
 		if err != nil {
-			return nil, nil, err
+			return degrade(err)
 		}
 		finalSplit, finalTable = sp, tbl
 		lbT = T
@@ -292,7 +329,7 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 			T := lbT + (ubT-lbT)/2
 			sp, tbl, ok, err := attempt(T)
 			if err != nil {
-				return nil, nil, err
+				return degrade(err)
 			}
 			if ok {
 				ubT = T
@@ -310,7 +347,7 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 		// feasible because every T >= OPT is.
 		sp, tbl, ok, err := attempt(T)
 		if err != nil {
-			return nil, nil, err
+			return degrade(err)
 		}
 		if !ok {
 			return nil, nil, fmt.Errorf("%w: converged T=%d is infeasible", ErrInternal, T)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -48,21 +49,21 @@ func TestKForErrors(t *testing.T) {
 
 func TestSolveRejectsBadEpsilon(t *testing.T) {
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{3}}
-	if _, _, err := Solve(in, Options{Epsilon: 0}); !errors.Is(err, ErrBadEpsilon) {
+	if _, _, err := Solve(context.Background(), in, Options{Epsilon: 0}); !errors.Is(err, ErrBadEpsilon) {
 		t.Fatalf("want ErrBadEpsilon, got %v", err)
 	}
 }
 
 func TestSolveRejectsInvalidInstance(t *testing.T) {
 	in := &pcmax.Instance{M: 0, Times: []pcmax.Time{3}}
-	if _, _, err := Solve(in, Options{Epsilon: 0.3}); err == nil {
+	if _, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3}); err == nil {
 		t.Fatal("want validation error")
 	}
 }
 
 func TestSolveEmptyInstance(t *testing.T) {
 	in := &pcmax.Instance{M: 3}
-	sched, st, err := Solve(in, Options{Epsilon: 0.3})
+	sched, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestSolveEmptyInstance(t *testing.T) {
 
 func TestSolveSingleJob(t *testing.T) {
 	in := &pcmax.Instance{M: 3, Times: []pcmax.Time{42}}
-	sched, _, err := Solve(in, Options{Epsilon: 0.3})
+	sched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +85,7 @@ func TestSolveSingleJob(t *testing.T) {
 
 func TestSolveSingleMachine(t *testing.T) {
 	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{5, 9, 3}}
-	sched, _, err := Solve(in, Options{Epsilon: 0.3})
+	sched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestSolveEqualJobsExact(t *testing.T) {
 	// 2m equal jobs: optimal is 2t, and the PTAS must find it (T = 2t is
 	// feasible, T = 2t-1 is not).
 	in := &pcmax.Instance{M: 4, Times: []pcmax.Time{9, 9, 9, 9, 9, 9, 9, 9}}
-	sched, st, err := Solve(in, Options{Epsilon: 0.3})
+	sched, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestSolveEqualJobsExact(t *testing.T) {
 
 func TestSolveMoreMachinesThanJobs(t *testing.T) {
 	in := &pcmax.Instance{M: 10, Times: []pcmax.Time{7, 5, 3}}
-	sched, _, err := Solve(in, Options{Epsilon: 0.3})
+	sched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestSolveLargeEpsilonIsPureLPT(t *testing.T) {
 		times[j] = pcmax.Time(1 + src.Int64n(50))
 	}
 	in := &pcmax.Instance{M: 4, Times: times}
-	sched, st, err := Solve(in, Options{Epsilon: 1.0})
+	sched, st, err := Solve(context.Background(), in, Options{Epsilon: 1.0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +144,7 @@ func TestSolveLargeEpsilonIsPureLPT(t *testing.T) {
 
 func TestStatsSanity(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 4})
-	_, st, err := Solve(in, Options{Epsilon: 0.3})
+	_, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFinalTNeverBelowOptimum(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(30))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		_, st, err := Solve(in, Options{Epsilon: 0.3})
+		_, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func TestShortRuleLSStillWithinGuarantee(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(40))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, _, err := Solve(in, Options{Epsilon: 0.3, ShortRule: ShortLS})
+		sched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, ShortRule: ShortLS})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,11 +235,11 @@ func TestShortRuleLPTNeverWorseThanLSHere(t *testing.T) {
 	for _, fam := range workload.SpeedupFamilies {
 		for rep := 0; rep < 5; rep++ {
 			in := workload.MustGenerate(workload.Spec{Family: fam, M: 6, N: 40, Seed: uint64(100 + rep)})
-			a, _, err := Solve(in, Options{Epsilon: 0.3, ShortRule: ShortLPT})
+			a, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, ShortRule: ShortLPT})
 			if err != nil {
 				t.Fatal(err)
 			}
-			b, _, err := Solve(in, Options{Epsilon: 0.3, ShortRule: ShortLS})
+			b, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, ShortRule: ShortLS})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -253,7 +254,7 @@ func TestShortRuleLPTNeverWorseThanLSHere(t *testing.T) {
 
 func TestPaperFaithfulVariantsIdenticalMakespan(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 50, Seed: 21})
-	ref, _, err := Solve(in, Options{Epsilon: 0.3})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -267,7 +268,7 @@ func TestPaperFaithfulVariantsIdenticalMakespan(t *testing.T) {
 		{Epsilon: 0.3, Workers: 5, Strategy: par.Dynamic},
 	}
 	for i, opts := range variants {
-		got, _, err := Solve(in, opts)
+		got, _, err := Solve(context.Background(), in, opts)
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
@@ -281,12 +282,12 @@ func TestExternalPoolReuse(t *testing.T) {
 	pool := par.NewPool(4)
 	defer pool.Close()
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 6, N: 40, Seed: 3})
-	ref, _, err := Solve(in, Options{Epsilon: 0.3})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 3; i++ {
-		got, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 4, Pool: pool})
+		got, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, Pool: pool})
 		if err != nil {
 			t.Fatalf("reuse %d: %v", i, err)
 		}
@@ -299,7 +300,7 @@ func TestExternalPoolReuse(t *testing.T) {
 func TestTableBudgetError(t *testing.T) {
 	// A tiny entry budget must surface dp.ErrTableTooLarge through Solve.
 	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 20, N: 41, Seed: 1})
-	_, _, err := Solve(in, Options{Epsilon: 0.3, MaxTableEntries: 4})
+	_, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, MaxTableEntries: 4})
 	if !errors.Is(err, dp.ErrTableTooLarge) {
 		t.Fatalf("want ErrTableTooLarge, got %v", err)
 	}
@@ -308,7 +309,7 @@ func TestTableBudgetError(t *testing.T) {
 func TestProfileCollection(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 9})
 	profile := &simsched.Profile{}
-	_, st, err := Solve(in, Options{Epsilon: 0.3, Profile: profile})
+	_, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Profile: profile})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,7 +347,7 @@ func TestGuaranteeAcrossEpsilonsProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, _, err := Solve(in, Options{Epsilon: eps})
+		sched, _, err := Solve(context.Background(), in, Options{Epsilon: eps})
 		if err != nil || sched.Validate(in) != nil {
 			return false
 		}
@@ -452,16 +453,16 @@ func TestOptionStringsAndDefaults(t *testing.T) {
 func TestTimeLimit(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 2})
 	// A zero-duration-ish limit must trip before the first probe.
-	_, _, err := Solve(in, Options{Epsilon: 0.3, TimeLimit: time.Nanosecond})
+	_, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, TimeLimit: time.Nanosecond})
 	if !errors.Is(err, ErrTimeLimit) {
 		t.Fatalf("want ErrTimeLimit, got %v", err)
 	}
 	// A generous limit must not interfere.
-	if _, _, err := Solve(in, Options{Epsilon: 0.3, TimeLimit: time.Minute}); err != nil {
+	if _, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, TimeLimit: time.Minute}); err != nil {
 		t.Fatalf("generous limit failed: %v", err)
 	}
 	// Speculative path honours the limit too.
-	_, _, err = Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: 4, TimeLimit: time.Nanosecond})
+	_, _, err = Solve(context.Background(), in, Options{Epsilon: 0.3, SpeculativeProbes: 4, TimeLimit: time.Nanosecond})
 	if !errors.Is(err, ErrTimeLimit) {
 		t.Fatalf("speculative: want ErrTimeLimit, got %v", err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/rng"
@@ -23,7 +24,7 @@ func TestLongJobLoadBound(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(200))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, st, err := Solve(in, Options{Epsilon: 0.3})
+		sched, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,11 +58,11 @@ func TestLongJobLoadBound(t *testing.T) {
 // the pipeline (bucket order, reconstruction, heap) must be stable.
 func TestUnroundingIsDeterministic(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 31})
-	a, _, err := Solve(in, Options{Epsilon: 0.3})
+	a, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := Solve(in, Options{Epsilon: 0.3})
+	b, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestUnroundingIsDeterministic(t *testing.T) {
 // reconstruction is deterministic.
 func TestParallelUnroundingIdenticalAssignments(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 10, N: 21, Seed: 8})
-	seq, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 1})
+	seq, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 6})
+	parallel, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestParallelUnroundingIdenticalAssignments(t *testing.T) {
 // exactly OPT(N) machines and leaves the rest for short jobs.
 func TestMachinesUsedNeverExceedsNeeded(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10n, M: 10, N: 30, Seed: 3})
-	_, st, err := Solve(in, Options{Epsilon: 0.3})
+	_, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +115,11 @@ func TestMachinesUsedNeverExceedsNeeded(t *testing.T) {
 // options that use the attempt machinery differently.
 func TestSpeculativeWithPaperFaithful(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 6, N: 30, Seed: 17})
-	ref, _, err := Solve(in, Options{Epsilon: 0.3})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := Solve(in, Options{
+	got, _, err := Solve(context.Background(), in, Options{
 		Epsilon: 0.3, SpeculativeProbes: 3,
 		PerEntryConfigs: true, SeqFill: SeqRecursive,
 	})
@@ -133,11 +134,11 @@ func TestSpeculativeWithPaperFaithful(t *testing.T) {
 // TestDataflowFillThroughDriver checks the barrier-free fill end to end.
 func TestDataflowFillThroughDriver(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 10, N: 21, Seed: 23})
-	ref, _, err := Solve(in, Options{Epsilon: 0.3})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 4, Dataflow: true})
+	got, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, Dataflow: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,11 +157,11 @@ func TestAdaptiveFillIdenticalResults(t *testing.T) {
 		{Family: workload.Um_2m1, M: 20, N: 41, Seed: 3}, // large tables: stays parallel
 	} {
 		in := workload.MustGenerate(spec)
-		ref, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 4})
+		ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4})
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, _, err := Solve(in, Options{Epsilon: 0.3, Workers: 4, AdaptiveFill: true})
+		got, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, AdaptiveFill: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -182,7 +183,7 @@ func TestIntegerRoundingRegression(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 6, N: 13, Seed: 556})
 	const opt = 21 // certified by exact.Solve; pinned to keep this test self-contained
 	for _, eps := range []float64{0.5, 0.3} {
-		sched, _, err := Solve(in, Options{Epsilon: eps})
+		sched, _, err := Solve(context.Background(), in, Options{Epsilon: eps})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -22,13 +23,13 @@ func TestSmokePaperScale(t *testing.T) {
 		t.Run(fam.String(), func(t *testing.T) {
 			in := workload.MustGenerate(workload.Spec{Family: fam, M: 20, N: 100, Seed: 42})
 			t0 := time.Now()
-			seq, st, err := Solve(in, Options{Epsilon: 0.3, Workers: 1})
+			seq, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 1})
 			if err != nil {
 				t.Fatalf("sequential: %v", err)
 			}
 			seqDur := time.Since(t0)
 			t0 = time.Now()
-			parSched, _, err := Solve(in, Options{Epsilon: 0.3, Workers: runtime.GOMAXPROCS(0)})
+			parSched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: runtime.GOMAXPROCS(0)})
 			if err != nil {
 				t.Fatalf("parallel: %v", err)
 			}
@@ -36,7 +37,7 @@ func TestSmokePaperScale(t *testing.T) {
 			if seq.Makespan(in) != parSched.Makespan(in) {
 				t.Fatalf("parallel makespan %d != sequential %d", parSched.Makespan(in), seq.Makespan(in))
 			}
-			_, res, err := exact.Solve(in, exact.Options{TimeLimit: 30 * time.Second})
+			_, res, err := exact.Solve(context.Background(), in, exact.Options{TimeLimit: 30 * time.Second})
 			if err != nil {
 				t.Fatalf("exact: %v", err)
 			}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/exact"
@@ -28,7 +29,7 @@ func TestSmokePTASAgainstBruteForce(t *testing.T) {
 		}
 		opt := optSched.Makespan(in)
 		for _, eps := range []float64{0.1, 0.3, 0.5, 1.0} {
-			seq, _, err := Solve(in, Options{Epsilon: eps, Workers: 1})
+			seq, _, err := Solve(context.Background(), in, Options{Epsilon: eps, Workers: 1})
 			if err != nil {
 				t.Fatalf("trial %d eps=%v: sequential solve: %v", trial, eps, err)
 			}
@@ -40,7 +41,7 @@ func TestSmokePTASAgainstBruteForce(t *testing.T) {
 				t.Fatalf("trial %d eps=%v m=%d times=%v: makespan %d > (1+eps)*opt (opt=%d)",
 					trial, eps, m, times, ms, opt)
 			}
-			parSched, _, err := Solve(in, Options{Epsilon: eps, Workers: 4})
+			parSched, _, err := Solve(context.Background(), in, Options{Epsilon: eps, Workers: 4})
 			if err != nil {
 				t.Fatalf("trial %d eps=%v: parallel solve: %v", trial, eps, err)
 			}

@@ -1,11 +1,12 @@
 package core
 
 import (
-	"fmt"
+	"context"
 	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/dp"
 	"repro/internal/par"
 	"repro/pcmax"
@@ -51,8 +52,10 @@ type attemptResult struct {
 // runAttempt builds and fills the DP table for target T. With a non-nil
 // pool the fill runs on the pool's workers (the paper's Parallel DP);
 // otherwise it runs sequentially per opts.SeqFill. It touches no shared
-// state, so concurrent calls with pool == nil are safe.
-func runAttempt(in *pcmax.Instance, k int, T pcmax.Time, opts Options, pool *par.Pool) (attemptResult, error) {
+// state, so concurrent calls with pool == nil are safe. The fill honors
+// ctx cooperatively: a mid-fill cancellation surfaces as the structured
+// cancel error within the fills' check granularity.
+func runAttempt(ctx context.Context, in *pcmax.Instance, k int, T pcmax.Time, opts Options, pool *par.Pool) (attemptResult, error) {
 	sp, err := newSplit(in, k, T)
 	if err != nil {
 		return attemptResult{}, err
@@ -72,18 +75,21 @@ func runAttempt(in *pcmax.Instance, k int, T pcmax.Time, opts Options, pool *par
 	t0 := time.Now()
 	switch {
 	case useParallel && opts.Dataflow:
-		tbl.FillDataflow(pool.Workers())
+		err = tbl.FillDataflowCtx(ctx, pool.Workers())
 	case useParallel:
-		tbl.FillParallel(pool, opts.LevelMode, opts.Strategy)
+		err = tbl.FillParallelCtx(ctx, pool, opts.LevelMode, opts.Strategy)
 	default:
 		switch opts.SeqFill {
 		case SeqRecursive:
-			tbl.FillRecursive()
+			err = tbl.FillRecursiveCtx(ctx)
 		default:
-			tbl.FillSequential()
+			err = tbl.FillSequentialCtx(ctx)
 		}
 	}
 	fill := time.Since(t0)
+	if err != nil {
+		return attemptResult{fill: fill}, err
+	}
 	opt, err := tbl.OptValue()
 	if err != nil {
 		return attemptResult{}, err
@@ -95,19 +101,15 @@ func runAttempt(in *pcmax.Instance, k int, T pcmax.Time, opts Options, pool *par
 // concurrent probes per round and returns the final split/table at the
 // converged target (which it also returns). The caller re-attempts the
 // converged T itself when the returned split does not match.
-func speculativeBisection(in *pcmax.Instance, k int, lbT, ubT pcmax.Time, opts Options, stats *Stats) (*split, *dp.Table, pcmax.Time, error) {
+func speculativeBisection(ctx context.Context, in *pcmax.Instance, k int, lbT, ubT pcmax.Time, opts Options, stats *Stats) (*split, *dp.Table, pcmax.Time, error) {
 	probes := opts.SpeculativeProbes
-	var deadline time.Time
-	if opts.TimeLimit > 0 {
-		deadline = time.Now().Add(opts.TimeLimit)
-	}
 	var (
 		finalSplit *split
 		finalTable *dp.Table
 	)
 	for lbT < ubT {
-		if !deadline.IsZero() && time.Now().After(deadline) {
-			return nil, nil, 0, fmt.Errorf("%w (%v)", ErrTimeLimit, opts.TimeLimit)
+		if err := cancel.Check(ctx); err != nil {
+			return nil, nil, 0, err
 		}
 		stats.Iterations++
 		targets := probeTargets(lbT, ubT, probes)
@@ -118,7 +120,7 @@ func speculativeBisection(in *pcmax.Instance, k int, lbT, ubT pcmax.Time, opts O
 		for i, T := range targets {
 			go func(i int, T pcmax.Time) {
 				defer wg.Done()
-				results[i], errs[i] = runAttempt(in, k, T, opts, nil)
+				results[i], errs[i] = runAttempt(ctx, in, k, T, opts, nil)
 			}(i, T)
 		}
 		wg.Wait()

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -13,12 +14,12 @@ import (
 func TestSpeculativeMatchesSequentialOnPaperFamilies(t *testing.T) {
 	for _, fam := range workload.SpeedupFamilies {
 		in := workload.MustGenerate(workload.Spec{Family: fam, M: 10, N: 50, Seed: 19})
-		ref, refStats, err := Solve(in, Options{Epsilon: 0.3})
+		ref, refStats, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
 		}
 		for _, probes := range []int{2, 4, 8} {
-			got, st, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
+			got, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
 			if err != nil {
 				t.Fatalf("%v probes=%d: %v", fam, probes, err)
 			}
@@ -37,11 +38,11 @@ func TestSpeculativeFewerRounds(t *testing.T) {
 	// With a wide [LB, UB] interval, 8 probes should cut rounds roughly to
 	// log_9 instead of log_2.
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10n, M: 10, N: 50, Seed: 5})
-	_, seq, err := Solve(in, Options{Epsilon: 0.3})
+	_, seq, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, spec, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: 8})
+	_, spec, err := Solve(context.Background(), in, Options{Epsilon: 0.3, SpeculativeProbes: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestSpeculativeGuaranteeProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, _, err := Solve(in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
+		sched, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3, SpeculativeProbes: probes})
 		if err != nil || sched.Validate(in) != nil {
 			return false
 		}

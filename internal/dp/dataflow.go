@@ -1,9 +1,11 @@
 package dp
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cancel"
 	"repro/internal/conf"
 )
 
@@ -18,17 +20,34 @@ import (
 // n' barriers and tolerates imbalanced levels, but pays one extra pass of
 // configuration filtering to initialize the in-degrees and a queue
 // operation per entry. BenchmarkAblationDataflow quantifies the exchange;
-// results are bit-identical to every other fill.
+// results are bit-identical to every other fill. It is the uninterruptible
+// shim over FillDataflowCtx.
 func (t *Table) FillDataflow(workers int) {
+	_ = t.FillDataflowCtx(context.Background(), workers)
+}
+
+// FillDataflowCtx is FillDataflow with cooperative cancellation. Workers
+// select on ctx.Done() alongside the ready queue and additionally poll it
+// every cancelDataflowEvery processed entries, so an abort both wakes idle
+// workers and interrupts busy ones; the in-degree initialization pass checks
+// once per chunk. Every goroutine exits before the call returns (the ready
+// channel is buffered to Sigma, so in-flight sends never block a stopping
+// worker), the table is left unfilled and the structured cancel error is
+// returned.
+func (t *Table) FillDataflowCtx(ctx context.Context, workers int) error {
 	if workers < 1 {
 		workers = 1
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return err
 	}
 	if t.Sigma == 1 {
 		t.Opt[0] = 0
 		t.filled = true
-		return
+		return nil
 	}
 	d := len(t.Stride)
+	done := ctxDone(ctx)
 
 	// In-degree of entry v = |C_v| = number of configurations fitting v.
 	// Children of v are the entries v+s for configurations s with
@@ -37,6 +56,7 @@ func (t *Table) FillDataflow(workers int) {
 	// an odometer across each worker's contiguous range.
 	indeg := make([]int32, t.Sigma)
 	{
+		var stop atomic.Bool
 		var wg sync.WaitGroup
 		wg.Add(workers)
 		chunk := (t.Sigma + int64(workers) - 1) / int64(workers)
@@ -53,7 +73,22 @@ func (t *Table) FillDataflow(workers int) {
 				v := make([]int32, d)
 				t.digits(lo, v)
 				lvl := sumDigits(v)
+				budget := int64(fillCheckEvery)
 				for idx := lo; idx < hi; idx++ {
+					if done != nil {
+						if budget--; budget <= 0 {
+							select {
+							case <-done:
+								stop.Store(true)
+								return
+							default:
+							}
+							budget = fillCheckEvery
+						}
+						if stop.Load() {
+							return
+						}
+					}
 					var deg int32
 					bound := int(t.set.Bounds.Upto(lvl))
 					for ci := 0; ci < bound; ci++ {
@@ -67,10 +102,14 @@ func (t *Table) FillDataflow(workers int) {
 			}(int64(w) * chunk)
 		}
 		wg.Wait()
+		if err := cancel.Check(ctx); err != nil {
+			return err
+		}
 	}
 
 	ready := make(chan int64, t.Sigma)
 	var processed atomic.Int64
+	var interrupted atomic.Bool
 	t.Opt[0] = 0
 	// Seed: children of the zero entry whose only dependency is entry 0,
 	// plus any entry whose whole configuration set is {singleton} resolved
@@ -87,7 +126,38 @@ func (t *Table) FillDataflow(workers int) {
 			for i := range limit {
 				limit[i] = int32(t.Counts[i])
 			}
-			for idx := range ready {
+			var handled uint32
+			for {
+				var idx int64
+				var ok bool
+				if done != nil {
+					select {
+					case <-done:
+						interrupted.Store(true)
+						return
+					case idx, ok = <-ready:
+					}
+				} else {
+					idx, ok = <-ready
+				}
+				if !ok {
+					return
+				}
+				if interrupted.Load() {
+					// Another worker observed the cancellation; stop without
+					// resolving children so the remaining queue drains fast.
+					return
+				}
+				if done != nil {
+					if handled++; handled%cancelDataflowEvery == 0 {
+						select {
+						case <-done:
+							interrupted.Store(true)
+							return
+						default:
+						}
+					}
+				}
 				if idx != 0 {
 					t.digits(idx, v)
 					t.computeEntry(idx, v, sumDigits(v))
@@ -120,5 +190,20 @@ func (t *Table) FillDataflow(workers int) {
 	}
 	ready <- 0
 	wg.Wait()
+	if interrupted.Load() {
+		err := cancel.From(ctx)
+		err.EntriesFilled = processed.Load()
+		return err
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return err
+	}
 	t.filled = true
+	return nil
 }
+
+// cancelDataflowEvery is the per-worker poll granularity of the dataflow
+// fill's busy loop. Dataflow entries are heavier than the sequential sweep's
+// (each pays a digit decode and a children scan), so the budget is smaller
+// than fillCheckEvery for a comparable abort latency.
+const cancelDataflowEvery = 1024

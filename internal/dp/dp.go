@@ -48,10 +48,12 @@
 package dp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
+	"repro/internal/cancel"
 	"repro/internal/conf"
 	"repro/internal/par"
 	"repro/pcmax"
@@ -142,6 +144,16 @@ type Table struct {
 	// cache, when non-nil, memoizes configuration sets and level-bucket
 	// indexes across tables (bisection probes repeat both).
 	cache *Cache
+
+	// Cooperative-cancellation state of an in-flight FillRecursiveCtx:
+	// solveRec polls recDone every fillCheckEvery visits (recBudget is the
+	// countdown) and records the abort in fillErr so the recursion unwinds
+	// without touching every frame; recEntries counts memoized entries for
+	// the partial-progress stats. All four are scoped to one fill call.
+	recDone    <-chan struct{}
+	recBudget  int64
+	recEntries int64
+	fillErr    error
 
 	filled bool
 }
@@ -393,16 +405,43 @@ func (t *Table) computeEntryPerEnum(idx int64, v []int32) {
 	t.Opt[idx] = best + 1
 }
 
-// FillSequential computes every entry bottom-up. The default path runs the
-// configuration-outer relaxation sweep (fillConfigOuter); LegacyFill and
-// PerEntryEnum keep the entry-ordered recurrence sweep, where the digit
-// vector and its level ride an odometer increment so no entry pays a
-// division decode.
-func (t *Table) FillSequential() {
-	if !t.LegacyFill && !t.PerEntryEnum {
-		t.fillConfigOuter()
-		return
+// fillCheckEvery is the cooperative-cancellation granularity of the
+// sequential fill paths: the structured cancellation error lands within this
+// many entry relaxations of the context dying, so a mid-fill abort costs
+// microseconds, not the rest of the fill. It is amortized over a countdown
+// counter — contexts that can never be canceled (nil Done channel) skip the
+// checks entirely, keeping the uninterruptible shims overhead-free.
+const fillCheckEvery = 1 << 15
+
+// ctxDone returns the context's done channel, or nil when the context can
+// never be canceled (Background, TODO, nil), which disables the amortized
+// checks on the hot paths.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
 	}
+	return ctx.Done()
+}
+
+// FillSequential computes every entry bottom-up with no cancellation point;
+// it is the uninterruptible shim over FillSequentialCtx kept for callers
+// (benchmarks, ablations) that have no deadline to honor.
+func (t *Table) FillSequential() { _ = t.FillSequentialCtx(context.Background()) }
+
+// FillSequentialCtx computes every entry bottom-up, checking ctx every
+// fillCheckEvery entries. The default path runs the configuration-outer
+// relaxation sweep (fillConfigOuter); LegacyFill and PerEntryEnum keep the
+// entry-ordered recurrence sweep, where the digit vector and its level ride
+// an odometer increment so no entry pays a division decode. On cancellation
+// the table is left unfilled (Opt holds partial garbage) and the structured
+// cancel error is returned; an uncanceled fill returns nil and produces a
+// table bit-identical to every other fill variant.
+func (t *Table) FillSequentialCtx(ctx context.Context) error {
+	if !t.LegacyFill && !t.PerEntryEnum {
+		return t.fillConfigOuter(ctx)
+	}
+	done := ctxDone(ctx)
+	budget := int64(fillCheckEvery)
 	t.Opt[0] = 0
 	d := len(t.Stride)
 	v := make([]int32, d)
@@ -420,8 +459,21 @@ func (t *Table) FillSequential() {
 			v[i] = 0
 		}
 		t.computeEntry(idx, v, level)
+		if done != nil {
+			if budget--; budget <= 0 {
+				select {
+				case <-done:
+					err := cancel.From(ctx)
+					err.EntriesFilled = idx
+					return err
+				default:
+				}
+				budget = fillCheckEvery
+			}
+		}
 	}
 	t.filled = true
+	return nil
 }
 
 // fillHuge is the transient "not yet reached" value of the config-outer
@@ -442,7 +494,7 @@ const fillHuge = int32(1) << 30
 // distances of the recurrence, so the table is bit-identical to the
 // entry-ordered sweep — but no entry ever pays a fits check or an index
 // decode, and the passes are pure strided array traffic.
-func (t *Table) fillConfigOuter() {
+func (t *Table) fillConfigOuter(ctx context.Context) error {
 	opt := t.Opt
 	for i := range opt {
 		opt[i] = fillHuge
@@ -452,6 +504,9 @@ func (t *Table) fillConfigOuter() {
 	d := s.D
 	w := make([]int32, d)   // odometer over the sub-lattice, w = v - c
 	lim := make([]int32, d) // per-dimension odometer limits, Counts[j] - c_j
+	done := ctxDone(ctx)
+	budget := int64(fillCheckEvery)
+	var relaxed int64
 	for ci := 0; ci < s.N; ci++ {
 		row := s.Counts[ci*d : ci*d+d]
 		for j, c := range row {
@@ -460,9 +515,44 @@ func (t *Table) fillConfigOuter() {
 		}
 		off := s.Offsets[ci]
 		idx := off
+		if done == nil {
+			// Uninterruptible hot path: identical to the instrumented loop
+			// below minus the amortized countdown, so callers without a
+			// cancelable context pay nothing for the plumbing.
+			for {
+				if o := opt[idx-off] + 1; o < opt[idx] {
+					opt[idx] = o
+				}
+				j := d - 1
+				for ; j >= 0; j-- {
+					if w[j] < lim[j] {
+						w[j]++
+						idx += t.Stride[j]
+						break
+					}
+					idx -= int64(w[j]) * t.Stride[j]
+					w[j] = 0
+				}
+				if j < 0 {
+					break
+				}
+			}
+			continue
+		}
 		for {
 			if o := opt[idx-off] + 1; o < opt[idx] {
 				opt[idx] = o
+			}
+			if budget--; budget <= 0 {
+				select {
+				case <-done:
+					err := cancel.From(ctx)
+					err.EntriesFilled = relaxed
+					return err
+				default:
+				}
+				relaxed += fillCheckEvery
+				budget = fillCheckEvery
 			}
 			j := d - 1
 			for ; j >= 0; j-- {
@@ -480,26 +570,62 @@ func (t *Table) fillConfigOuter() {
 		}
 	}
 	t.filled = true
+	return nil
 }
 
 // FillRecursive computes the table top-down with memoization, starting from
 // the last entry, exactly as the paper describes the sequential Algorithm 2.
 // Only entries reachable from N by configuration subtractions are computed;
 // unreachable entries keep an internal "unset" marker that OptValue and
-// Reconstruct never observe.
-func (t *Table) FillRecursive() {
+// Reconstruct never observe. It is the uninterruptible shim over
+// FillRecursiveCtx.
+func (t *Table) FillRecursive() { _ = t.FillRecursiveCtx(context.Background()) }
+
+// FillRecursiveCtx is FillRecursive with cooperative cancellation: the
+// memoized recursion polls ctx every fillCheckEvery entries, and on
+// cancellation unwinds immediately, leaves the table unfilled (memoized
+// values are partial garbage) and returns the structured cancel error.
+func (t *Table) FillRecursiveCtx(ctx context.Context) error {
 	for i := range t.Opt {
 		t.Opt[i] = unset
 	}
 	t.Opt[0] = 0
+	t.recDone = ctxDone(ctx)
+	t.recBudget = fillCheckEvery
+	t.recEntries = 0
+	t.fillErr = nil
 	t.solveRec(t.Sigma - 1)
+	interrupted := t.fillErr != nil
+	entries := t.recEntries
+	t.recDone, t.fillErr = nil, nil
+	if interrupted {
+		err := cancel.From(ctx)
+		err.EntriesFilled = entries
+		return err
+	}
 	t.filled = true
+	return nil
 }
 
 func (t *Table) solveRec(idx int64) int32 {
+	if t.fillErr != nil {
+		return 0
+	}
+	if t.recDone != nil {
+		if t.recBudget--; t.recBudget <= 0 {
+			select {
+			case <-t.recDone:
+				t.fillErr = cancel.ErrCanceled
+				return 0
+			default:
+			}
+			t.recBudget = fillCheckEvery
+		}
+	}
 	if t.Opt[idx] != unset {
 		return t.Opt[idx]
 	}
+	t.recEntries++
 	v := t.digits(idx, make([]int32, len(t.Stride)))
 	best := int32(math.MaxInt32)
 	switch {
@@ -616,12 +742,26 @@ func (t *Table) buildLevelIndex(pool *par.Pool, strategy par.Strategy) *levelInd
 
 // FillParallel computes the table with the paper's Parallel DP (Algorithm 3)
 // on the given worker pool: level d_i = l entries in parallel, levels in
-// sequence. The pool may be reused across calls and bisection iterations.
+// sequence. The pool may be reused across calls and bisection iterations. It
+// is the uninterruptible shim over FillParallelCtx.
 func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strategy) {
+	_ = t.FillParallelCtx(context.Background(), pool, mode, strategy)
+}
+
+// FillParallelCtx is FillParallel with cooperative cancellation: ctx is
+// checked between anti-diagonal levels and, through the pool's ForWorkerCtx,
+// every cancelCheckEvery entries inside each level, so an abort lands within
+// one level's residual work. Workers stop claiming entries, the level barrier
+// still completes (no leaked goroutines, the pool stays reusable) and the
+// structured cancel error is returned with the table left unfilled.
+func (t *Table) FillParallelCtx(ctx context.Context, pool *par.Pool, mode LevelMode, strategy par.Strategy) error {
 	if t.Sigma == 1 {
+		if err := cancel.Check(ctx); err != nil {
+			return err
+		}
 		t.Opt[0] = 0
 		t.filled = true
-		return
+		return nil
 	}
 	decs := newDecoders(t, pool.Workers())
 
@@ -636,18 +776,24 @@ func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strate
 			for w := range decs {
 				decs[w].reset()
 			}
-			pool.ForWorker(int(t.Sigma), strategy, 0, func(w, i int) {
+			err := pool.ForWorkerCtx(ctx, int(t.Sigma), strategy, 0, func(w, i int) {
 				if levels[i] != l {
 					return
 				}
 				idx := int64(i)
 				t.computeEntry(idx, decs[w].at(idx), l)
 			})
+			if err != nil {
+				return err
+			}
 		}
 	case LevelBuckets:
 		// Counting sort of entries by level (reused from the cache when the
 		// same counts vector was bucketed before), then each level processes
 		// only its own entries.
+		if err := cancel.Check(ctx); err != nil {
+			return err
+		}
 		var li *levelIndex
 		if t.cache != nil && !t.LegacyFill {
 			li = t.cache.levelIndexFor(t.Counts, func() *levelIndex {
@@ -662,15 +808,19 @@ func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strate
 				decs[w].reset()
 			}
 			lvl := int32(l)
-			pool.ForWorker(len(bucket), strategy, 0, func(w, j int) {
+			err := pool.ForWorkerCtx(ctx, len(bucket), strategy, 0, func(w, j int) {
 				idx := bucket[j]
 				t.computeEntry(idx, decs[w].at(idx), lvl)
 			})
+			if err != nil {
+				return err
+			}
 		}
 	default:
 		panic(fmt.Sprintf("dp: unknown level mode %d", int(mode)))
 	}
 	t.filled = true
+	return nil
 }
 
 // LevelSizes returns q_l for l = 0..sum(counts): the number of table entries

@@ -1,8 +1,9 @@
 package exact
 
 import (
-	"time"
+	"context"
 
+	"repro/internal/cancel"
 	"repro/internal/listsched"
 	"repro/pcmax"
 )
@@ -20,13 +21,15 @@ import (
 // (strongly family-dependent, occasionally exploding) reproduces the paper's
 // CPLEX observations, while Solve provides the certified optimum for
 // approximation ratios.
-func SolveAssignment(in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
+func SolveAssignment(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, Result{}, err
 	}
 	if opts.NodeLimit <= 0 {
 		opts.NodeLimit = DefaultNodeLimit
 	}
+	ctx, cancelTL := cancel.WithTimeout(ctx, opts.TimeLimit)
+	defer cancelTL()
 	res := Result{LowerBound: in.LowerBound()} // the LP relaxation bound
 	if in.N() == 0 {
 		res.Optimal = true
@@ -45,8 +48,8 @@ func SolveAssignment(in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result,
 	for p, j := range s.order {
 		s.times[p] = in.Times[j]
 	}
-	if opts.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opts.TimeLimit)
+	if ctx != nil {
+		s.done = ctx.Done()
 	}
 
 	// Incumbent: the root heuristic (LPT), like a MIP solver's first
@@ -78,7 +81,7 @@ type assignSearcher struct {
 
 	nodes     int64
 	nodeLimit int64
-	deadline  time.Time
+	done      <-chan struct{} // context cancellation, polled every 8192 nodes
 	aborted   bool
 }
 
@@ -100,9 +103,13 @@ func (s *assignSearcher) dfs(p int, curMax pcmax.Time) {
 		s.aborted = true
 		return
 	}
-	if s.nodes&8191 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.aborted = true
-		return
+	if s.nodes&8191 == 0 && s.done != nil {
+		select {
+		case <-s.done:
+			s.aborted = true
+			return
+		default:
+		}
 	}
 	t := s.times[p]
 	for mi := 0; mi < s.in.M; mi++ {

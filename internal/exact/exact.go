@@ -25,10 +25,12 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/lb"
 	"repro/internal/listsched"
 	"repro/internal/multifit"
@@ -40,7 +42,11 @@ type Options struct {
 	// NodeLimit caps decision nodes over the whole solve; <= 0 selects
 	// DefaultNodeLimit.
 	NodeLimit int64
-	// TimeLimit caps wall-clock time; <= 0 means no limit.
+	// TimeLimit caps wall-clock time; <= 0 means no limit. It is a
+	// back-compat shim over context deadlines (the solvers install it with
+	// context.WithTimeout on the caller's ctx); new callers should pass a
+	// context with a deadline instead. Either way an expired clock stops
+	// the search and the best incumbent is returned with Optimal == false.
 	TimeLimit time.Duration
 	// DisableMultiFitIncumbent drops the MultiFit upper bound and keeps
 	// only LPT (ablation of the incumbent choice).
@@ -70,13 +76,21 @@ var ErrLimit = errors.New("exact: search limit reached before optimality was pro
 
 // Solve returns an optimal schedule for the instance (or the best incumbent
 // with Result.Optimal == false when limits interrupt the proof).
-func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
+//
+// Cancellation mirrors a MIP solver's time limit: when ctx dies mid-search
+// the best incumbent is returned with Optimal == false and a nil error — a
+// valid schedule, just without the optimality proof. Callers who need the
+// interruption surfaced as an error should test ctx after the call (the
+// solver registry does exactly that).
+func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, Result{}, err
 	}
 	if opts.NodeLimit <= 0 {
 		opts.NodeLimit = DefaultNodeLimit
 	}
+	ctx, cancelTL := cancel.WithTimeout(ctx, opts.TimeLimit)
+	defer cancelTL()
 	n := in.N()
 	res := Result{LowerBound: lb.Best(in)}
 	if n == 0 {
@@ -87,7 +101,7 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
 	// Incumbent: the better of LPT and MultiFit.
 	best := listsched.LPT(in)
 	if !opts.DisableMultiFitIncumbent {
-		if mf, err := multifit.Solve(in); err == nil && mf.Makespan(in) < best.Makespan(in) {
+		if mf, err := multifit.Solve(ctx, in); err == nil && mf.Makespan(in) < best.Makespan(in) {
 			best = mf
 		}
 	}
@@ -97,7 +111,7 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, Result, error) {
 		return best, res, nil
 	}
 
-	s := newSearcher(in, opts)
+	s := newSearcher(ctx, in, opts)
 	lo, hi := res.LowerBound, res.Makespan
 	// Invariant: a schedule with makespan hi is known (best); lo <= OPT.
 	for lo < hi {
@@ -135,11 +149,11 @@ type searcher struct {
 
 	nodes     int64
 	nodeLimit int64
-	deadline  time.Time
+	done      <-chan struct{} // context cancellation, polled by tick
 	aborted   bool
 }
 
-func newSearcher(in *pcmax.Instance, opts Options) *searcher {
+func newSearcher(ctx context.Context, in *pcmax.Instance, opts Options) *searcher {
 	order := in.SortedIndex()
 	times := make([]pcmax.Time, len(order))
 	for p, j := range order {
@@ -155,8 +169,8 @@ func newSearcher(in *pcmax.Instance, opts Options) *searcher {
 		m:         in.M,
 		nodeLimit: opts.NodeLimit,
 	}
-	if opts.TimeLimit > 0 {
-		s.deadline = time.Now().Add(opts.TimeLimit)
+	if ctx != nil {
+		s.done = ctx.Done()
 	}
 	return s
 }
@@ -179,14 +193,20 @@ func (s *searcher) feasible(c pcmax.Time) bool {
 	return s.packBin(0, s.total)
 }
 
-// tick counts a node and applies the limits. It reports whether the search
-// must abort.
+// tick counts a node and applies the limits: the node budget on every call
+// and the context every 8192 nodes (a non-blocking poll of Done, cheap
+// enough to keep the abort latency in the microseconds at B&B node rates).
+// It reports whether the search must abort.
 func (s *searcher) tick() bool {
 	s.nodes++
 	if s.nodes > s.nodeLimit {
 		s.aborted = true
-	} else if s.nodes&8191 == 0 && !s.deadline.IsZero() && time.Now().After(s.deadline) {
-		s.aborted = true
+	} else if s.nodes&8191 == 0 && s.done != nil {
+		select {
+		case <-s.done:
+			s.aborted = true
+		default:
+		}
 	}
 	return s.aborted
 }

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -26,7 +27,7 @@ func TestSolveKnownInstances(t *testing.T) {
 	}
 	for i, c := range cases {
 		in := &pcmax.Instance{M: c.m, Times: c.times}
-		sched, res, err := Solve(in, Options{})
+		sched, res, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("case %d: %v", i, err)
 		}
@@ -48,7 +49,7 @@ func TestSolveAdversarialFamilyOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, res, err := Solve(in, Options{})
+		_, res, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -60,7 +61,7 @@ func TestSolveAdversarialFamilyOptimum(t *testing.T) {
 
 func TestSolveEmptyInstance(t *testing.T) {
 	in := &pcmax.Instance{M: 4}
-	sched, res, err := Solve(in, Options{})
+	sched, res, err := Solve(context.Background(), in, Options{})
 	if err != nil || !res.Optimal || res.Makespan != 0 {
 		t.Fatalf("empty: %v %+v", err, res)
 	}
@@ -71,7 +72,7 @@ func TestSolveEmptyInstance(t *testing.T) {
 
 func TestSolveMoreMachinesThanJobs(t *testing.T) {
 	in := &pcmax.Instance{M: 9, Times: []pcmax.Time{4, 7}}
-	_, res, err := Solve(in, Options{})
+	_, res, err := Solve(context.Background(), in, Options{})
 	if err != nil || !res.Optimal || res.Makespan != 7 {
 		t.Fatalf("got %+v, %v", res, err)
 	}
@@ -82,7 +83,7 @@ func TestSolveNodeLimitReturnsIncumbent(t *testing.T) {
 	// MultiFit) must come back, flagged non-optimal unless the bounds
 	// already closed the gap.
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10n, M: 5, N: 25, Seed: 8})
-	sched, res, err := Solve(in, Options{NodeLimit: 1})
+	sched, res, err := Solve(context.Background(), in, Options{NodeLimit: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestSolveNodeLimitReturnsIncumbent(t *testing.T) {
 func TestSolveTimeLimit(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U95_105, M: 10, N: 37, Seed: 3})
 	start := time.Now()
-	_, _, err := Solve(in, Options{TimeLimit: 50 * time.Millisecond})
+	_, _, err := Solve(context.Background(), in, Options{TimeLimit: 50 * time.Millisecond})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestSolveResultAtLeastLowerBoundProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(100))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, res, err := Solve(in, Options{})
+		sched, res, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			return false
 		}
@@ -185,7 +186,7 @@ func TestSolveAgreesWithTwoMachineDP(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(200))
 		}
 		in := &pcmax.Instance{M: 2, Times: times}
-		_, res, err := Solve(in, Options{})
+		_, res, err := Solve(context.Background(), in, Options{})
 		if err != nil || !res.Optimal {
 			t.Fatalf("trial %d: %v optimal=%v", trial, err, res.Optimal)
 		}
@@ -209,11 +210,11 @@ func TestAssignmentSolverMatchesBinCompletionProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		a, ra, err := Solve(in, Options{})
+		a, ra, err := Solve(context.Background(), in, Options{})
 		if err != nil || !ra.Optimal {
 			return false
 		}
-		b, rb, err := SolveAssignment(in, Options{})
+		b, rb, err := SolveAssignment(context.Background(), in, Options{})
 		if err != nil || !rb.Optimal {
 			return false
 		}
@@ -227,7 +228,7 @@ func TestAssignmentSolverMatchesBinCompletionProperty(t *testing.T) {
 
 func TestAssignmentSolverLimits(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 2})
-	sched, res, err := SolveAssignment(in, Options{NodeLimit: 100})
+	sched, res, err := SolveAssignment(context.Background(), in, Options{NodeLimit: 100})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestAssignmentSolverLimits(t *testing.T) {
 
 func TestAssignmentSolverEmpty(t *testing.T) {
 	in := &pcmax.Instance{M: 2}
-	_, res, err := SolveAssignment(in, Options{})
+	_, res, err := SolveAssignment(context.Background(), in, Options{})
 	if err != nil || !res.Optimal || res.Makespan != 0 {
 		t.Fatalf("%+v %v", res, err)
 	}
@@ -260,11 +261,11 @@ func TestDisableMultiFitIncumbentStillOptimal(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(50))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		a, ra, err := Solve(in, Options{})
+		a, ra, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, rb, err := Solve(in, Options{DisableMultiFitIncumbent: true})
+		b, rb, err := Solve(context.Background(), in, Options{DisableMultiFitIncumbent: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestPaperScaleFamiliesSolveQuickly(t *testing.T) {
 			n = 2*m + 1
 		}
 		in := workload.MustGenerate(workload.Spec{Family: fam, M: m, N: n, Seed: 77})
-		_, res, err := Solve(in, Options{TimeLimit: 20 * time.Second})
+		_, res, err := Solve(context.Background(), in, Options{TimeLimit: 20 * time.Second})
 		if err != nil {
 			t.Fatalf("%v: %v", fam, err)
 		}
@@ -299,7 +300,7 @@ func TestMTBoundClosesGapWithoutSearch(t *testing.T) {
 	// the Martello–Toth bound proves outright, so the solver must certify
 	// optimality with zero search nodes (LPT incumbent == bound).
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{6, 6, 6}}
-	sched, res, err := Solve(in, Options{})
+	sched, res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -325,7 +326,7 @@ func TestMTRefutationInsideProbe(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := Solve(in, Options{})
+	_, res, err := Solve(context.Background(), in, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

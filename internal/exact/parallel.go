@@ -1,10 +1,11 @@
 package exact
 
 import (
+	"context"
 	"sync"
 	"sync/atomic"
-	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/lb"
 	"repro/internal/listsched"
 	"repro/internal/multifit"
@@ -23,7 +24,7 @@ import (
 // The result is identical to Solve's (the same optimal makespan — though
 // possibly a different optimal schedule, since subtree completion order
 // varies); only wall-clock time changes.
-func SolveParallel(in *pcmax.Instance, opts Options, workers int) (*pcmax.Schedule, Result, error) {
+func SolveParallel(ctx context.Context, in *pcmax.Instance, opts Options, workers int) (*pcmax.Schedule, Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, Result{}, err
 	}
@@ -33,6 +34,8 @@ func SolveParallel(in *pcmax.Instance, opts Options, workers int) (*pcmax.Schedu
 	if opts.NodeLimit <= 0 {
 		opts.NodeLimit = DefaultNodeLimit
 	}
+	ctx, cancelTL := cancel.WithTimeout(ctx, opts.TimeLimit)
+	defer cancelTL()
 	res := Result{LowerBound: lb.Best(in)}
 	if in.N() == 0 {
 		res.Optimal = true
@@ -40,7 +43,7 @@ func SolveParallel(in *pcmax.Instance, opts Options, workers int) (*pcmax.Schedu
 	}
 	best := listsched.LPT(in)
 	if !opts.DisableMultiFitIncumbent {
-		if mf, err := multifit.Solve(in); err == nil && mf.Makespan(in) < best.Makespan(in) {
+		if mf, err := multifit.Solve(ctx, in); err == nil && mf.Makespan(in) < best.Makespan(in) {
 			best = mf
 		}
 	}
@@ -55,8 +58,8 @@ func SolveParallel(in *pcmax.Instance, opts Options, workers int) (*pcmax.Schedu
 		workers: workers,
 		budget:  opts.NodeLimit,
 	}
-	if opts.TimeLimit > 0 {
-		ps.deadline = time.Now().Add(opts.TimeLimit)
+	if ctx != nil {
+		ps.done = ctx.Done()
 	}
 
 	lo, hi := res.LowerBound, res.Makespan
@@ -86,7 +89,7 @@ type parSearch struct {
 
 	nodes       atomic.Int64
 	budget      int64
-	deadline    time.Time
+	done        <-chan struct{} // context cancellation, shared by all searchers
 	abortedFlag atomic.Bool
 }
 
@@ -108,7 +111,7 @@ const maxRootTasks = 4096
 func (ps *parSearch) feasible(c pcmax.Time) (*pcmax.Schedule, bool, bool) {
 	// Enumerate the first bin's maximal completions sequentially using a
 	// plain searcher. Each completion becomes an independent subtree.
-	seed := newSearcher(ps.in, Options{NodeLimit: 1 << 62})
+	seed := newSearcher(nil, ps.in, Options{NodeLimit: 1 << 62})
 	if lb.BinPackingL2(seed.times, c) > ps.in.M {
 		return nil, false, false
 	}
@@ -120,10 +123,8 @@ func (ps *parSearch) feasible(c pcmax.Time) (*pcmax.Schedule, bool, bool) {
 	}
 	if overflow || ps.in.M == 1 || len(tasks) == 1 || ps.workers == 1 {
 		// No useful split: run the plain searcher under the shared budget.
-		s := newSearcher(ps.in, Options{NodeLimit: ps.budget - ps.nodes.Load()})
-		if !ps.deadline.IsZero() {
-			s.deadline = ps.deadline
-		}
+		s := newSearcher(nil, ps.in, Options{NodeLimit: ps.budget - ps.nodes.Load()})
+		s.done = ps.done
 		ok := s.feasible(c)
 		ps.nodes.Add(s.nodes)
 		if s.aborted {
@@ -157,10 +158,8 @@ func (ps *parSearch) feasible(c pcmax.Time) (*pcmax.Schedule, bool, bool) {
 					return
 				}
 				task := tasks[ti]
-				s := newSearcher(ps.in, Options{NodeLimit: perSplit})
-				if !ps.deadline.IsZero() {
-					s.deadline = ps.deadline
-				}
+				s := newSearcher(nil, ps.in, Options{NodeLimit: perSplit})
+				s.done = ps.done
 				s.c = c
 				copy(s.used, task.used)
 				copy(s.bin, task.bin)

@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -21,11 +22,11 @@ func TestSolveParallelMatchesSequentialProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(80))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		seq, rs, err := Solve(in, Options{})
+		seq, rs, err := Solve(context.Background(), in, Options{})
 		if err != nil || !rs.Optimal {
 			return false
 		}
-		par, rp, err := SolveParallel(in, Options{}, workers)
+		par, rp, err := SolveParallel(context.Background(), in, Options{}, workers)
 		if err != nil || !rp.Optimal {
 			return false
 		}
@@ -45,7 +46,7 @@ func TestSolveParallelOnTriplets(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, res, err := SolveParallel(in, Options{TimeLimit: 30 * time.Second}, 4)
+		_, res, err := SolveParallel(context.Background(), in, Options{TimeLimit: 30 * time.Second}, 4)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,12 +58,12 @@ func TestSolveParallelOnTriplets(t *testing.T) {
 
 func TestSolveParallelEmptyAndTrivial(t *testing.T) {
 	empty := &pcmax.Instance{M: 3}
-	_, res, err := SolveParallel(empty, Options{}, 4)
+	_, res, err := SolveParallel(context.Background(), empty, Options{}, 4)
 	if err != nil || !res.Optimal || res.Makespan != 0 {
 		t.Fatalf("empty: %+v %v", res, err)
 	}
 	one := &pcmax.Instance{M: 1, Times: []pcmax.Time{5, 6}}
-	sched, res, err := SolveParallel(one, Options{}, 4)
+	sched, res, err := SolveParallel(context.Background(), one, Options{}, 4)
 	if err != nil || !res.Optimal || sched.Makespan(one) != 11 {
 		t.Fatalf("m=1: %+v %v", res, err)
 	}
@@ -70,7 +71,7 @@ func TestSolveParallelEmptyAndTrivial(t *testing.T) {
 
 func TestSolveParallelNodeBudget(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U95_105, M: 10, N: 37, Seed: 44})
-	sched, res, err := SolveParallel(in, Options{NodeLimit: 50}, 3)
+	sched, res, err := SolveParallel(context.Background(), in, Options{NodeLimit: 50}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,11 +87,11 @@ func TestSolveParallelNodeBudget(t *testing.T) {
 
 func TestSolveParallelWorkerCountClamped(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 20, Seed: 5})
-	a, ra, err := SolveParallel(in, Options{}, 0) // clamped to 1
+	a, ra, err := SolveParallel(context.Background(), in, Options{}, 0) // clamped to 1
 	if err != nil || !ra.Optimal {
 		t.Fatal(err)
 	}
-	b, rb, err := SolveParallel(in, Options{}, 16)
+	b, rb, err := SolveParallel(context.Background(), in, Options{}, 16)
 	if err != nil || !rb.Optimal {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestCollectCompletionsCoverage(t *testing.T) {
 	// maximal completions are {6,4(first)} and {6,3}; excluding both 4s and
 	// the 3 would leave the bin non-maximal, so exactly 2 tasks.
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{6, 4, 4, 3}}
-	s := newSearcher(in, Options{NodeLimit: 1 << 30})
+	s := newSearcher(nil, in, Options{NodeLimit: 1 << 30})
 	s.c = 10
 	var tasks []rootTask
 	if ok := collectFirstBinCompletions(s, &tasks); !ok {

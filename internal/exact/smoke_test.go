@@ -1,6 +1,7 @@
 package exact
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/rng"
@@ -23,7 +24,7 @@ func TestSmokeSolveAgainstBruteForce(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		sched, res, err := Solve(in, Options{})
+		sched, res, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}

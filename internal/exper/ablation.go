@@ -1,7 +1,9 @@
 package exper
 
 import (
+	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/core"
@@ -11,6 +13,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/pcmax"
+	"repro/solver"
 )
 
 // AblationRow is one measured design variant.
@@ -52,13 +55,24 @@ func (cfg Config) RunAblations() (*AblationResult, error) {
 		instances[rep] = in
 	}
 
+	// The ablation variants toggle internal core knobs (level modes, fill
+	// strategies, ...) the public registry options deliberately don't
+	// expose, so this driver calls core.Solve directly — still under the
+	// per-algorithm timeout, with timed-out cells logged and skipped.
 	solveVariant := func(group, variant string, opts core.Options) error {
 		var total float64
 		var worst pcmax.Time
 		for _, in := range instances {
+			ctx, cancel := cfg.algoCtx()
 			t0 := time.Now()
-			sched, _, err := core.Solve(in, opts)
+			sched, _, err := core.Solve(ctx, in, opts)
+			cancel()
 			if err != nil {
+				if errors.Is(err, solver.ErrCanceled) {
+					fmt.Fprintf(os.Stderr, "exper: ablation %s/%s timed out after %v; cell skipped\n",
+						group, variant, cfg.AlgoTimeout)
+					return nil
+				}
 				return fmt.Errorf("%s/%s: %w", group, variant, err)
 			}
 			total += time.Since(t0).Seconds()
@@ -124,12 +138,18 @@ func (cfg Config) RunAblations() (*AblationResult, error) {
 		}
 		var total float64
 		for _, in := range instances {
+			ctx, cancel := cfg.algoCtx()
 			t0 := time.Now()
-			if _, _, err := exact.Solve(in, exact.Options{
+			// DisableMultiFitIncumbent is likewise internal-only; the exact
+			// solver's MIP contract turns a timeout into a bounded run, so
+			// the cell stays usable.
+			_, _, err := exact.Solve(ctx, in, exact.Options{
 				NodeLimit:                cfg.ExactNodeLimit,
 				TimeLimit:                cfg.ExactTimeLimit,
 				DisableMultiFitIncumbent: disable,
-			}); err != nil {
+			})
+			cancel()
+			if err != nil {
 				return nil, err
 			}
 			total += time.Since(t0).Seconds()

@@ -1,14 +1,14 @@
 package exper
 
 import (
+	"errors"
 	"fmt"
-	"time"
 
 	"repro/internal/core"
-	"repro/internal/exact"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/pcmax"
+	"repro/solver"
 )
 
 // EpsilonPoint is one measured accuracy setting.
@@ -57,14 +57,14 @@ func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, err
 		if err != nil {
 			return nil, err
 		}
-		_, er, err := exact.Solve(in, exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit})
-		if err != nil {
+		_, exRep, err := cfg.runAlgo("exact", in, cfg.exactLimits())
+		if err != nil && !errors.Is(err, solver.ErrCanceled) {
 			return nil, err
 		}
-		if !er.Optimal {
+		if exRep.Exact == nil || !exRep.Exact.Optimal {
 			return nil, fmt.Errorf("exper: optimum not certified for rep %d; raise the exact limits", rep)
 		}
-		instances[rep] = inst{in: in, opt: er.Makespan}
+		instances[rep] = inst{in: in, opt: exRep.Exact.Makespan}
 	}
 
 	for _, eps := range grid {
@@ -74,15 +74,16 @@ func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, err
 		}
 		pt := EpsilonPoint{Epsilon: eps, K: k, WorstRatio: 1}
 		var ratios, secs, tables []float64
+		sweep := cfg
+		sweep.Epsilon = eps
 		for _, it := range instances {
-			t0 := time.Now()
-			sched, st, err := core.Solve(it.in, core.Options{Epsilon: eps, Workers: 1})
-			if err != nil {
+			sched, rep, err := sweep.runAlgo("ptas", it.in, sweep.ptasOptions(1))
+			if err != nil || rep.PTAS == nil {
 				pt.Failures++
 				continue
 			}
-			secs = append(secs, time.Since(t0).Seconds())
-			tables = append(tables, float64(st.TableEntries))
+			secs = append(secs, rep.Elapsed.Seconds())
+			tables = append(tables, float64(rep.PTAS.TableEntries))
 			r := sched.Ratio(it.in, it.opt)
 			ratios = append(ratios, r)
 			if r > pt.WorstRatio {

@@ -16,17 +16,18 @@
 package exper
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/exact"
-	"repro/internal/listsched"
 	"repro/internal/simsched"
 	"repro/internal/workload"
 	"repro/pcmax"
+	"repro/solver"
 )
 
 // Config controls a harness run.
@@ -42,6 +43,11 @@ type Config struct {
 	// ExactNodeLimit / ExactTimeLimit bound each exact solve.
 	ExactNodeLimit int64
 	ExactTimeLimit time.Duration
+	// AlgoTimeout bounds every individual algorithm invocation with a
+	// context deadline (0 = unbounded). Timed-out cells are logged to
+	// stderr and skipped or filled from the fallback/incumbent instead of
+	// aborting the whole experiment.
+	AlgoTimeout time.Duration
 	// BarrierNs sets the simulated per-level barrier (0 = library default).
 	BarrierNs float64
 	// WallClock also measures real parallel runs per core count.
@@ -80,6 +86,56 @@ func (cfg *Config) out() io.Writer {
 		return cfg.Out
 	}
 	return os.Stdout
+}
+
+// algoCtx returns the context bounding one algorithm invocation: a deadline
+// of AlgoTimeout when set, Background otherwise.
+func (cfg *Config) algoCtx() (context.Context, context.CancelFunc) {
+	if cfg.AlgoTimeout > 0 {
+		return context.WithTimeout(context.Background(), cfg.AlgoTimeout)
+	}
+	return context.Background(), func() {}
+}
+
+// runAlgo dispatches one algorithm through the solver registry under the
+// per-algorithm timeout. A timed-out cell is logged to stderr; the caller
+// still receives the fallback/incumbent schedule (when the algorithm
+// provides one) next to the ErrCanceled-matching error and decides whether
+// the cell is usable.
+func (cfg *Config) runAlgo(name string, in *pcmax.Instance, opts solver.Options) (*pcmax.Schedule, solver.Report, error) {
+	alg, err := solver.Lookup(name)
+	if err != nil {
+		return nil, solver.Report{}, err
+	}
+	ctx, cancel := cfg.algoCtx()
+	defer cancel()
+	sched, rep, err := alg.Solve(ctx, in, opts)
+	if err != nil && errors.Is(err, solver.ErrCanceled) {
+		fmt.Fprintf(os.Stderr, "exper: %s timed out after %v on m=%d n=%d\n",
+			name, cfg.AlgoTimeout, in.M, in.N())
+	}
+	return sched, rep, err
+}
+
+// exactLimits packages the exact-solver bounds as registry options.
+func (cfg *Config) exactLimits() solver.Options {
+	return solver.Options{Exact: solver.ExactOptions{
+		NodeLimit: cfg.ExactNodeLimit,
+		TimeLimit: cfg.ExactTimeLimit,
+	}}
+}
+
+// ptasOptions packages the harness's PTAS configuration for registry
+// dispatch. The LPT fallback is disabled so the measured schedule is the
+// PTAS construction itself, as in the paper's protocol (the registry default
+// would silently substitute LPT's schedule when it wins).
+func (cfg *Config) ptasOptions(workers int) solver.Options {
+	return solver.Options{PTAS: solver.PTASOptions{
+		Epsilon:       cfg.Epsilon,
+		Workers:       workers,
+		PaperFaithful: cfg.PaperFaithful,
+		NoLPTFallback: true,
+	}}
 }
 
 func (cfg *Config) validate() error {
@@ -123,10 +179,15 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	}
 
 	// Sequential PTAS with profile collection (calibrates the simulator).
+	// This is the one call that bypasses the registry: the Profile hook is
+	// an internal instrumentation knob the public options don't expose. It
+	// still runs under the per-algorithm timeout.
 	profile := &simsched.Profile{}
 	copts := core.Options{Epsilon: cfg.Epsilon, Workers: 1, Profile: profile, PerEntryConfigs: cfg.PaperFaithful}
+	ctx, cancelSeq := cfg.algoCtx()
 	t0 := time.Now()
-	seqSched, seqStats, err := core.Solve(in, copts)
+	seqSched, seqStats, err := core.Solve(ctx, in, copts)
+	cancelSeq()
 	if err != nil {
 		return nil, fmt.Errorf("sequential PTAS: %w", err)
 	}
@@ -152,17 +213,18 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	}
 
 	// Measured wall-clock parallel runs (also verifies that the parallel
-	// schedule matches the sequential one).
+	// schedule matches the sequential one). A timed-out cell is logged by
+	// runAlgo and skipped rather than failing the whole figure.
 	if cfg.WallClock {
 		for _, c := range cfg.Cores {
-			t0 = time.Now()
-			parSched, _, err := core.Solve(in, core.Options{
-				Epsilon: cfg.Epsilon, Workers: c, PerEntryConfigs: cfg.PaperFaithful,
-			})
+			parSched, parRep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(c))
 			if err != nil {
+				if errors.Is(err, solver.ErrCanceled) {
+					continue
+				}
 				return nil, fmt.Errorf("parallel PTAS (%d workers): %w", c, err)
 			}
-			m.wallSeconds[c] = time.Since(t0).Seconds()
+			m.wallSeconds[c] = parRep.Elapsed.Seconds()
 			if got, want := parSched.Makespan(in), m.ptasMakespan; got != want {
 				return nil, fmt.Errorf("parallel PTAS (%d workers) makespan %d != sequential %d", c, got, want)
 			}
@@ -170,8 +232,13 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	}
 
 	// Classical baselines.
-	m.lptMakespan = listsched.LPT(in).Makespan(in)
-	m.lsMakespan = listsched.LS(in).Makespan(in)
+	for name, dst := range map[string]*pcmax.Time{"lpt": &m.lptMakespan, "ls": &m.lsMakespan} {
+		_, rep, err := cfg.runAlgo(name, in, solver.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		*dst = rep.Makespan
+	}
 
 	if cfg.SkipIP {
 		m.optMakespan = in.LowerBound() // reported but unused without IP
@@ -179,26 +246,33 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	}
 
 	// IP baseline timing (assignment-formulation branch-and-bound, the
-	// shape the paper measured with CPLEX).
-	limits := exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit}
+	// shape the paper measured with CPLEX). A per-algorithm timeout leaves
+	// the incumbent with ipProven = false, like a MIP time limit.
+	limits := cfg.exactLimits()
 	if !cfg.SkipIPBaseline {
-		t0 = time.Now()
-		_, ipRes, err := exact.SolveAssignment(in, limits)
-		if err != nil {
+		_, ipRep, err := cfg.runAlgo("ip", in, limits)
+		if err != nil && !errors.Is(err, solver.ErrCanceled) {
 			return nil, fmt.Errorf("IP baseline: %w", err)
 		}
-		m.exactSeconds = time.Since(t0).Seconds()
-		m.ipProven = ipRes.Optimal
-		m.exactProven = ipRes.Optimal
-		m.optMakespan = ipRes.Makespan
+		if ipRep.Exact == nil {
+			return nil, fmt.Errorf("IP baseline: no result for m=%d n=%d", in.M, in.N())
+		}
+		m.exactSeconds = ipRep.Elapsed.Seconds()
+		m.ipProven = ipRep.Exact.Optimal
+		m.exactProven = ipRep.Exact.Optimal
+		m.optMakespan = ipRep.Exact.Makespan
 	}
 
 	// Certified optimum for ratios from the strong combinatorial solver
 	// (fast on all evaluation families).
-	_, res, err := exact.Solve(in, limits)
-	if err != nil {
+	_, exRep, err := cfg.runAlgo("exact", in, limits)
+	if err != nil && !errors.Is(err, solver.ErrCanceled) {
 		return nil, fmt.Errorf("exact: %w", err)
 	}
+	if exRep.Exact == nil {
+		return nil, fmt.Errorf("exact: no result for m=%d n=%d", in.M, in.N())
+	}
+	res := exRep.Exact
 	if m.optMakespan == 0 || res.Makespan < m.optMakespan || res.Optimal {
 		m.optMakespan = res.Makespan
 	}

@@ -2,11 +2,13 @@ package exper
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/workload"
+	"repro/solver"
 )
 
 // tinyConfig keeps harness tests fast: one rep, two core counts, small
@@ -199,5 +201,27 @@ func TestMeasureParallelMatchesSequential(t *testing.T) {
 	}
 	if meas.lsMakespan < meas.optMakespan || meas.lptMakespan < meas.optMakespan {
 		t.Fatal("baseline beat the optimum")
+	}
+}
+
+func TestRunAlgoTimeout(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.AlgoTimeout = time.Nanosecond // expires before the solve starts
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 16, Seed: 9})
+	sched, rep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1))
+	if !errors.Is(err, solver.ErrCanceled) {
+		t.Fatalf("error %v does not match solver.ErrCanceled", err)
+	}
+	if sched == nil {
+		t.Fatal("timed-out PTAS cell lost its fallback schedule")
+	}
+	if !rep.Interrupted {
+		t.Fatal("timed-out cell not marked interrupted")
+	}
+
+	// Without a timeout the same dispatch completes.
+	cfg.AlgoTimeout = 0
+	if _, _, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1)); err != nil {
+		t.Fatal(err)
 	}
 }

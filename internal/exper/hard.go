@@ -1,14 +1,13 @@
 package exper
 
 import (
+	"errors"
 	"fmt"
-	"time"
 
-	"repro/internal/core"
-	"repro/internal/exact"
 	"repro/internal/stats"
 	"repro/internal/workload"
 	"repro/pcmax"
+	"repro/solver"
 )
 
 // HardRow is one machine count of the hard-instance study.
@@ -43,7 +42,9 @@ func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
 		b = 400
 	}
 	res := &HardResult{B: b}
-	limits := exact.Options{NodeLimit: cfg.ExactNodeLimit, TimeLimit: cfg.ExactTimeLimit}
+	limits := cfg.exactLimits()
+	wide := limits
+	wide.Exact.Workers = 4
 	for _, m := range ms {
 		row := HardRow{M: m, PTASRatio: 1}
 		var bc, ip, par4, ptas []float64
@@ -52,39 +53,48 @@ func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			t0 := time.Now()
-			_, er, err := exact.Solve(in, limits)
-			if err != nil {
+			// The exact solvers keep their MIP contract under limits and
+			// timeouts: the incumbent comes back with Optimal == false, so a
+			// timed-out cell still yields a timing and a usable bound.
+			_, bcRep, err := cfg.runAlgo("exact", in, limits)
+			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
-			bc = append(bc, time.Since(t0).Seconds())
-			opt := er.Makespan
-			if !er.Optimal {
+			if bcRep.Exact == nil {
+				return nil, fmt.Errorf("exper: exact solver returned no result for m=%d", m)
+			}
+			bc = append(bc, bcRep.Elapsed.Seconds())
+			opt := bcRep.Exact.Makespan
+			if !bcRep.Exact.Optimal {
 				opt = b // the construction guarantees OPT = B
 			}
 
-			t0 = time.Now()
-			_, ipRes, err := exact.SolveAssignment(in, limits)
-			if err != nil {
+			_, ipRep, err := cfg.runAlgo("ip", in, limits)
+			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
-			ip = append(ip, time.Since(t0).Seconds())
-			if ipRes.Optimal {
+			if ipRep.Exact == nil {
+				return nil, fmt.Errorf("exper: IP solver returned no result for m=%d", m)
+			}
+			ip = append(ip, ipRep.Elapsed.Seconds())
+			if ipRep.Exact.Optimal {
 				row.IPProven++
 			}
 
-			t0 = time.Now()
-			if _, _, err := exact.SolveParallel(in, limits, 4); err != nil {
+			_, parRep, err := cfg.runAlgo("exact", in, wide)
+			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
-			par4 = append(par4, time.Since(t0).Seconds())
+			par4 = append(par4, parRep.Elapsed.Seconds())
 
-			t0 = time.Now()
-			sched, _, err := core.Solve(in, core.Options{Epsilon: cfg.Epsilon, Workers: 1})
+			sched, pRep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1))
 			if err != nil {
+				if errors.Is(err, solver.ErrCanceled) {
+					continue // logged by runAlgo; the fallback has no guarantee to report
+				}
 				return nil, err
 			}
-			ptas = append(ptas, time.Since(t0).Seconds())
+			ptas = append(ptas, pRep.Elapsed.Seconds())
 			if r := sched.Ratio(in, opt); r > row.PTASRatio {
 				row.PTASRatio = r
 			}

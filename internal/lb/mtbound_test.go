@@ -1,6 +1,7 @@
 package lb_test
 
 import (
+	"context"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -22,7 +23,7 @@ func descSorted(times []pcmax.Time) []pcmax.Time {
 func minBins(times []pcmax.Time, c pcmax.Time) int {
 	for m := 1; ; m++ {
 		in := &pcmax.Instance{M: m, Times: times}
-		s, res, err := exact.Solve(in, exact.Options{})
+		s, res, err := exact.Solve(context.Background(), in, exact.Options{})
 		if err != nil || !res.Optimal {
 			panic("minBins oracle failed")
 		}

@@ -12,10 +12,12 @@
 package multifit
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/binpack"
+	"repro/internal/cancel"
 	"repro/pcmax"
 )
 
@@ -45,28 +47,31 @@ func (h Heuristic) String() string {
 }
 
 // Solve runs MultiFit to convergence and returns the schedule built by FFD
-// at the smallest capacity it found feasible.
-func Solve(in *pcmax.Instance) (*pcmax.Schedule, error) {
-	return solve(in, -1, FFD)
+// at the smallest capacity it found feasible. ctx is checked between
+// capacity probes (one probe is a single O(n log n) packing, so the abort
+// latency is one packing pass); a cancellation surfaces as the structured
+// cancel error with no schedule.
+func Solve(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
+	return solve(ctx, in, -1, FFD)
 }
 
 // SolveHeuristic is Solve with an explicit inner packing heuristic.
-func SolveHeuristic(in *pcmax.Instance, h Heuristic) (*pcmax.Schedule, error) {
+func SolveHeuristic(ctx context.Context, in *pcmax.Instance, h Heuristic) (*pcmax.Schedule, error) {
 	if h != FFD && h != BFD {
 		return nil, fmt.Errorf("multifit: unknown heuristic %v", h)
 	}
-	return solve(in, -1, h)
+	return solve(ctx, in, -1, h)
 }
 
 // SolveIterations runs the classical k-iteration MultiFit. k must be >= 1.
-func SolveIterations(in *pcmax.Instance, k int) (*pcmax.Schedule, error) {
+func SolveIterations(ctx context.Context, in *pcmax.Instance, k int) (*pcmax.Schedule, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("multifit: iteration count %d < 1", k)
 	}
-	return solve(in, k, FFD)
+	return solve(ctx, in, k, FFD)
 }
 
-func solve(in *pcmax.Instance, maxIter int, h Heuristic) (*pcmax.Schedule, error) {
+func solve(ctx context.Context, in *pcmax.Instance, maxIter int, h Heuristic) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -101,6 +106,9 @@ func solve(in *pcmax.Instance, maxIter int, h Heuristic) (*pcmax.Schedule, error
 	}
 	iter := 0
 	for lo < hi {
+		if err := cancel.Check(ctx); err != nil {
+			return nil, err
+		}
 		if maxIter > 0 && iter >= maxIter {
 			break
 		}

@@ -1,6 +1,7 @@
 package multifit_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -14,7 +15,7 @@ import (
 
 func TestSolveSimpleOptimal(t *testing.T) {
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 4, 3, 2}}
-	s, err := multifit.Solve(in)
+	s, err := multifit.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestSolveSimpleOptimal(t *testing.T) {
 
 func TestSolveEqualJobs(t *testing.T) {
 	in := &pcmax.Instance{M: 3, Times: []pcmax.Time{4, 4, 4, 4, 4, 4}}
-	s, err := multifit.Solve(in)
+	s, err := multifit.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestSolveEqualJobs(t *testing.T) {
 
 func TestSolveSingleMachine(t *testing.T) {
 	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{3, 9, 2}}
-	s, err := multifit.Solve(in)
+	s, err := multifit.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSolveSingleMachine(t *testing.T) {
 
 func TestSolveMoreMachinesThanJobs(t *testing.T) {
 	in := &pcmax.Instance{M: 5, Times: []pcmax.Time{8, 2}}
-	s, err := multifit.Solve(in)
+	s, err := multifit.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,26 +61,26 @@ func TestSolveMoreMachinesThanJobs(t *testing.T) {
 }
 
 func TestSolveRejectsInvalidInstance(t *testing.T) {
-	if _, err := multifit.Solve(&pcmax.Instance{M: 0, Times: []pcmax.Time{1}}); err == nil {
+	if _, err := multifit.Solve(context.Background(), &pcmax.Instance{M: 0, Times: []pcmax.Time{1}}); err == nil {
 		t.Fatal("want validation error")
 	}
 }
 
 func TestSolveIterationsRejectsBadK(t *testing.T) {
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1, 2}}
-	if _, err := multifit.SolveIterations(in, 0); err == nil {
+	if _, err := multifit.SolveIterations(context.Background(), in, 0); err == nil {
 		t.Fatal("want error for k=0")
 	}
 }
 
 func TestIterationsConvergeToFullSolve(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 5, N: 40, Seed: 3})
-	full, err := multifit.Solve(in)
+	full, err := multifit.Solve(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Enough iterations must match the converged search exactly.
-	k40, err := multifit.SolveIterations(in, 40)
+	k40, err := multifit.SolveIterations(context.Background(), in, 40)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestIterationsConvergeToFullSolve(t *testing.T) {
 		t.Fatalf("40 iterations %d != converged %d", k40.Makespan(in), full.Makespan(in))
 	}
 	// Few iterations are valid schedules too, possibly worse.
-	k1, err := multifit.SolveIterations(in, 1)
+	k1, err := multifit.SolveIterations(context.Background(), in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +112,7 @@ func TestKnownBoundAgainstOptimumProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		s, err := multifit.Solve(in)
+		s, err := multifit.Solve(context.Background(), in)
 		if err != nil || s.Validate(in) != nil {
 			return false
 		}
@@ -136,7 +137,7 @@ func TestBeatsLPTOnAdversarialFamily(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		mf, err := multifit.Solve(in)
+		mf, err := multifit.Solve(context.Background(), in)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -151,11 +152,11 @@ func TestBeatsLPTOnAdversarialFamily(t *testing.T) {
 
 func TestHeuristicVariantsBothValid(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 6, N: 50, Seed: 4})
-	ffd, err := multifit.SolveHeuristic(in, multifit.FFD)
+	ffd, err := multifit.SolveHeuristic(context.Background(), in, multifit.FFD)
 	if err != nil {
 		t.Fatal(err)
 	}
-	bfd, err := multifit.SolveHeuristic(in, multifit.BFD)
+	bfd, err := multifit.SolveHeuristic(context.Background(), in, multifit.BFD)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func TestHeuristicVariantsBothValid(t *testing.T) {
 
 func TestHeuristicUnknownRejected(t *testing.T) {
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1, 2}}
-	if _, err := multifit.SolveHeuristic(in, multifit.Heuristic(9)); err == nil {
+	if _, err := multifit.SolveHeuristic(context.Background(), in, multifit.Heuristic(9)); err == nil {
 		t.Fatal("want unknown-heuristic error")
 	}
 }
@@ -196,7 +197,7 @@ func TestBFDWithinBoundProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		s, err := multifit.SolveHeuristic(in, multifit.BFD)
+		s, err := multifit.SolveHeuristic(context.Background(), in, multifit.BFD)
 		if err != nil || s.Validate(in) != nil {
 			return false
 		}

@@ -16,10 +16,13 @@
 package par
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/cancel"
 )
 
 // Strategy selects how iterations are divided among workers.
@@ -221,6 +224,60 @@ func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, 
 	if e != nil {
 		panic(e)
 	}
+}
+
+// cancelCheckEvery is how many body iterations a worker runs between polls
+// of the context's done channel in the Ctx variants. A shared stop flag
+// makes one worker's observation stop every other worker on its next
+// iteration, so the worst-case overrun after cancellation is one iteration
+// per worker plus cancelCheckEvery iterations on the observing worker.
+const cancelCheckEvery = 256
+
+// pad keeps per-worker iteration counters on distinct cache lines.
+type pad struct {
+	n uint32
+	_ [60]byte
+}
+
+// ForCtx is For with cooperative cancellation: when ctx is canceled, workers
+// stop claiming iterations (remaining ones are skipped), the round's barrier
+// still completes — no goroutine leaks, the pool stays usable — and the
+// structured cancellation error is returned. A nil or never-canceled ctx
+// behaves exactly like For and returns nil.
+func (p *Pool) ForCtx(ctx context.Context, n int, strategy Strategy, body func(i int)) error {
+	return p.ForWorkerCtx(ctx, n, strategy, 0, func(_, i int) { body(i) })
+}
+
+// ForWorkerCtx is ForWorker with cooperative cancellation (see ForCtx).
+func (p *Pool) ForWorkerCtx(ctx context.Context, n int, strategy Strategy, grain int, body func(worker, i int)) error {
+	if ctx == nil || ctx.Done() == nil {
+		p.ForWorker(n, strategy, grain, body)
+		return nil
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	var stop atomic.Bool
+	counters := make([]pad, p.workers)
+	p.ForWorker(n, strategy, grain, func(w, i int) {
+		if stop.Load() {
+			return
+		}
+		if counters[w].n++; counters[w].n%cancelCheckEvery == 0 {
+			select {
+			case <-done:
+				stop.Store(true)
+				return
+			default:
+			}
+		}
+		body(w, i)
+	})
+	if stop.Load() {
+		return cancel.From(ctx)
+	}
+	return cancel.Check(ctx)
 }
 
 // For is the one-shot variant: it spawns workers goroutines, runs body(i)

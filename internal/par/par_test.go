@@ -1,11 +1,15 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/cancel"
 )
 
 func coverageCheck(t *testing.T, n int, run func(mark func(i int))) {
@@ -295,4 +299,96 @@ func TestCloseStopsWorkerGoroutines(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatalf("goroutines leaked: before=%d now=%d", before, runtime.NumGoroutine())
+}
+
+func TestForCtxCoversEveryIndexWhenNotCanceled(t *testing.T) {
+	for _, strategy := range Strategies {
+		p := NewPool(4)
+		for _, n := range []int{0, 1, 7, 1024} {
+			coverageCheck(t, n, func(mark func(int)) {
+				if err := p.ForCtx(context.Background(), n, strategy, mark); err != nil {
+					t.Fatalf("uncanceled ForCtx: %v", err)
+				}
+			})
+		}
+		p.Close()
+	}
+}
+
+func TestForCtxNilContextBehavesLikeFor(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	coverageCheck(t, 100, func(mark func(int)) {
+		if err := p.ForCtx(nil, 100, Chunked, mark); err != nil {
+			t.Fatalf("nil-ctx ForCtx: %v", err)
+		}
+	})
+}
+
+func TestForCtxStopsOnCancel(t *testing.T) {
+	for _, strategy := range Strategies {
+		p := NewPool(4)
+		ctx, cancelFn := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 1 << 20
+		err := p.ForCtx(ctx, n, strategy, func(i int) {
+			if ran.Add(1) == 64 {
+				cancelFn()
+			}
+		})
+		if !errors.Is(err, cancel.ErrCanceled) {
+			t.Fatalf("%v: want ErrCanceled, got %v", strategy, err)
+		}
+		if got := ran.Load(); got >= n {
+			t.Fatalf("%v: cancellation ignored, all %d iterations ran", strategy, got)
+		}
+		// The pool must remain usable after a canceled round.
+		coverageCheck(t, 128, func(mark func(int)) {
+			p.For(128, strategy, mark)
+		})
+		p.Close()
+		cancelFn()
+	}
+}
+
+func TestForCtxAlreadyCanceledRunsNothing(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	var ran atomic.Int64
+	err := p.ForCtx(ctx, 1000, RoundRobin, func(i int) { ran.Add(1) })
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("%d iterations ran on a dead context", ran.Load())
+	}
+}
+
+// TestCanceledForCtxLeaksNoGoroutines is the abort-leak regression guard: a
+// round canceled mid-flight must still complete its barrier, and closing the
+// pool afterwards must return the goroutine count to its baseline.
+func TestCanceledForCtxLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for trial := 0; trial < 10; trial++ {
+		p := NewPool(8)
+		ctx, cancelFn := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		_ = p.ForCtx(ctx, 1<<18, Dynamic, func(i int) {
+			if ran.Add(1) == 100 {
+				cancelFn()
+			}
+		})
+		p.Close()
+		cancelFn()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked after canceled rounds: before=%d now=%d", before, runtime.NumGoroutine())
 }

@@ -16,10 +16,12 @@
 package sahni
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"repro/internal/cancel"
 	"repro/pcmax"
 )
 
@@ -57,8 +59,12 @@ type state struct {
 }
 
 // Solve schedules the instance exactly (Epsilon == 0) or within (1+Epsilon)
-// of optimal, for instances with at most Options.MaxMachines machines.
-func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, error) {
+// of optimal, for instances with at most Options.MaxMachines machines. ctx
+// is checked once per job sweep and every few thousand expanded states
+// inside a sweep (state expansion dominates the run time), so cancellation
+// lands promptly even when a single sweep is large; it surfaces as the
+// structured cancel error with no schedule.
+func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
@@ -97,11 +103,26 @@ func Solve(in *pcmax.Instance, opts Options) (*pcmax.Schedule, error) {
 	history := make([][]state, n)
 
 	keyBuf := make([]pcmax.Time, m)
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	const checkEvery = 4096
 	for j := 0; j < n; j++ {
+		if err := cancel.Check(ctx); err != nil {
+			return nil, err
+		}
 		t := in.Times[j]
 		next := make([]state, 0, len(cur))
 		seen := make(map[string]bool, len(cur)*m)
 		for pi := range cur {
+			if done != nil && pi%checkEvery == checkEvery-1 {
+				select {
+				case <-done:
+					return nil, cancel.From(ctx)
+				default:
+				}
+			}
 			p := &cur[pi]
 			for s := 0; s < m; s++ {
 				// Equal canonical loads are interchangeable slots.

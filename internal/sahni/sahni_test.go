@@ -1,6 +1,7 @@
 package sahni
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"testing/quick"
@@ -20,7 +21,7 @@ func TestExactMatchesBruteForceProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(40))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		sched, err := Solve(in, Options{Epsilon: 0})
+		sched, err := Solve(context.Background(), in, Options{Epsilon: 0})
 		if err != nil || sched.Validate(in) != nil {
 			return false
 		}
@@ -44,7 +45,7 @@ func TestExactMatchesTwoMachineDP(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(60))
 		}
 		in := &pcmax.Instance{M: 2, Times: times}
-		sched, err := Solve(in, Options{})
+		sched, err := Solve(context.Background(), in, Options{})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -69,11 +70,11 @@ func TestFPTASGuaranteeProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(300))
 		}
 		in := &pcmax.Instance{M: 3, Times: times}
-		approx, err := Solve(in, Options{Epsilon: eps})
+		approx, err := Solve(context.Background(), in, Options{Epsilon: eps})
 		if err != nil || approx.Validate(in) != nil {
 			return false
 		}
-		opt, err := Solve(in, Options{Epsilon: 0})
+		opt, err := Solve(context.Background(), in, Options{Epsilon: 0})
 		if err != nil {
 			return false
 		}
@@ -94,11 +95,11 @@ func TestQuantizationShrinksStates(t *testing.T) {
 		times[j] = pcmax.Time(1 + src.Int64n(200))
 	}
 	in := &pcmax.Instance{M: 3, Times: times}
-	exactSched, err := Solve(in, Options{Epsilon: 0, MaxStates: 1 << 22})
+	exactSched, err := Solve(context.Background(), in, Options{Epsilon: 0, MaxStates: 1 << 22})
 	if err != nil {
 		t.Fatal(err)
 	}
-	approx, err := Solve(in, Options{Epsilon: 0.4})
+	approx, err := Solve(context.Background(), in, Options{Epsilon: 0.4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,11 +113,11 @@ func TestQuantizationShrinksStates(t *testing.T) {
 
 func TestMachineLimit(t *testing.T) {
 	in := &pcmax.Instance{M: 10, Times: []pcmax.Time{1, 2}}
-	if _, err := Solve(in, Options{}); !errors.Is(err, ErrTooManyMachines) {
+	if _, err := Solve(context.Background(), in, Options{}); !errors.Is(err, ErrTooManyMachines) {
 		t.Fatalf("want ErrTooManyMachines, got %v", err)
 	}
 	// But a raised limit accepts it (n tiny, so the states stay small).
-	if _, err := Solve(in, Options{MaxMachines: 10}); err != nil {
+	if _, err := Solve(context.Background(), in, Options{MaxMachines: 10}); err != nil {
 		t.Fatalf("raised limit: %v", err)
 	}
 }
@@ -128,26 +129,26 @@ func TestStateBudget(t *testing.T) {
 		times[j] = pcmax.Time(1 + src.Int64n(10000))
 	}
 	in := &pcmax.Instance{M: 4, Times: times}
-	if _, err := Solve(in, Options{Epsilon: 0, MaxStates: 100}); !errors.Is(err, ErrTooManyStates) {
+	if _, err := Solve(context.Background(), in, Options{Epsilon: 0, MaxStates: 100}); !errors.Is(err, ErrTooManyStates) {
 		t.Fatalf("want ErrTooManyStates, got %v", err)
 	}
 }
 
 func TestBadEpsilon(t *testing.T) {
 	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{1}}
-	if _, err := Solve(in, Options{Epsilon: -0.1}); !errors.Is(err, ErrBadEpsilon) {
+	if _, err := Solve(context.Background(), in, Options{Epsilon: -0.1}); !errors.Is(err, ErrBadEpsilon) {
 		t.Fatalf("want ErrBadEpsilon, got %v", err)
 	}
 }
 
 func TestEmptyAndSingle(t *testing.T) {
 	empty := &pcmax.Instance{M: 3}
-	s, err := Solve(empty, Options{})
+	s, err := Solve(context.Background(), empty, Options{})
 	if err != nil || s.Makespan(empty) != 0 {
 		t.Fatalf("empty: %v", err)
 	}
 	one := &pcmax.Instance{M: 3, Times: []pcmax.Time{42}}
-	s, err = Solve(one, Options{})
+	s, err = Solve(context.Background(), one, Options{})
 	if err != nil || s.Makespan(one) != 42 {
 		t.Fatalf("single: %v %d", err, s.Makespan(one))
 	}
@@ -155,14 +156,14 @@ func TestEmptyAndSingle(t *testing.T) {
 
 func TestSingleMachine(t *testing.T) {
 	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{4, 6, 8}}
-	s, err := Solve(in, Options{})
+	s, err := Solve(context.Background(), in, Options{})
 	if err != nil || s.Makespan(in) != 18 {
 		t.Fatalf("m=1: %v %d", err, s.Makespan(in))
 	}
 }
 
 func TestRejectsInvalidInstance(t *testing.T) {
-	if _, err := Solve(&pcmax.Instance{M: 0, Times: []pcmax.Time{1}}, Options{}); err == nil {
+	if _, err := Solve(context.Background(), &pcmax.Instance{M: 0, Times: []pcmax.Time{1}}, Options{}); err == nil {
 		t.Fatal("want validation error")
 	}
 }
@@ -178,11 +179,11 @@ func TestExactMatchesBranchAndBoundLarger(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(50))
 		}
 		in := &pcmax.Instance{M: 3, Times: times}
-		sched, err := Solve(in, Options{Epsilon: 0, MaxStates: 1 << 21})
+		sched, err := Solve(context.Background(), in, Options{Epsilon: 0, MaxStates: 1 << 21})
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		_, res, err := exact.Solve(in, exact.Options{})
+		_, res, err := exact.Solve(context.Background(), in, exact.Options{})
 		if err != nil || !res.Optimal {
 			t.Fatalf("trial %d: exact %v optimal=%v", trial, err, res.Optimal)
 		}

@@ -1,6 +1,7 @@
 package workload_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -55,7 +56,7 @@ func TestTripletsOptimumIsB(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_, res, err := exact.Solve(in, exact.Options{TimeLimit: 20 * time.Second})
+		_, res, err := exact.Solve(context.Background(), in, exact.Options{TimeLimit: 20 * time.Second})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,13 +1,16 @@
 #!/bin/sh
-# Repo-wide verification: build, vet, full test suite, then the race
-# detector over the packages with real concurrency (worker pool, parallel
-# DP fill + cache, solver facade). This is the gate every PR runs before
-# merging; ROADMAP.md points here.
+# Repo-wide verification: build, vet (the binaries get an explicit pass so a
+# library-only vet invocation can never silently skip them), full test suite,
+# then the race detector over the packages with real concurrency (worker
+# pool, parallel DP fill + cache, solver facade). Every `go test` carries a
+# -timeout guard so a hung test fails the pipeline instead of wedging it.
+# This is the gate every PR runs before merging; ROADMAP.md points here.
 set -eux
 
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
-go test ./...
-go test -race ./internal/par ./internal/dp ./solver
+go vet ./cmd/...
+go test -timeout 10m ./...
+go test -race -timeout 15m ./internal/par ./internal/dp ./solver

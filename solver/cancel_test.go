@@ -1,0 +1,200 @@
+package solver_test
+
+// Cancellation-contract coverage at the public API: a canceled mid-fill PTAS
+// must come back within a small latency bound with the structured error, a
+// usable fallback schedule and no leaked goroutines; the registry must mark
+// interrupted solves uniformly.
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+// slowInstance returns an instance/epsilon pair whose sequential PTAS solve
+// takes seconds (DP tables around 1.7M entries): plenty of mid-fill runway
+// for a 50ms cancellation.
+func slowInstance(t *testing.T) (*pcmax.Instance, solver.PTASOptions) {
+	t.Helper()
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 20, N: 100, Seed: 7})
+	o := solver.DefaultPTASOptions()
+	o.Epsilon = 0.18
+	o.Workers = 1
+	return in, o
+}
+
+func TestPTASCancellationLatency(t *testing.T) {
+	in, opts := slowInstance(t)
+	before := runtime.NumGoroutine()
+
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			o := opts
+			o.Workers = tc.workers
+			ctx, cancel := context.WithCancel(context.Background())
+			timer := time.AfterFunc(50*time.Millisecond, cancel)
+			defer timer.Stop()
+			defer cancel()
+
+			t0 := time.Now()
+			sched, st, err := solver.PTAS(ctx, in, o)
+			elapsed := time.Since(t0)
+
+			if err == nil {
+				t.Fatal("want cancellation error, got nil (instance too fast for the test?)")
+			}
+			if !errors.Is(err, solver.ErrCanceled) {
+				t.Fatalf("error %v does not match solver.ErrCanceled", err)
+			}
+			// 50ms until the cancel fires plus the 200ms reaction bound the
+			// package documents.
+			if elapsed > 250*time.Millisecond {
+				t.Fatalf("canceled solve took %v, want < 250ms", elapsed)
+			}
+			if sched == nil {
+				t.Fatal("want non-nil fallback schedule on cancellation")
+			}
+			if err := sched.Validate(in); err != nil {
+				t.Fatalf("fallback schedule invalid: %v", err)
+			}
+			if st == nil {
+				t.Fatal("want partial stats on cancellation")
+			}
+			var interruption *solver.Interruption
+			if !errors.As(err, &interruption) {
+				t.Fatalf("error %v does not carry *solver.Interruption", err)
+			}
+		})
+	}
+
+	// The canceled solves must not leave fill workers behind. Poll briefly:
+	// goroutine teardown is asynchronous.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestPTASDeadlineError(t *testing.T) {
+	in, opts := slowInstance(t)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	sched, _, err := solver.PTAS(ctx, in, opts)
+	if !errors.Is(err, solver.ErrDeadline) {
+		t.Fatalf("error %v does not match solver.ErrDeadline", err)
+	}
+	if !errors.Is(err, solver.ErrCanceled) {
+		t.Fatalf("error %v does not match solver.ErrCanceled (ErrDeadline must wrap it)", err)
+	}
+	if sched == nil {
+		t.Fatal("want fallback schedule on deadline")
+	}
+}
+
+func TestPTASTimeLimitShim(t *testing.T) {
+	in, opts := slowInstance(t)
+	opts.TimeLimit = 50 * time.Millisecond
+	sched, _, err := solver.PTAS(context.Background(), in, opts)
+	if !errors.Is(err, solver.ErrDeadline) {
+		t.Fatalf("TimeLimit shim error %v does not match solver.ErrDeadline", err)
+	}
+	if sched == nil {
+		t.Fatal("want fallback schedule from the TimeLimit shim")
+	}
+}
+
+func TestRegistryCoversAllAlgorithms(t *testing.T) {
+	want := []string{"exact", "ip", "lpt", "ls", "multifit", "ptas", "sahni"}
+	got := solver.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+
+	// Small instance with m=3 so even sahni's fixed-m DP accepts it.
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 3, N: 9, Seed: 3})
+	for _, name := range got {
+		alg, err := solver.Lookup(name)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", name, err)
+		}
+		if alg.Name() != name {
+			t.Fatalf("Lookup(%q).Name() = %q", name, alg.Name())
+		}
+		sched, rep, err := alg.Solve(context.Background(), in, solver.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sched == nil {
+			t.Fatalf("%s: nil schedule", name)
+		}
+		if err := sched.Validate(in); err != nil {
+			t.Fatalf("%s: invalid schedule: %v", name, err)
+		}
+		if rep.Algorithm != name {
+			t.Fatalf("%s: report names %q", name, rep.Algorithm)
+		}
+		if rep.Makespan != sched.Makespan(in) {
+			t.Fatalf("%s: report makespan %d != schedule %d", name, rep.Makespan, sched.Makespan(in))
+		}
+		if rep.Interrupted {
+			t.Fatalf("%s: uncanceled solve marked interrupted", name)
+		}
+	}
+}
+
+func TestRegistryLookupMiss(t *testing.T) {
+	_, err := solver.Lookup("no-such-algorithm")
+	if err == nil {
+		t.Fatal("want error for unknown algorithm")
+	}
+	for _, name := range solver.Names() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("miss error %q does not list %q", err, name)
+		}
+	}
+}
+
+func TestRegistryMarksInterrupted(t *testing.T) {
+	in, opts := slowInstance(t)
+	alg, err := solver.Lookup("ptas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	sched, rep, err := alg.Solve(ctx, in, solver.Options{PTAS: opts})
+	if !errors.Is(err, solver.ErrCanceled) {
+		t.Fatalf("error %v does not match solver.ErrCanceled", err)
+	}
+	if !rep.Interrupted {
+		t.Fatal("report not marked interrupted")
+	}
+	if sched == nil || rep.Makespan == 0 {
+		t.Fatalf("interrupted report lost the fallback: sched=%v makespan=%d", sched, rep.Makespan)
+	}
+}

@@ -1,6 +1,7 @@
 package solver_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/pcmax"
@@ -10,7 +11,7 @@ import (
 func ExamplePTAS() {
 	in, _ := pcmax.NewInstance(2, []pcmax.Time{9, 8, 7, 6, 5, 4, 3})
 	opts := solver.DefaultPTASOptions() // eps = 0.3, sequential
-	sched, stats, err := solver.PTAS(in, opts)
+	sched, stats, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		panic(err)
 	}
@@ -21,7 +22,7 @@ func ExamplePTAS() {
 
 func ExampleLPT() {
 	in, _ := pcmax.NewInstance(3, []pcmax.Time{5, 5, 4, 4, 3, 3})
-	sched, err := solver.LPT(in)
+	sched, err := solver.LPT(context.Background(), in)
 	if err != nil {
 		panic(err)
 	}
@@ -31,7 +32,7 @@ func ExampleLPT() {
 
 func ExampleExact() {
 	in, _ := pcmax.NewInstance(2, []pcmax.Time{5, 4, 3, 2})
-	_, res, err := solver.Exact(in, solver.ExactOptions{})
+	_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 	if err != nil {
 		panic(err)
 	}
@@ -42,7 +43,7 @@ func ExampleExact() {
 func ExampleSahni() {
 	// Exact for small m via Sahni's fixed-m dynamic program.
 	in, _ := pcmax.NewInstance(3, []pcmax.Time{7, 6, 5, 4, 3, 2, 1})
-	sched, err := solver.Sahni(in, solver.SahniOptions{})
+	sched, err := solver.Sahni(context.Background(), in, solver.SahniOptions{})
 	if err != nil {
 		panic(err)
 	}

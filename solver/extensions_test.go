@@ -1,6 +1,7 @@
 package solver_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/workload"
@@ -10,11 +11,11 @@ import (
 
 func TestSahniExactMatchesExactSolver(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 3, N: 20, Seed: 6})
-	s, err := solver.Sahni(in, solver.SahniOptions{})
+	s, err := solver.Sahni(context.Background(), in, solver.SahniOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := solver.Exact(in, solver.ExactOptions{})
+	_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 	if err != nil || !res.Optimal {
 		t.Fatalf("exact: %v optimal=%v", err, res.Optimal)
 	}
@@ -25,11 +26,11 @@ func TestSahniExactMatchesExactSolver(t *testing.T) {
 
 func TestSahniFPTASGuarantee(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 3, N: 25, Seed: 6})
-	s, err := solver.Sahni(in, solver.SahniOptions{Epsilon: 0.2})
+	s, err := solver.Sahni(context.Background(), in, solver.SahniOptions{Epsilon: 0.2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, res, err := solver.Exact(in, solver.ExactOptions{})
+	_, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 	if err != nil || !res.Optimal {
 		t.Fatalf("exact: %v", err)
 	}
@@ -40,7 +41,7 @@ func TestSahniFPTASGuarantee(t *testing.T) {
 
 func TestSahniRejectsLargeM(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 12, N: 20, Seed: 6})
-	if _, err := solver.Sahni(in, solver.SahniOptions{}); err == nil {
+	if _, err := solver.Sahni(context.Background(), in, solver.SahniOptions{}); err == nil {
 		t.Fatal("want machine-limit error")
 	}
 }
@@ -48,12 +49,12 @@ func TestSahniRejectsLargeM(t *testing.T) {
 func TestSpeculativePTASThroughFacade(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10n, M: 8, N: 40, Seed: 6})
 	opts := solver.DefaultPTASOptions()
-	ref, _, err := solver.PTAS(in, opts)
+	ref, _, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	opts.SpeculativeProbes = 4
-	got, st, err := solver.PTAS(in, opts)
+	got, st, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestSpeculativePTASThroughFacade(t *testing.T) {
 
 func TestSahniEmptyInstance(t *testing.T) {
 	in := &pcmax.Instance{M: 2}
-	s, err := solver.Sahni(in, solver.SahniOptions{})
+	s, err := solver.Sahni(context.Background(), in, solver.SahniOptions{})
 	if err != nil || s.Makespan(in) != 0 {
 		t.Fatalf("%v", err)
 	}
@@ -75,11 +76,11 @@ func TestSahniEmptyInstance(t *testing.T) {
 
 func TestExactParallelWorkers(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 5, N: 30, Seed: 14})
-	_, seq, err := solver.Exact(in, solver.ExactOptions{})
+	_, seq, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 	if err != nil || !seq.Optimal {
 		t.Fatalf("%v optimal=%v", err, seq.Optimal)
 	}
-	_, par, err := solver.Exact(in, solver.ExactOptions{Workers: 4})
+	_, par, err := solver.Exact(context.Background(), in, solver.ExactOptions{Workers: 4})
 	if err != nil || !par.Optimal {
 		t.Fatalf("%v optimal=%v", err, par.Optimal)
 	}

@@ -1,0 +1,173 @@
+package solver
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cancel"
+	"repro/pcmax"
+)
+
+// Options aggregates the per-algorithm option structs for registry dispatch.
+// Only the struct matching the selected algorithm is consulted; the zero
+// value is usable for every algorithm (PTAS falls back to
+// DefaultPTASOptions when Options.PTAS.Epsilon is unset).
+type Options struct {
+	PTAS  PTASOptions
+	Exact ExactOptions
+	Sahni SahniOptions
+}
+
+// Report is the uniform outcome record every registered algorithm returns:
+// which algorithm ran, what makespan it achieved and how long it took, plus
+// the algorithm-specific detail when there is one.
+type Report struct {
+	// Algorithm is the registry name of the algorithm that produced the
+	// schedule.
+	Algorithm string
+	// Makespan of the returned schedule; 0 when no schedule was produced.
+	Makespan pcmax.Time
+	// Elapsed is the wall-clock duration of the Solve call.
+	Elapsed time.Duration
+	// Interrupted reports that the context died before the algorithm
+	// finished. The schedule (when non-nil) is the best fallback/incumbent,
+	// without the algorithm's usual guarantee.
+	Interrupted bool
+
+	// PTAS carries the PTAS run statistics ("ptas" only).
+	PTAS *PTASStats
+	// Exact carries the branch-and-bound outcome ("exact" and "ip" only).
+	Exact *ExactResult
+}
+
+// Algorithm is the uniform interface every scheduling algorithm in the
+// repository implements for named dispatch. Solve must honor ctx
+// cooperatively and report interruptions through the returned error
+// (matching ErrCanceled) and Report.Interrupted.
+type Algorithm interface {
+	Name() string
+	Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Report, error)
+}
+
+// Registry maps algorithm names to implementations. All seven algorithms
+// are registered at init: "ls", "lpt", "multifit", "ptas", "exact", "ip"
+// and "sahni". Callers may add their own algorithms under fresh names.
+var Registry = map[string]Algorithm{}
+
+// Register adds an algorithm to Registry; it panics on a duplicate name,
+// which is a programming error.
+func Register(a Algorithm) {
+	if _, dup := Registry[a.Name()]; dup {
+		panic(fmt.Sprintf("solver: duplicate algorithm %q", a.Name()))
+	}
+	Registry[a.Name()] = a
+}
+
+// Lookup resolves an algorithm by name, with an error that lists the
+// registered names on a miss.
+func Lookup(name string) (Algorithm, error) {
+	a, ok := Registry[name]
+	if !ok {
+		return nil, fmt.Errorf("solver: unknown algorithm %q (have %v)", name, Names())
+	}
+	return a, nil
+}
+
+// Names returns the registered algorithm names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(Registry))
+	for n := range Registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// algo adapts a plain solve function to the Algorithm interface, stamping
+// the uniform Report fields (name, makespan, elapsed, interruption).
+type algo struct {
+	name string
+	fn   func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error)
+}
+
+func (a algo) Name() string { return a.name }
+
+func (a algo) Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Report, error) {
+	rep := Report{Algorithm: a.name}
+	t0 := time.Now()
+	sched, err := a.fn(ctx, in, opts, &rep)
+	rep.Elapsed = time.Since(t0)
+	if err != nil && cancel.Check(ctx) != nil {
+		rep.Interrupted = true
+	}
+	if sched != nil {
+		rep.Makespan = sched.Makespan(in)
+	}
+	return sched, rep, err
+}
+
+// ptasOptions resolves the effective PTAS options for registry dispatch: a
+// zero Epsilon selects the library defaults so the zero Options value works.
+func ptasOptions(opts Options) PTASOptions {
+	p := opts.PTAS
+	if p.Epsilon == 0 {
+		def := DefaultPTASOptions()
+		def.Workers = p.Workers
+		def.TimeLimit = p.TimeLimit
+		p = def
+	}
+	return p
+}
+
+// exactInterruption surfaces a context interruption of the exact solvers as
+// a structured error: the solvers themselves keep their MIP-style contract
+// (incumbent, Optimal == false, nil error), so the registry — whose callers
+// select algorithms uniformly and need a uniform interruption signal —
+// re-derives the error from ctx when the proof did not finish.
+func exactInterruption(ctx context.Context, res ExactResult) error {
+	if res.Optimal {
+		return nil
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return err
+	}
+	return nil
+}
+
+func init() {
+	Register(algo{"ls", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+		return LS(ctx, in)
+	}})
+	Register(algo{"lpt", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+		return LPT(ctx, in)
+	}})
+	Register(algo{"multifit", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+		return MultiFit(ctx, in)
+	}})
+	Register(algo{"ptas", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+		sched, st, err := PTAS(ctx, in, ptasOptions(opts))
+		rep.PTAS = st
+		return sched, err
+	}})
+	Register(algo{"exact", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+		sched, res, err := Exact(ctx, in, opts.Exact)
+		if err != nil {
+			return nil, err
+		}
+		rep.Exact = &res
+		return sched, exactInterruption(ctx, res)
+	}})
+	Register(algo{"ip", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+		sched, res, err := ExactIP(ctx, in, opts.Exact)
+		if err != nil {
+			return nil, err
+		}
+		rep.Exact = &res
+		return sched, exactInterruption(ctx, res)
+	}})
+	Register(algo{"sahni", func(ctx context.Context, in *pcmax.Instance, opts Options, _ *Report) (*pcmax.Schedule, error) {
+		return Sahni(ctx, in, opts.Sahni)
+	}})
+}

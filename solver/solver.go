@@ -8,13 +8,32 @@
 //     parallel (the paper's contribution) depending on Workers.
 //   - Exact: optimal makespan by branch-and-bound (the paper's CPLEX "IP"
 //     baseline).
+//   - ExactIP: branch-and-bound over the assignment IP formulation.
+//   - Sahni: fixed-m dynamic programming (exact or FPTAS-grade).
 //
 // All functions validate their inputs and never panic on bad instances.
+//
+// # Deadlines and cancellation
+//
+// Every entry point takes a context.Context and honors it cooperatively all
+// the way down — inside DP table fills, between branch-and-bound nodes,
+// between capacity probes — so an abort lands within milliseconds, not after
+// the current phase. Use context.WithTimeout for request deadlines. An
+// interrupted solve returns an error matching ErrCanceled (and ErrDeadline
+// when a deadline caused it); PTAS additionally degrades gracefully,
+// returning plain LPT's schedule next to the error so callers still get a
+// valid (if unguaranteed) answer. The legacy TimeLimit option fields remain
+// as thin shims over context deadlines and are deprecated in favor of ctx.
+//
+// The named-dispatch layer lives in registry.go: every algorithm is also
+// reachable through Registry by name via the uniform Algorithm interface.
 package solver
 
 import (
+	"context"
 	"time"
 
+	"repro/internal/cancel"
 	"repro/internal/core"
 	"repro/internal/dp"
 	"repro/internal/exact"
@@ -25,26 +44,50 @@ import (
 	"repro/pcmax"
 )
 
+// Structured cancellation sentinels, re-exported from the internal cancel
+// vocabulary so callers can test errors.Is without reaching into internals.
+var (
+	// ErrCanceled matches every context-interrupted solve.
+	ErrCanceled = cancel.ErrCanceled
+	// ErrDeadline matches solves interrupted by a context deadline
+	// (including legacy TimeLimit shims); it wraps ErrCanceled.
+	ErrDeadline = cancel.ErrDeadline
+)
+
+// Interruption is the structured error carried by interrupted solves; use
+// errors.As to recover the partial progress (bisection iterations completed,
+// DP entries filled) an interrupted PTAS had made.
+type Interruption = cancel.Error
+
 // LS runs Graham's list scheduling in job input order.
-func LS(in *pcmax.Instance) (*pcmax.Schedule, error) {
+func LS(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cancel.Check(ctx); err != nil {
 		return nil, err
 	}
 	return listsched.LS(in), nil
 }
 
 // LPT runs Graham's longest-processing-time algorithm.
-func LPT(in *pcmax.Instance) (*pcmax.Schedule, error) {
+func LPT(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cancel.Check(ctx); err != nil {
 		return nil, err
 	}
 	return listsched.LPT(in), nil
 }
 
 // MultiFit runs the MF algorithm with the capacity search at full
-// convergence.
-func MultiFit(in *pcmax.Instance) (*pcmax.Schedule, error) {
-	return multifit.Solve(in)
+// convergence. ctx is checked between capacity probes.
+func MultiFit(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	return multifit.Solve(ctx, in)
 }
 
 // PTASOptions configures PTAS. The zero value is invalid (Epsilon must be
@@ -84,10 +127,14 @@ type PTASOptions struct {
 	// small to amortize parallel coordination, even with Workers > 1.
 	// DefaultPTASOptions enables it; disable for paper-faithful timing.
 	AdaptiveFill bool
-	// TimeLimit aborts the solve with an error when exceeded (checked
-	// between bisection probes; a single DP fill is never interrupted).
-	// <= 0 disables. Small epsilons can take super-exponential time, so
-	// production callers should set this.
+	// TimeLimit aborts the solve when exceeded.
+	//
+	// Deprecated: TimeLimit is a back-compat shim over context deadlines —
+	// it is applied via context.WithTimeout on the caller's ctx, so the
+	// abort now lands inside a running DP fill, not just between bisection
+	// probes. New callers should pass a deadline on ctx instead; <= 0
+	// disables. Small epsilons can take super-exponential time, so
+	// production callers should bound the solve one way or the other.
 	TimeLimit time.Duration
 	// NoLPTFallback disables returning plain LPT's schedule when it beats
 	// the PTAS construction. The fallback (on by default through
@@ -130,7 +177,13 @@ type PTASStats struct {
 
 // PTAS runs the (1+eps)-approximation scheme, parallel when
 // opts.Workers != 1.
-func PTAS(in *pcmax.Instance, opts PTASOptions) (*pcmax.Schedule, *PTASStats, error) {
+//
+// When ctx is canceled (or its deadline — or the deprecated TimeLimit shim —
+// expires) mid-solve, PTAS degrades gracefully: it returns plain LPT's
+// schedule (non-nil, valid, without the (1+eps) guarantee), the partial
+// stats, and an error matching ErrCanceled/ErrDeadline that carries the
+// progress made (see Interruption).
+func PTAS(ctx context.Context, in *pcmax.Instance, opts PTASOptions) (*pcmax.Schedule, *PTASStats, error) {
 	copts := core.Options{
 		Epsilon:           opts.Epsilon,
 		Workers:           opts.Workers,
@@ -153,12 +206,15 @@ func PTAS(in *pcmax.Instance, opts PTASOptions) (*pcmax.Schedule, *PTASStats, er
 		copts.LevelMode = dp.LevelScan
 		copts.PerEntryConfigs = true
 	}
-	sched, st, err := core.Solve(in, copts)
-	if err != nil {
-		return nil, nil, err
+	sched, st, err := core.Solve(ctx, in, copts)
+	var pst *PTASStats
+	if st != nil {
+		p := PTASStats(*st)
+		pst = &p
 	}
-	pst := PTASStats(*st)
-	return sched, &pst, nil
+	// On cancellation core.Solve already degraded to the LPT fallback
+	// schedule; pass it through next to the structured error.
+	return sched, pst, err
 }
 
 // ExactOptions bounds the exact solver.
@@ -166,6 +222,11 @@ type ExactOptions struct {
 	// NodeLimit caps search nodes; <= 0 uses the library default.
 	NodeLimit int64
 	// TimeLimit caps wall-clock time; <= 0 means unlimited.
+	//
+	// Deprecated: TimeLimit is a back-compat shim over context deadlines;
+	// new callers should pass a deadline on ctx instead. Either way the
+	// best incumbent is returned with Optimal == false when the clock runs
+	// out.
 	TimeLimit time.Duration
 	// Workers > 1 parallelizes each feasibility probe by racing the
 	// first-bin subtrees across that many goroutines (an extension in the
@@ -185,8 +246,10 @@ type ExactResult struct {
 }
 
 // Exact computes an optimal schedule by branch-and-bound (the repository's
-// substitute for the paper's CPLEX IP baseline).
-func Exact(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
+// substitute for the paper's CPLEX IP baseline). A context cancellation
+// behaves like a MIP solver's time limit: the best incumbent is returned
+// with Optimal == false and a nil error.
+func Exact(ctx context.Context, in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
 	eopts := exact.Options{NodeLimit: opts.NodeLimit, TimeLimit: opts.TimeLimit}
 	var (
 		sched *pcmax.Schedule
@@ -194,9 +257,9 @@ func Exact(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult,
 		err   error
 	)
 	if opts.Workers > 1 {
-		sched, res, err = exact.SolveParallel(in, eopts, opts.Workers)
+		sched, res, err = exact.SolveParallel(ctx, in, eopts, opts.Workers)
 	} else {
-		sched, res, err = exact.Solve(in, eopts)
+		sched, res, err = exact.Solve(ctx, in, eopts)
 	}
 	if err != nil {
 		return nil, ExactResult{}, err
@@ -210,9 +273,10 @@ func Exact(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult,
 // the repository's stand-in for the paper's CPLEX baseline: expect running
 // times that vary wildly across instance families, exactly as the paper
 // reports for CPLEX. For a certified optimum use Exact, which is uniformly
-// stronger.
-func ExactIP(in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
-	sched, res, err := exact.SolveAssignment(in, exact.Options{NodeLimit: opts.NodeLimit, TimeLimit: opts.TimeLimit})
+// stronger. Cancellation semantics match Exact's (incumbent, Optimal ==
+// false, nil error).
+func ExactIP(ctx context.Context, in *pcmax.Instance, opts ExactOptions) (*pcmax.Schedule, ExactResult, error) {
+	sched, res, err := exact.SolveAssignment(ctx, in, exact.Options{NodeLimit: opts.NodeLimit, TimeLimit: opts.TimeLimit})
 	if err != nil {
 		return nil, ExactResult{}, err
 	}
@@ -237,9 +301,11 @@ type SahniOptions struct {
 // Sahni schedules the instance with Sahni's fixed-m dynamic program: exact
 // for Epsilon == 0, a (1+Epsilon)-approximation otherwise. Complementary to
 // PTAS: use it when m is small and certified optimality (or an FPTAS-grade
-// guarantee) matters more than scaling in m.
-func Sahni(in *pcmax.Instance, opts SahniOptions) (*pcmax.Schedule, error) {
-	return sahni.Solve(in, sahni.Options{
+// guarantee) matters more than scaling in m. ctx is checked once per job
+// sweep and within large sweeps; a cancellation surfaces as an error
+// matching ErrCanceled.
+func Sahni(ctx context.Context, in *pcmax.Instance, opts SahniOptions) (*pcmax.Schedule, error) {
+	return sahni.Solve(ctx, in, sahni.Options{
 		Epsilon:     opts.Epsilon,
 		MaxStates:   opts.MaxStates,
 		MaxMachines: opts.MaxMachines,

@@ -1,6 +1,7 @@
 package solver_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -17,7 +18,7 @@ func sampleInstance() *pcmax.Instance {
 
 func TestLSValid(t *testing.T) {
 	in := sampleInstance()
-	s, err := solver.LS(in)
+	s, err := solver.LS(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -28,7 +29,7 @@ func TestLSValid(t *testing.T) {
 
 func TestLPTValid(t *testing.T) {
 	in := sampleInstance()
-	s, err := solver.LPT(in)
+	s, err := solver.LPT(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestLPTValid(t *testing.T) {
 
 func TestMultiFitValid(t *testing.T) {
 	in := sampleInstance()
-	s, err := solver.MultiFit(in)
+	s, err := solver.MultiFit(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,19 +51,19 @@ func TestMultiFitValid(t *testing.T) {
 
 func TestAllRejectInvalidInstances(t *testing.T) {
 	bad := &pcmax.Instance{M: 0, Times: []pcmax.Time{1}}
-	if _, err := solver.LS(bad); err == nil {
+	if _, err := solver.LS(context.Background(), bad); err == nil {
 		t.Fatal("LS accepted invalid instance")
 	}
-	if _, err := solver.LPT(bad); err == nil {
+	if _, err := solver.LPT(context.Background(), bad); err == nil {
 		t.Fatal("LPT accepted invalid instance")
 	}
-	if _, err := solver.MultiFit(bad); err == nil {
+	if _, err := solver.MultiFit(context.Background(), bad); err == nil {
 		t.Fatal("MultiFit accepted invalid instance")
 	}
-	if _, _, err := solver.PTAS(bad, solver.DefaultPTASOptions()); err == nil {
+	if _, _, err := solver.PTAS(context.Background(), bad, solver.DefaultPTASOptions()); err == nil {
 		t.Fatal("PTAS accepted invalid instance")
 	}
-	if _, _, err := solver.Exact(bad, solver.ExactOptions{}); err == nil {
+	if _, _, err := solver.Exact(context.Background(), bad, solver.ExactOptions{}); err == nil {
 		t.Fatal("Exact accepted invalid instance")
 	}
 }
@@ -73,7 +74,7 @@ func TestPTASDefaultsMatchPaper(t *testing.T) {
 		t.Fatalf("defaults = %+v", opts)
 	}
 	in := sampleInstance()
-	s, st, err := solver.PTAS(in, opts)
+	s, st, err := solver.PTAS(context.Background(), in, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestPTASDefaultsMatchPaper(t *testing.T) {
 }
 
 func TestPTASRejectsZeroOptions(t *testing.T) {
-	if _, _, err := solver.PTAS(sampleInstance(), solver.PTASOptions{}); err == nil {
+	if _, _, err := solver.PTAS(context.Background(), sampleInstance(), solver.PTASOptions{}); err == nil {
 		t.Fatal("zero options (eps=0) must be rejected")
 	}
 }
@@ -94,7 +95,7 @@ func TestPTASRejectsZeroOptions(t *testing.T) {
 func TestPTASVariantsAgree(t *testing.T) {
 	in := sampleInstance()
 	base := solver.DefaultPTASOptions()
-	ref, _, err := solver.PTAS(in, base)
+	ref, _, err := solver.PTAS(context.Background(), in, base)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestPTASVariantsAgree(t *testing.T) {
 		{Epsilon: 0.3, Workers: 1, ShortJobsLS: false},
 	}
 	for i, opts := range variants {
-		got, _, err := solver.PTAS(in, opts)
+		got, _, err := solver.PTAS(context.Background(), in, opts)
 		if err != nil {
 			t.Fatalf("variant %d: %v", i, err)
 		}
@@ -117,7 +118,7 @@ func TestPTASVariantsAgree(t *testing.T) {
 
 func TestPTASShortJobsLSMayDifferButIsValid(t *testing.T) {
 	in := sampleInstance()
-	s, _, err := solver.PTAS(in, solver.PTASOptions{Epsilon: 0.3, Workers: 1, ShortJobsLS: true})
+	s, _, err := solver.PTAS(context.Background(), in, solver.PTASOptions{Epsilon: 0.3, Workers: 1, ShortJobsLS: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +131,14 @@ func TestPTASTableBudgetError(t *testing.T) {
 	in := workload.MustGenerate(workload.Spec{Family: workload.Um_2m1, M: 20, N: 41, Seed: 2})
 	opts := solver.DefaultPTASOptions()
 	opts.MaxTableEntries = 2
-	if _, _, err := solver.PTAS(in, opts); err == nil {
+	if _, _, err := solver.PTAS(context.Background(), in, opts); err == nil {
 		t.Fatal("want table budget error")
 	}
 }
 
 func TestExactOptimalAndOrdered(t *testing.T) {
 	in := sampleInstance()
-	s, res, err := solver.Exact(in, solver.ExactOptions{TimeLimit: 10 * time.Second})
+	s, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{TimeLimit: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,24 +162,24 @@ func TestEndToEndOrderingProperty(t *testing.T) {
 			times[j] = pcmax.Time(1 + src.Int64n(99))
 		}
 		in := &pcmax.Instance{M: m, Times: times}
-		exactS, res, err := solver.Exact(in, solver.ExactOptions{})
+		exactS, res, err := solver.Exact(context.Background(), in, solver.ExactOptions{})
 		if err != nil || !res.Optimal {
 			return false
 		}
 		opt := exactS.Makespan(in)
-		ptas, _, err := solver.PTAS(in, solver.DefaultPTASOptions())
+		ptas, _, err := solver.PTAS(context.Background(), in, solver.DefaultPTASOptions())
 		if err != nil {
 			return false
 		}
-		lpt, err := solver.LPT(in)
+		lpt, err := solver.LPT(context.Background(), in)
 		if err != nil {
 			return false
 		}
-		ls, err := solver.LS(in)
+		ls, err := solver.LS(context.Background(), in)
 		if err != nil {
 			return false
 		}
-		mf, err := solver.MultiFit(in)
+		mf, err := solver.MultiFit(context.Background(), in)
 		if err != nil {
 			return false
 		}
