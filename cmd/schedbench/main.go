@@ -45,7 +45,7 @@ func run(args []string) error {
 		faithful = fs.Bool("paper-faithful", false, "use the presentation-faithful DP variants")
 		csv      = fs.Bool("csv", false, "render tables as CSV")
 		jsonOut  = fs.Bool("json", false, "dp: also write results to "+benchJSONName)
-		deadline = fs.Duration("deadline", 0, "dp: overall deadline for the benchmark sweep (0 = none)")
+		deadline = fs.Duration("deadline", 0, "overall deadline for the whole run (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -102,22 +102,31 @@ func run(args []string) error {
 	}
 	cfg.Cores = parsed
 
-	runFig := func(f func() (*exper.SpeedupResult, error)) error {
-		res, err := f()
+	// One root context bounds the whole run; every experiment entry point
+	// threads it down to the innermost solver loops.
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
+
+	runFig := func(f func(context.Context) (*exper.SpeedupResult, error)) error {
+		res, err := f(ctx)
 		if err != nil {
 			return err
 		}
 		return res.Render(cfg)
 	}
 	runRatios := func() error {
-		a, err := cfg.RunFig5a()
+		a, err := cfg.RunFig5a(ctx)
 		if err != nil {
 			return err
 		}
 		if err := a.Render(cfg, "Table II: best-case instances", "fig5(a): actual approximation ratios (best cases)"); err != nil {
 			return err
 		}
-		b, err := cfg.RunFig5b()
+		b, err := cfg.RunFig5b(ctx)
 		if err != nil {
 			return err
 		}
@@ -125,7 +134,7 @@ func run(args []string) error {
 	}
 
 	runAblations := func() error {
-		res, err := cfg.RunAblations()
+		res, err := cfg.RunAblations(ctx)
 		if err != nil {
 			return err
 		}
@@ -146,27 +155,21 @@ func run(args []string) error {
 	case "ablations":
 		return runAblations()
 	case "epsilon":
-		res, err := cfg.RunEpsilonSweep(20, 100, nil)
+		res, err := cfg.RunEpsilonSweep(ctx, 20, 100, nil)
 		if err != nil {
 			return err
 		}
 		return res.Render(cfg)
 	case "dp":
-		ctx := context.Background()
-		if *deadline > 0 {
-			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *deadline)
-			defer cancel()
-		}
 		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, *jsonOut)
 	case "hard":
-		res, err := cfg.RunHard(nil, 0)
+		res, err := cfg.RunHard(ctx, nil, 0)
 		if err != nil {
 			return err
 		}
 		return res.Render(cfg)
 	case "all":
-		for _, f := range []func() (*exper.SpeedupResult, error){cfg.RunFig2, cfg.RunFig3, cfg.RunFig4, cfg.RunFigS} {
+		for _, f := range []func(context.Context) (*exper.SpeedupResult, error){cfg.RunFig2, cfg.RunFig3, cfg.RunFig4, cfg.RunFigS} {
 			if err := runFig(f); err != nil {
 				return err
 			}

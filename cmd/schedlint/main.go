@@ -1,0 +1,97 @@
+// Command schedlint runs the repository's static-analysis suite: six
+// analyzers (see internal/lint and ALGORITHM.md §9) that machine-check the
+// concurrency and determinism invariants the scheduler depends on —
+// deterministic RNG only through internal/rng, context threaded through
+// every blocking solver entry point, no unjoined goroutines, no map
+// iteration order leaking into results, no undocumented library panics,
+// and no by-value copies of the parallel substrate's lock-bearing types.
+//
+// Usage:
+//
+//	schedlint [-json] [packages]
+//
+// schedlint always analyzes the whole module containing the working
+// directory; package arguments (./...) are accepted for command-line
+// familiarity but do not narrow the run — the invariants are module-wide.
+// Findings print as file:line:col: check: message (or a JSON array with
+// -json) and any finding makes the exit status 1. Suppress an individual
+// finding with a trailing or preceding comment:
+//
+//	//lint:ignore <check> <reason>
+//
+// The reason is mandatory; malformed directives are themselves findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
+	listChecks := flag.Bool("checks", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *listChecks {
+		for _, a := range lint.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := lint.RunAnalyzers(root, lint.All())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to the nearest go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

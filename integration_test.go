@@ -109,14 +109,14 @@ func TestHarnessSmoke(t *testing.T) {
 	cfg.ExactNodeLimit = 1_000_000
 	cfg.Out = &out
 
-	fig, err := cfg.RunSpeedupFigure("mini2", 6, 30)
+	fig, err := cfg.RunSpeedupFigure(context.Background(), "mini2", 6, 30)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := fig.Render(cfg); err != nil {
 		t.Fatal(err)
 	}
-	ratios, err := cfg.RunRatioFigure("mini5", []exper.RatioInstance{
+	ratios, err := cfg.RunRatioFigure(context.Background(), "mini5", []exper.RatioInstance{
 		{ID: "M1", Fam: workload.Um_2m1, M: 4, N: 9},
 		{ID: "M2", Fam: workload.U1_100, M: 4, N: 16},
 	})

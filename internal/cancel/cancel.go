@@ -99,6 +99,7 @@ func Check(ctx context.Context) error {
 // converts the legacy TimeLimit option fields into context deadlines.
 func WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
 	if ctx == nil {
+		//lint:ignore ctxfirst canonical nil-ctx normalization at the API boundary, not a minted root for new work
 		ctx = context.Background()
 	}
 	if d <= 0 {

@@ -229,6 +229,7 @@ func KFor(eps float64) (int, error) {
 // context.Background().
 func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, *Stats, error) {
 	if ctx == nil {
+		//lint:ignore ctxfirst canonical nil-ctx normalization at the API boundary, not a minted root for new work
 		ctx = context.Background()
 	}
 	if err := in.Validate(); err != nil {

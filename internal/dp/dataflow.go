@@ -23,6 +23,7 @@ import (
 // results are bit-identical to every other fill. It is the uninterruptible
 // shim over FillDataflowCtx.
 func (t *Table) FillDataflow(workers int) {
+	//lint:ignore ctxfirst deprecated uninterruptible shim; by contract its callers have no context to propagate
 	_ = t.FillDataflowCtx(context.Background(), workers)
 }
 

@@ -426,6 +426,8 @@ func ctxDone(ctx context.Context) <-chan struct{} {
 // FillSequential computes every entry bottom-up with no cancellation point;
 // it is the uninterruptible shim over FillSequentialCtx kept for callers
 // (benchmarks, ablations) that have no deadline to honor.
+//
+//lint:ignore ctxfirst deprecated uninterruptible shim; by contract its callers have no context to propagate
 func (t *Table) FillSequential() { _ = t.FillSequentialCtx(context.Background()) }
 
 // FillSequentialCtx computes every entry bottom-up, checking ctx every
@@ -579,6 +581,8 @@ func (t *Table) fillConfigOuter(ctx context.Context) error {
 // unreachable entries keep an internal "unset" marker that OptValue and
 // Reconstruct never observe. It is the uninterruptible shim over
 // FillRecursiveCtx.
+//
+//lint:ignore ctxfirst deprecated uninterruptible shim; by contract its callers have no context to propagate
 func (t *Table) FillRecursive() { _ = t.FillRecursiveCtx(context.Background()) }
 
 // FillRecursiveCtx is FillRecursive with cooperative cancellation: the
@@ -745,6 +749,7 @@ func (t *Table) buildLevelIndex(pool *par.Pool, strategy par.Strategy) *levelInd
 // sequence. The pool may be reused across calls and bisection iterations. It
 // is the uninterruptible shim over FillParallelCtx.
 func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strategy) {
+	//lint:ignore ctxfirst deprecated uninterruptible shim; by contract its callers have no context to propagate
 	_ = t.FillParallelCtx(context.Background(), pool, mode, strategy)
 }
 
@@ -753,7 +758,9 @@ func (t *Table) FillParallel(pool *par.Pool, mode LevelMode, strategy par.Strate
 // every cancelCheckEvery entries inside each level, so an abort lands within
 // one level's residual work. Workers stop claiming entries, the level barrier
 // still completes (no leaked goroutines, the pool stays reusable) and the
-// structured cancel error is returned with the table left unfilled.
+// structured cancel error is returned with the table left unfilled. It
+// panics on a LevelMode outside the declared constants, which is a
+// programming error at the call site.
 func (t *Table) FillParallelCtx(ctx context.Context, pool *par.Pool, mode LevelMode, strategy par.Strategy) error {
 	if t.Sigma == 1 {
 		if err := cancel.Check(ctx); err != nil {

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -40,7 +41,7 @@ type AblationResult struct {
 //   - short-job rule: LPT (paper) vs LS (original Hochbaum–Shmoys)
 //   - bisection: sequential vs speculative multi-probe
 //   - exact-solver incumbent: LPT+MultiFit vs LPT only
-func (cfg Config) RunAblations() (*AblationResult, error) {
+func (cfg Config) RunAblations(ctx context.Context) (*AblationResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -63,9 +64,9 @@ func (cfg Config) RunAblations() (*AblationResult, error) {
 		var total float64
 		var worst pcmax.Time
 		for _, in := range instances {
-			ctx, cancel := cfg.algoCtx()
+			actx, cancel := cfg.algoCtx(ctx)
 			t0 := time.Now()
-			sched, _, err := core.Solve(ctx, in, opts)
+			sched, _, err := core.Solve(actx, in, opts)
 			cancel()
 			if err != nil {
 				if errors.Is(err, solver.ErrCanceled) {
@@ -138,12 +139,12 @@ func (cfg Config) RunAblations() (*AblationResult, error) {
 		}
 		var total float64
 		for _, in := range instances {
-			ctx, cancel := cfg.algoCtx()
+			actx, cancel := cfg.algoCtx(ctx)
 			t0 := time.Now()
 			// DisableMultiFitIncumbent is likewise internal-only; the exact
 			// solver's MIP contract turns a timeout into a bounded run, so
 			// the cell stays usable.
-			_, _, err := exact.Solve(ctx, in, exact.Options{
+			_, _, err := exact.Solve(actx, in, exact.Options{
 				NodeLimit:                cfg.ExactNodeLimit,
 				TimeLimit:                cfg.ExactTimeLimit,
 				DisableMultiFitIncumbent: disable,

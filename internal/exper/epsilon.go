@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -38,7 +39,7 @@ var DefaultEpsilonGrid = []float64{1.0, 0.5, 0.4, 1.0 / 3.0, 0.3, 0.25, 0.2}
 // RunEpsilonSweep quantifies the accuracy/effort exchange of the scheme on
 // the paper's U(1,100) family: for each epsilon, the actual approximation
 // ratio against the certified optimum and the running time/table size.
-func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, error) {
+func (cfg Config) RunEpsilonSweep(ctx context.Context, m, n int, grid []float64) (*EpsilonResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -57,7 +58,7 @@ func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, err
 		if err != nil {
 			return nil, err
 		}
-		_, exRep, err := cfg.runAlgo("exact", in, cfg.exactLimits())
+		_, exRep, err := cfg.runAlgo(ctx, "exact", in, cfg.exactLimits())
 		if err != nil && !errors.Is(err, solver.ErrCanceled) {
 			return nil, err
 		}
@@ -77,7 +78,7 @@ func (cfg Config) RunEpsilonSweep(m, n int, grid []float64) (*EpsilonResult, err
 		sweep := cfg
 		sweep.Epsilon = eps
 		for _, it := range instances {
-			sched, rep, err := sweep.runAlgo("ptas", it.in, sweep.ptasOptions(1))
+			sched, rep, err := sweep.runAlgo(ctx, "ptas", it.in, sweep.ptasOptions(1))
 			if err != nil || rep.PTAS == nil {
 				pt.Failures++
 				continue

@@ -88,13 +88,15 @@ func (cfg *Config) out() io.Writer {
 	return os.Stdout
 }
 
-// algoCtx returns the context bounding one algorithm invocation: a deadline
-// of AlgoTimeout when set, Background otherwise.
-func (cfg *Config) algoCtx() (context.Context, context.CancelFunc) {
+// algoCtx returns the context bounding one algorithm invocation: ctx
+// narrowed by an AlgoTimeout deadline when set, ctx unchanged otherwise.
+// The harness never mints a root context; cancelling the context a Run*
+// entry point was given aborts the whole experiment cooperatively.
+func (cfg *Config) algoCtx(ctx context.Context) (context.Context, context.CancelFunc) {
 	if cfg.AlgoTimeout > 0 {
-		return context.WithTimeout(context.Background(), cfg.AlgoTimeout)
+		return context.WithTimeout(ctx, cfg.AlgoTimeout)
 	}
-	return context.Background(), func() {}
+	return ctx, func() {}
 }
 
 // runAlgo dispatches one algorithm through the solver registry under the
@@ -102,12 +104,12 @@ func (cfg *Config) algoCtx() (context.Context, context.CancelFunc) {
 // still receives the fallback/incumbent schedule (when the algorithm
 // provides one) next to the ErrCanceled-matching error and decides whether
 // the cell is usable.
-func (cfg *Config) runAlgo(name string, in *pcmax.Instance, opts solver.Options) (*pcmax.Schedule, solver.Report, error) {
+func (cfg *Config) runAlgo(ctx context.Context, name string, in *pcmax.Instance, opts solver.Options) (*pcmax.Schedule, solver.Report, error) {
 	alg, err := solver.Lookup(name)
 	if err != nil {
 		return nil, solver.Report{}, err
 	}
-	ctx, cancel := cfg.algoCtx()
+	ctx, cancel := cfg.algoCtx(ctx)
 	defer cancel()
 	sched, rep, err := alg.Solve(ctx, in, opts)
 	if err != nil && errors.Is(err, solver.ErrCanceled) {
@@ -171,8 +173,8 @@ type measurement struct {
 	lsMakespan   pcmax.Time
 }
 
-// measure runs every solver on one instance.
-func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
+// measure runs every solver on one instance under ctx.
+func (cfg *Config) measure(ctx context.Context, in *pcmax.Instance) (*measurement, error) {
 	m := &measurement{
 		wallSeconds: make(map[int]float64),
 		simSeconds:  make(map[int]float64),
@@ -184,9 +186,9 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	// still runs under the per-algorithm timeout.
 	profile := &simsched.Profile{}
 	copts := core.Options{Epsilon: cfg.Epsilon, Workers: 1, Profile: profile, PerEntryConfigs: cfg.PaperFaithful}
-	ctx, cancelSeq := cfg.algoCtx()
+	seqCtx, cancelSeq := cfg.algoCtx(ctx)
 	t0 := time.Now()
-	seqSched, seqStats, err := core.Solve(ctx, in, copts)
+	seqSched, seqStats, err := core.Solve(seqCtx, in, copts)
 	cancelSeq()
 	if err != nil {
 		return nil, fmt.Errorf("sequential PTAS: %w", err)
@@ -217,7 +219,7 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	// runAlgo and skipped rather than failing the whole figure.
 	if cfg.WallClock {
 		for _, c := range cfg.Cores {
-			parSched, parRep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(c))
+			parSched, parRep, err := cfg.runAlgo(ctx, "ptas", in, cfg.ptasOptions(c))
 			if err != nil {
 				if errors.Is(err, solver.ErrCanceled) {
 					continue
@@ -233,7 +235,7 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 
 	// Classical baselines.
 	for name, dst := range map[string]*pcmax.Time{"lpt": &m.lptMakespan, "ls": &m.lsMakespan} {
-		_, rep, err := cfg.runAlgo(name, in, solver.Options{})
+		_, rep, err := cfg.runAlgo(ctx, name, in, solver.Options{})
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -250,7 +252,7 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 	// the incumbent with ipProven = false, like a MIP time limit.
 	limits := cfg.exactLimits()
 	if !cfg.SkipIPBaseline {
-		_, ipRep, err := cfg.runAlgo("ip", in, limits)
+		_, ipRep, err := cfg.runAlgo(ctx, "ip", in, limits)
 		if err != nil && !errors.Is(err, solver.ErrCanceled) {
 			return nil, fmt.Errorf("IP baseline: %w", err)
 		}
@@ -265,7 +267,7 @@ func (cfg *Config) measure(in *pcmax.Instance) (*measurement, error) {
 
 	// Certified optimum for ratios from the strong combinatorial solver
 	// (fast on all evaluation families).
-	_, exRep, err := cfg.runAlgo("exact", in, limits)
+	_, exRep, err := cfg.runAlgo(ctx, "exact", in, limits)
 	if err != nil && !errors.Is(err, solver.ErrCanceled) {
 		return nil, fmt.Errorf("exact: %w", err)
 	}

@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -61,7 +62,7 @@ func TestSpecForDeterministic(t *testing.T) {
 func TestRunSpeedupFigureSmall(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
-	res, err := cfg.RunSpeedupFigure("figT", 4, 16)
+	res, err := cfg.RunSpeedupFigure(context.Background(), "figT", 4, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestRunSpeedupFigureNoWallClock(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
 	cfg.WallClock = false
-	res, err := cfg.RunSpeedupFigure("figT", 3, 10)
+	res, err := cfg.RunSpeedupFigure(context.Background(), "figT", 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,7 +113,7 @@ func TestRunSpeedupFigureCSV(t *testing.T) {
 	cfg := tinyConfig(&out)
 	cfg.CSV = true
 	cfg.WallClock = false
-	res, err := cfg.RunSpeedupFigure("figT", 3, 10)
+	res, err := cfg.RunSpeedupFigure(context.Background(), "figT", 3, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestRunRatioFigureSmall(t *testing.T) {
 		{ID: "T1", Fam: workload.U1_10, M: 3, N: 12, Note: "tiny"},
 		{ID: "T2", Fam: workload.Um_2m1, M: 3, N: 7, Note: "adversarial"},
 	}
-	res, err := cfg.RunRatioFigure("figR", instances)
+	res, err := cfg.RunRatioFigure(context.Background(), "figR", instances)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestMeasureParallelMatchesSequential(t *testing.T) {
 	cfg.Cores = []int{1, 3}
 	cfg.ExactTimeLimit = 5 * time.Second
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 20, Seed: 11})
-	meas, err := cfg.measure(in)
+	meas, err := cfg.measure(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +209,7 @@ func TestRunAlgoTimeout(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.AlgoTimeout = time.Nanosecond // expires before the solve starts
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 16, Seed: 9})
-	sched, rep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1))
+	sched, rep, err := cfg.runAlgo(context.Background(), "ptas", in, cfg.ptasOptions(1))
 	if !errors.Is(err, solver.ErrCanceled) {
 		t.Fatalf("error %v does not match solver.ErrCanceled", err)
 	}
@@ -221,7 +222,7 @@ func TestRunAlgoTimeout(t *testing.T) {
 
 	// Without a timeout the same dispatch completes.
 	cfg.AlgoTimeout = 0
-	if _, _, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1)); err != nil {
+	if _, _, err := cfg.runAlgo(context.Background(), "ptas", in, cfg.ptasOptions(1)); err != nil {
 		t.Fatal(err)
 	}
 }

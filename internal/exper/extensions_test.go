@@ -2,6 +2,7 @@ package exper
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -12,7 +13,7 @@ import (
 func TestRunEpsilonSweepSmall(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
-	res, err := cfg.RunEpsilonSweep(4, 20, []float64{1.0, 0.5, 0.3})
+	res, err := cfg.RunEpsilonSweep(context.Background(), 4, 20, []float64{1.0, 0.5, 0.3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestRunEpsilonSweepDefaultGridParses(t *testing.T) {
 func TestRunAblationsSmall(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
-	res, err := cfg.RunAblations()
+	res, err := cfg.RunAblations(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +105,7 @@ func TestRunFigSShape(t *testing.T) {
 	cfg := tinyConfig(&out)
 	cfg.WallClock = false
 	cfg.Cores = []int{1, 8}
-	res, err := cfg.RunFigS()
+	res, err := cfg.RunFigS(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestSkipIPMeasurement(t *testing.T) {
 	cfg.SkipIP = true
 	cfg.ExactTimeLimit = time.Second
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 16, Seed: 2})
-	meas, err := cfg.measure(in)
+	meas, err := cfg.measure(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,7 +149,7 @@ func TestSkipIPMeasurement(t *testing.T) {
 func TestRunHardSmall(t *testing.T) {
 	var out bytes.Buffer
 	cfg := tinyConfig(&out)
-	res, err := cfg.RunHard([]int{3, 4}, 60)
+	res, err := cfg.RunHard(context.Background(), []int{3, 4}, 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,14 +180,14 @@ func TestMeasurePaperFaithful(t *testing.T) {
 	cfg.ExactTimeLimit = 5 * time.Second
 	cfg.ExactNodeLimit = 1_000_000
 	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 16, Seed: 6})
-	meas, err := cfg.measure(in)
+	meas, err := cfg.measure(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The faithful variants compute the same schedule, just slower.
 	ref := cfg
 	ref.PaperFaithful = false
-	refMeas, err := ref.measure(in)
+	refMeas, err := ref.measure(context.Background(), in)
 	if err != nil {
 		t.Fatal(err)
 	}

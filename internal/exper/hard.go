@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,7 +32,7 @@ type HardResult struct {
 // perfect schedule of makespan B): the known hard case for exact solvers and
 // a favourable one for the PTAS, which keeps its guarantee while the IP
 // baseline's search explodes with m.
-func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
+func (cfg Config) RunHard(ctx context.Context, ms []int, b pcmax.Time) (*HardResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -56,7 +57,7 @@ func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
 			// The exact solvers keep their MIP contract under limits and
 			// timeouts: the incumbent comes back with Optimal == false, so a
 			// timed-out cell still yields a timing and a usable bound.
-			_, bcRep, err := cfg.runAlgo("exact", in, limits)
+			_, bcRep, err := cfg.runAlgo(ctx, "exact", in, limits)
 			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
@@ -69,7 +70,7 @@ func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
 				opt = b // the construction guarantees OPT = B
 			}
 
-			_, ipRep, err := cfg.runAlgo("ip", in, limits)
+			_, ipRep, err := cfg.runAlgo(ctx, "ip", in, limits)
 			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
@@ -81,13 +82,13 @@ func (cfg Config) RunHard(ms []int, b pcmax.Time) (*HardResult, error) {
 				row.IPProven++
 			}
 
-			_, parRep, err := cfg.runAlgo("exact", in, wide)
+			_, parRep, err := cfg.runAlgo(ctx, "exact", in, wide)
 			if err != nil && !errors.Is(err, solver.ErrCanceled) {
 				return nil, err
 			}
 			par4 = append(par4, parRep.Elapsed.Seconds())
 
-			sched, pRep, err := cfg.runAlgo("ptas", in, cfg.ptasOptions(1))
+			sched, pRep, err := cfg.runAlgo(ctx, "ptas", in, cfg.ptasOptions(1))
 			if err != nil {
 				if errors.Is(err, solver.ErrCanceled) {
 					continue // logged by runAlgo; the fallback has no guarantee to report

@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -61,7 +62,7 @@ type RatioResult struct {
 
 // RunRatioFigure measures the actual approximation ratios over one instance
 // set.
-func (cfg Config) RunRatioFigure(fig string, instances []RatioInstance) (*RatioResult, error) {
+func (cfg Config) RunRatioFigure(ctx context.Context, fig string, instances []RatioInstance) (*RatioResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -81,7 +82,7 @@ func (cfg Config) RunRatioFigure(fig string, instances []RatioInstance) (*RatioR
 			sub.WallClock = false
 			sub.Cores = []int{1}
 			sub.SkipIPBaseline = true
-			meas, err := sub.measure(in)
+			meas, err := sub.measure(ctx, in)
 			if err != nil {
 				return nil, fmt.Errorf("%s %s rep %d: %w", fig, ri.ID, rep, err)
 			}
@@ -131,7 +132,11 @@ func (r *RatioResult) Render(cfg Config, inventoryTitle, panelTitle string) erro
 }
 
 // RunFig5a measures the best-case ratio panel (Table II instances).
-func (cfg Config) RunFig5a() (*RatioResult, error) { return cfg.RunRatioFigure("fig5a", TableII()) }
+func (cfg Config) RunFig5a(ctx context.Context) (*RatioResult, error) {
+	return cfg.RunRatioFigure(ctx, "fig5a", TableII())
+}
 
 // RunFig5b measures the worst-case ratio panel (Table III instances).
-func (cfg Config) RunFig5b() (*RatioResult, error) { return cfg.RunRatioFigure("fig5b", TableIII()) }
+func (cfg Config) RunFig5b(ctx context.Context) (*RatioResult, error) {
+	return cfg.RunRatioFigure(ctx, "fig5b", TableIII())
+}

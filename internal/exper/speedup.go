@@ -1,6 +1,7 @@
 package exper
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/stats"
@@ -34,14 +35,14 @@ type SpeedupResult struct {
 
 // RunSpeedupFigure measures one of the paper's speedup figures for the given
 // machine/job counts over the four uniform families.
-func (cfg Config) RunSpeedupFigure(fig string, m, n int) (*SpeedupResult, error) {
-	return cfg.RunSpeedupFigureFamilies(fig, m, n, workload.SpeedupFamilies)
+func (cfg Config) RunSpeedupFigure(ctx context.Context, fig string, m, n int) (*SpeedupResult, error) {
+	return cfg.RunSpeedupFigureFamilies(ctx, fig, m, n, workload.SpeedupFamilies)
 }
 
 // RunSpeedupFigureFamilies is RunSpeedupFigure over an explicit family set.
 // The LPT-adversarial family always uses n = 2m+1 regardless of n, as in the
 // paper.
-func (cfg Config) RunSpeedupFigureFamilies(fig string, m, n int, families []workload.Family) (*SpeedupResult, error) {
+func (cfg Config) RunSpeedupFigureFamilies(ctx context.Context, fig string, m, n int, families []workload.Family) (*SpeedupResult, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -77,7 +78,7 @@ func (cfg Config) RunSpeedupFigureFamilies(fig string, m, n int, families []work
 			if err != nil {
 				return nil, err
 			}
-			meas, err := cfg.measure(in)
+			meas, err := cfg.measure(ctx, in)
 			if err != nil {
 				return nil, fmt.Errorf("%s %v rep %d: %w", fig, fam, rep, err)
 			}
@@ -202,13 +203,19 @@ func (r *SpeedupResult) Render(cfg Config) error {
 }
 
 // RunFig2 reproduces Figure 2: m=20, n=100.
-func (cfg Config) RunFig2() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig2", 20, 100) }
+func (cfg Config) RunFig2(ctx context.Context) (*SpeedupResult, error) {
+	return cfg.RunSpeedupFigure(ctx, "fig2", 20, 100)
+}
 
 // RunFig3 reproduces Figure 3: m=10, n=50.
-func (cfg Config) RunFig3() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig3", 10, 50) }
+func (cfg Config) RunFig3(ctx context.Context) (*SpeedupResult, error) {
+	return cfg.RunSpeedupFigure(ctx, "fig3", 10, 50)
+}
 
 // RunFig4 reproduces Figure 4: m=10, n=30.
-func (cfg Config) RunFig4() (*SpeedupResult, error) { return cfg.RunSpeedupFigure("fig4", 10, 30) }
+func (cfg Config) RunFig4(ctx context.Context) (*SpeedupResult, error) {
+	return cfg.RunSpeedupFigure(ctx, "fig4", 10, 30)
+}
 
 // RunFigS is the scaled speedup experiment beyond the paper: the same code
 // paths at m=40 with n=200 jobs (n=2m+1 for the adversarial family), where
@@ -217,9 +224,9 @@ func (cfg Config) RunFig4() (*SpeedupResult, error) { return cfg.RunSpeedupFigur
 // approach the paper's reported scaling even with a fast per-entry kernel;
 // see EXPERIMENTS.md. The IP baseline is skipped (it is not the object of
 // study and would dominate the runtime).
-func (cfg Config) RunFigS() (*SpeedupResult, error) {
+func (cfg Config) RunFigS(ctx context.Context) (*SpeedupResult, error) {
 	sub := cfg
 	sub.SkipIP = true
 	fams := []workload.Family{workload.U1_2m1, workload.U1_100, workload.U1_10n, workload.Um_2m1}
-	return sub.RunSpeedupFigureFamilies("figS", 40, 200, fams)
+	return sub.RunSpeedupFigureFamilies(ctx, "figS", 40, 200, fams)
 }

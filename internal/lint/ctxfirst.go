@@ -1,0 +1,185 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// ctxScopedPackages are the solver-entry packages where every blocking
+// exported function must be cancellable: the facade, the bisection driver,
+// the DP fills and the branch-and-bound solvers.
+var ctxScopedPackages = map[string]bool{
+	"solver":         true,
+	"internal/core":  true,
+	"internal/dp":    true,
+	"internal/exact": true,
+}
+
+// CtxFirst enforces the cancellation contract established in PR 2: solver
+// entry points thread context.Context from the facade down to the innermost
+// fill loops. Three rules:
+//
+//  1. in the scoped packages, a context.Context parameter must be the
+//     first parameter (the Go convention every caller site relies on);
+//  2. in the scoped packages, an exported function whose body uses
+//     blocking constructs (go statements, selects, channel operations,
+//     sync.WaitGroup.Wait) must accept a context.Context;
+//  3. context.Background() and context.TODO() are forbidden outside
+//     package main, examples and tests — library code must propagate its
+//     caller's context, never mint a root one.
+var CtxFirst = &Analyzer{
+	Name: "ctxfirst",
+	Doc:  "blocking solver entry points take ctx first; library code never mints root contexts",
+	Run:  runCtxFirst,
+}
+
+func runCtxFirst(p *Pass) {
+	scoped := ctxScopedPackages[p.Pkg.RelPath]
+	libCode := !p.Pkg.IsMain() && !strings.HasPrefix(p.Pkg.RelPath, "examples")
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Type.Params == nil {
+				continue
+			}
+			if scoped {
+				checkCtxPosition(p, fd)
+				if fd.Name.IsExported() && fd.Body != nil &&
+					!hasContextParam(p, fd) && usesBlockingConstructs(p, fd.Body) {
+					p.Reportf(fd.Name.Pos(),
+						"exported %s uses blocking constructs but takes no context.Context; blocking entry points must be cancellable", fd.Name.Name)
+				}
+			}
+		}
+		if libCode {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if name := contextRootCall(p, call); name != "" {
+					p.Reportf(call.Pos(),
+						"context.%s() in library code: propagate the caller's context instead of minting a root one", name)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkCtxPosition flags context.Context parameters that are not first.
+func checkCtxPosition(p *Pass, fd *ast.FuncDecl) {
+	pos := 0
+	for _, field := range fd.Type.Params.List {
+		isCtx := isContextType(p, field.Type)
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isCtx && pos != 0 {
+			p.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
+		}
+		pos += n
+	}
+}
+
+// hasContextParam reports whether fd takes a context.Context anywhere.
+func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if isContextType(p, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isContextType reports whether the expression's type is context.Context.
+func isContextType(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Pkg.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// usesBlockingConstructs reports whether the body contains a go statement,
+// a select, a channel send/receive, a range over a channel, or a
+// sync.WaitGroup Wait call.
+func usesBlockingConstructs(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if isWaitGroupWait(p, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isWaitGroupWait reports whether the call is <sync.WaitGroup>.Wait().
+func isWaitGroupWait(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Wait" {
+		return false
+	}
+	tv, ok := p.Pkg.Info.Types[sel.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WaitGroup" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// contextRootCall returns "Background" or "TODO" when the call mints a root
+// context, "" otherwise.
+func contextRootCall(p *Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	if sel.Sel.Name != "Background" && sel.Sel.Name != "TODO" {
+		return ""
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok || pkgName.Imported().Path() != "context" {
+		return ""
+	}
+	return sel.Sel.Name
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// GoHygiene guards against leaked goroutines, the failure mode behind the
+// PR-1 par.Pool Close/For race: outside internal/par (the one package whose
+// job is goroutine lifecycle management), every `go` statement must be
+// lexically paired with a join — a sync.WaitGroup.Wait, a channel receive,
+// or a range over a channel — in the same enclosing function, so no solver
+// entry point can return while its workers are still running.
+var GoHygiene = &Analyzer{
+	Name: "gohygiene",
+	Doc:  "every go statement outside internal/par joins (WaitGroup.Wait or channel receive) in the same function",
+	Run:  runGoHygiene,
+}
+
+func runGoHygiene(p *Pass) {
+	if p.Pkg.RelPath == "internal/par" || strings.HasSuffix(p.Pkg.Path, "/internal/par") {
+		return
+	}
+	for _, f := range p.Files() {
+		var goStmts []*ast.GoStmt
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				goStmts = append(goStmts, g)
+			}
+			return true
+		})
+		for _, g := range goStmts {
+			body := enclosingFuncBody(f, g.Pos())
+			if body == nil || !hasJoin(p, body) {
+				p.Reportf(g.Pos(),
+					"go statement without a join (WaitGroup.Wait, channel receive or range) in the same function; spawn through internal/par or add an explicit barrier")
+			}
+		}
+	}
+}
+
+// enclosingFuncBody returns the body of the innermost function declaration
+// or literal whose span contains pos.
+func enclosingFuncBody(f *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			// Inspect visits outer functions before inner ones, so the last
+			// containing body seen is the innermost.
+			best = body
+		}
+		return true
+	})
+	return best
+}
+
+// hasJoin reports whether the function body contains a joining construct:
+// a sync.WaitGroup Wait call, a channel receive, or a range over a channel.
+func hasJoin(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isWaitGroupWait(p, n) {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}

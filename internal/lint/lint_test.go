@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// want is one expected diagnostic, parsed from a `// want "regex"` comment.
+type want struct {
+	file    string // module-relative
+	line    int
+	pattern *regexp.Regexp
+}
+
+var wantRe = regexp.MustCompile(`// want "([^"]*)"`)
+
+// runCase loads one testdata module, runs the named analyzers, and checks
+// the diagnostics against the module's want annotations: every want must be
+// matched by at least one diagnostic on its line, and every diagnostic must
+// be covered by a want.
+func runCase(t *testing.T, dir string, analyzers ...*Analyzer) []Diagnostic {
+	t.Helper()
+	root := filepath.Join("testdata", "src", dir)
+	mod, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule(%s): %v", root, err)
+	}
+	diags := RunOnModule(mod, analyzers)
+
+	var wants []want
+	for _, pkg := range mod.Packages {
+		files := make([]*ast.File, 0, len(pkg.Files)+len(pkg.TestFiles))
+		files = append(files, pkg.Files...)
+		files = append(files, pkg.TestFiles...)
+		for _, f := range files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want regex %q: %v", m[1], err)
+					}
+					pos := mod.Fset.Position(c.Pos())
+					rel, _ := filepath.Rel(mod.Root, pos.Filename)
+					wants = append(wants, want{file: filepath.ToSlash(rel), line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+
+	matched := make([]bool, len(wants))
+	for _, d := range diags {
+		covered := false
+		for i, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.pattern.MatchString(d.Message) {
+				matched[i] = true
+				covered = true
+			}
+		}
+		if !covered {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for i, w := range wants {
+		if !matched[i] {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.pattern)
+		}
+	}
+	return diags
+}
+
+func TestNoRandGlobal(t *testing.T) {
+	diags := runCase(t, "norand", NoRandGlobal)
+	// Two findings: the library import and the test-file import. The
+	// internal/rng and clean packages stay quiet.
+	if len(diags) != 2 {
+		t.Errorf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestCtxFirst(t *testing.T) {
+	diags := runCase(t, "ctxfirst", CtxFirst)
+	if len(diags) != 3 {
+		t.Errorf("want 3 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestGoHygiene(t *testing.T) {
+	diags := runCase(t, "gohygiene", GoHygiene)
+	if len(diags) != 1 {
+		t.Errorf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	diags := runCase(t, "maporder", MapOrder)
+	if len(diags) != 2 {
+		t.Errorf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestNakedPanic(t *testing.T) {
+	diags := runCase(t, "nakedpanic", NakedPanic)
+	if len(diags) != 1 {
+		t.Errorf("want 1 diagnostic, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestMutexByValue(t *testing.T) {
+	diags := runCase(t, "mutexbyvalue", MutexByValue)
+	if len(diags) != 4 {
+		t.Errorf("want 4 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestSuppression proves the directive contract: a well-formed
+// //lint:ignore silences exactly its check on the same or next line, a
+// directive without a reason or naming an unknown check is itself reported
+// and silences nothing.
+func TestSuppression(t *testing.T) {
+	root := filepath.Join("testdata", "src", "suppress")
+	diags, err := RunAnalyzers(root, All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	var gohygiene, directive []Diagnostic
+	for _, d := range diags {
+		switch d.Check {
+		case GoHygiene.Name:
+			gohygiene = append(gohygiene, d)
+		case DirectiveCheck:
+			directive = append(directive, d)
+		default:
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	// Detach and DetachTrailing are suppressed; NoReason and WrongCheck
+	// carry invalid directives, so their findings survive.
+	if len(gohygiene) != 2 {
+		t.Errorf("want 2 surviving gohygiene diagnostics, got %d: %v", len(gohygiene), gohygiene)
+	}
+	if len(directive) != 2 {
+		t.Fatalf("want 2 directive diagnostics, got %d: %v", len(directive), directive)
+	}
+	if !strings.Contains(directive[0].Message, "missing a reason") {
+		t.Errorf("first directive diagnostic should flag the missing reason, got %q", directive[0].Message)
+	}
+	if !strings.Contains(directive[1].Message, `unknown check "nosuchcheck"`) {
+		t.Errorf("second directive diagnostic should flag the unknown check, got %q", directive[1].Message)
+	}
+}
+
+// TestRepoIsClean is the merged-tree acceptance gate in test form: the
+// repository itself must produce zero findings, so scripts/check.sh's
+// schedlint step exits 0.
+func TestRepoIsClean(t *testing.T) {
+	diags, err := RunAnalyzers(filepath.Join("..", ".."), All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers(repo): %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("repo tree finding: %s", d)
+	}
+}
+
+// TestLoader sanity-checks the module loader on the repository itself:
+// module path, package discovery, type information and test-file parsing.
+func TestLoader(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if mod.Path != "repro" {
+		t.Errorf("module path = %q, want repro", mod.Path)
+	}
+	byRel := map[string]*Package{}
+	for _, p := range mod.Packages {
+		byRel[p.RelPath] = p
+	}
+	for _, rel := range []string{"solver", "internal/dp", "internal/par", "internal/lint", "cmd/schedlint"} {
+		p, ok := byRel[rel]
+		if !ok {
+			t.Fatalf("package %s not loaded", rel)
+		}
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Errorf("package %s has no type info or files", rel)
+		}
+	}
+	if p := byRel["internal/dp"]; len(p.TestFiles) == 0 {
+		t.Errorf("internal/dp test files not parsed")
+	}
+	if !byRel["cmd/schedlint"].IsMain() {
+		t.Errorf("cmd/schedlint should be package main")
+	}
+	if byRel["solver"].IsMain() {
+		t.Errorf("solver should not be package main")
+	}
+}

@@ -1,0 +1,333 @@
+// Package lint is the repository's static-analysis framework: a module
+// loader and a set of analyzers that machine-check the concurrency and
+// determinism invariants the scheduler's correctness depends on (see
+// ALGORITHM.md §9 and cmd/schedlint).
+//
+// The framework is built on the standard library only — go/ast, go/build,
+// go/parser and go/types — honoring the repository's no-external-deps rule.
+// Stdlib imports are type-checked from GOROOT source and cached process-wide,
+// so repeated runs (and the testdata-driven tests) pay the cost once.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the full import path ("repro/internal/dp").
+	Path string
+	// RelPath is the path relative to the module root ("internal/dp";
+	// "" for the module's root package).
+	RelPath string
+	// Dir is the absolute directory.
+	Dir string
+	// Files are the non-test files, parsed with comments and type-checked.
+	Files []*ast.File
+	// TestFiles are the package's _test.go files (in-package and external),
+	// parsed with comments but not type-checked. Only analyzers that are
+	// purely syntactic (IncludeTests) see them.
+	TestFiles []*ast.File
+	// Types and Info hold the go/types results for Files.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// IsMain reports whether the package is a command (package main).
+func (p *Package) IsMain() bool { return p.Types != nil && p.Types.Name() == "main" }
+
+// Module is a loaded, fully type-checked module.
+type Module struct {
+	// Root is the absolute module root directory (where go.mod lives).
+	Root string
+	// Path is the module path from go.mod.
+	Path string
+	// Fset maps positions for every parsed file.
+	Fset *token.FileSet
+	// Packages lists the module's packages sorted by RelPath.
+	Packages []*Package
+}
+
+// sharedFset is the process-wide file set: module files and stdlib sources
+// live in one set so types.Object positions stay meaningful regardless of
+// which load produced them. token.FileSet is safe for concurrent use.
+var sharedFset = token.NewFileSet()
+
+// stdlib package cache, shared across LoadModule calls (the testdata tests
+// load many small modules that all import sync/context/fmt).
+var (
+	stdMu   sync.Mutex
+	stdPkgs = map[string]*types.Package{}
+)
+
+// loader resolves and type-checks one module.
+type loader struct {
+	root    string
+	modPath string
+	ctxt    *build.Context
+	sizes   types.Sizes
+	pkgs    map[string]*Package // by import path, fully loaded
+	loading map[string]bool     // cycle guard
+}
+
+// LoadModule loads, parses and type-checks every package under root
+// (skipping testdata, vendor, hidden and underscore directories). The
+// module path is read from root's go.mod. Type errors are hard errors:
+// the analyzers assume a compiling tree.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := readModulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	ctxt := build.Default
+	l := &loader{
+		root:    root,
+		modPath: modPath,
+		ctxt:    &ctxt,
+		sizes:   types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
+		pkgs:    map[string]*Package{},
+		loading: map[string]bool{},
+	}
+	if l.sizes == nil {
+		l.sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	dirs, err := packageDirs(root)
+	if err != nil {
+		return nil, err
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: sharedFset}
+	for _, dir := range dirs {
+		rel, _ := filepath.Rel(root, dir)
+		imp := modPath
+		if rel != "." {
+			imp = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if _, err := l.load(imp); err != nil {
+			return nil, fmt.Errorf("%s: %w", imp, err)
+		}
+	}
+	for _, p := range l.pkgs {
+		mod.Packages = append(mod.Packages, p)
+	}
+	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].RelPath < mod.Packages[j].RelPath })
+	return mod, nil
+}
+
+// readModulePath extracts the module path from a go.mod file.
+func readModulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			p := strings.TrimSpace(rest)
+			p = strings.Trim(p, `"`)
+			if p != "" {
+				return p, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("%s: no module line", gomod)
+}
+
+// packageDirs returns every directory under root that contains .go files,
+// skipping testdata, vendor, hidden and underscore-prefixed directories.
+func packageDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".go") {
+			dir := filepath.Dir(path)
+			if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Import implements types.Importer: module-local paths load (and cache)
+// module packages, "unsafe" maps to types.Unsafe, everything else resolves
+// as a standard-library package from GOROOT source.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return stdImport(path)
+}
+
+// load parses and type-checks one module-local package.
+func (l *loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
+	dir := filepath.Join(l.root, filepath.FromSlash(rel))
+	bp, err := l.ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			// Directory with only ignored files; synthesize an empty package.
+			p := &Package{Path: path, RelPath: rel, Dir: dir}
+			l.pkgs[path] = p
+			return p, nil
+		}
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	var testFiles []*ast.File
+	for _, name := range append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...) {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		testFiles = append(testFiles, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: l, Sizes: l.sizes, FakeImportC: true}
+	tpkg, err := conf.Check(path, sharedFset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{
+		Path:      path,
+		RelPath:   rel,
+		Dir:       dir,
+		Files:     files,
+		TestFiles: testFiles,
+		Types:     tpkg,
+		Info:      info,
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// stdImporter adapts stdImport to types.Importer for checking stdlib
+// packages (which only ever import other stdlib packages).
+type stdImporter struct{}
+
+func (stdImporter) Import(path string) (*types.Package, error) { return stdImport(path) }
+
+// stdImport type-checks a standard-library package from GOROOT source,
+// with a process-wide cache. Comments are not kept and no Info is built:
+// only the type objects are needed for cross-package resolution.
+func stdImport(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	return stdImportLocked(path, map[string]bool{})
+}
+
+func stdImportLocked(path string, loading map[string]bool) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := stdPkgs[path]; ok {
+		return p, nil
+	}
+	if loading[path] {
+		return nil, fmt.Errorf("std import cycle through %s", path)
+	}
+	loading[path] = true
+	defer delete(loading, path)
+
+	goroot := build.Default.GOROOT
+	dir := filepath.Join(goroot, "src", filepath.FromSlash(path))
+	if _, err := os.Stat(dir); err != nil {
+		vdir := filepath.Join(goroot, "src", "vendor", filepath.FromSlash(path))
+		if _, verr := os.Stat(vdir); verr != nil {
+			return nil, fmt.Errorf("cannot find stdlib package %q", path)
+		}
+		dir = vdir
+	}
+	bp, err := build.Default.ImportDir(dir, 0)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	sizes := types.SizesFor(build.Default.Compiler, build.Default.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	conf := types.Config{
+		Importer:    importerFunc(func(p string) (*types.Package, error) { return stdImportLocked(p, loading) }),
+		Sizes:       sizes,
+		FakeImportC: true,
+	}
+	tpkg, err := conf.Check(path, sharedFset, files, nil)
+	if err != nil {
+		return nil, err
+	}
+	stdPkgs[path] = tpkg
+	return tpkg, nil
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapOrder guards the bit-identical determinism contract (the differential
+// harness diffs whole DP tables; psched -workers 1 and -workers 4 must print
+// the same makespan): Go's map iteration order is randomized, so a `range`
+// over a map that accumulates into a slice must sort the result before it
+// can influence output, and a `range` over a map that prints directly is
+// flagged unconditionally.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "range over a map feeding a slice or output must sort before the order can be observed",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkMapRanges(p, fd.Body)
+		}
+	}
+}
+
+// checkMapRanges walks body looking for range-over-map statements.
+func checkMapRanges(p *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := p.Pkg.Info.Types[rng.X]
+		if !ok || tv.Type == nil {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkOneMapRange(p, body, rng)
+		return true
+	})
+}
+
+// checkOneMapRange inspects one range-over-map: direct output inside the
+// body is always nondeterministic; appends to a slice are fine only when
+// the slice is sorted later in the same enclosing scope.
+func checkOneMapRange(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	var appendTargets []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isOutputCall(p, n) {
+				p.Reportf(n.Pos(), "output inside range over map: iteration order is randomized; collect and sort first")
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) && i < len(n.Lhs) {
+					if ident, ok := n.Lhs[i].(*ast.Ident); ok {
+						if obj := identObj(p, ident); obj != nil {
+							appendTargets = append(appendTargets, obj)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, obj := range appendTargets {
+		if !sortedAfter(p, enclosing, rng, obj) {
+			p.Reportf(rng.Pos(),
+				"range over map appends to %s without a later sort: iteration order is randomized and would leak into results", obj.Name())
+		}
+	}
+}
+
+// identObj resolves an identifier to its object (definition or use).
+func identObj(p *Pass, ident *ast.Ident) types.Object {
+	if obj := p.Pkg.Info.Uses[ident]; obj != nil {
+		return obj
+	}
+	return p.Pkg.Info.Defs[ident]
+}
+
+// isBuiltinAppend reports whether the call is the append builtin.
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	ident, ok := call.Fun.(*ast.Ident)
+	if !ok || ident.Name != "append" {
+		return false
+	}
+	_, isBuiltin := p.Pkg.Info.Uses[ident].(*types.Builtin)
+	return isBuiltin
+}
+
+// isOutputCall reports whether the call writes output directly: any fmt
+// Print/Fprint variant (Sprint is pure and allowed).
+func isOutputCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln":
+	default:
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	return ok && pkgName.Imported().Path() == "fmt"
+}
+
+// sortedAfter reports whether obj is passed to a sort/slices call somewhere
+// after the range statement in the function containing it.
+func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		if found || n == nil {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if !isSortCall(p, call) {
+			return true
+		}
+		for _, arg := range call.Args {
+			if exprMentions(p, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isSortCall reports whether the call is into package sort or slices.
+func isSortCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkgName, ok := p.Pkg.Info.Uses[ident].(*types.PkgName)
+	if !ok {
+		return false
+	}
+	path := pkgName.Imported().Path()
+	return path == "sort" || path == "slices"
+}
+
+// exprMentions reports whether the expression references obj.
+func exprMentions(p *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if ident, ok := n.(*ast.Ident); ok && identObj(p, ident) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

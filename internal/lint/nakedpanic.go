@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// NakedPanic forbids undocumented panics in library packages: a panic that
+// crosses an API boundary tears down every goroutine of a serving process,
+// so it is reserved for validation/invariant helpers that document the
+// contract. Concretely, a panic call is allowed only when the enclosing
+// function's doc comment mentions it (e.g. "panics if n <= 0"); package
+// main and the examples are exempt.
+var NakedPanic = &Analyzer{
+	Name: "nakedpanic",
+	Doc:  "library panics are allowed only in functions whose doc comment documents the panic contract",
+	Run:  runNakedPanic,
+}
+
+func runNakedPanic(p *Pass) {
+	if p.Pkg.IsMain() || strings.HasPrefix(p.Pkg.RelPath, "examples") {
+		return
+	}
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if docMentionsPanic(fd) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := call.Fun.(*ast.Ident)
+				if !ok || ident.Name != "panic" {
+					return true
+				}
+				if _, isBuiltin := p.Pkg.Info.Uses[ident].(*types.Builtin); !isBuiltin {
+					return true
+				}
+				p.Reportf(call.Pos(),
+					"undocumented panic in library function %s: return an error, or document the panic contract in the doc comment", fd.Name.Name)
+				return true
+			})
+		}
+	}
+}
+
+// docMentionsPanic reports whether the function's doc comment documents a
+// panic contract ("panics", "re-panics", "Panic" — any mention counts).
+func docMentionsPanic(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	return strings.Contains(strings.ToLower(fd.Doc.Text()), "panic")
+}

@@ -1,0 +1,35 @@
+package lint
+
+import (
+	"strconv"
+	"strings"
+)
+
+// NoRandGlobal enforces the determinism contract of internal/rng: every
+// source of randomness in the repository goes through the SplitMix64 seeding
+// and xoshiro256++ stream wrappers, so a (seed, spec) pair reproduces the
+// same workload on every machine and every run. Importing math/rand or
+// math/rand/v2 anywhere else — tests included, since the differential
+// harness and the figure pipeline both replay seeded instances — reopens
+// the door to global, schedule-dependent state.
+var NoRandGlobal = &Analyzer{
+	Name:         "norandglobal",
+	Doc:          "math/rand may only be imported by internal/rng; all randomness flows through the deterministic wrappers",
+	IncludeTests: true,
+	Run: func(p *Pass) {
+		if p.Pkg.RelPath == "internal/rng" || strings.HasSuffix(p.Pkg.Path, "/internal/rng") {
+			return
+		}
+		for _, f := range p.Files() {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if path == "math/rand" || path == "math/rand/v2" {
+					p.Reportf(imp.Pos(), "import of %s outside internal/rng: use the deterministic wrappers in internal/rng instead", path)
+				}
+			}
+		}
+	},
+}

@@ -1,0 +1,9 @@
+// Command tool may mint root contexts.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,3 @@
+module example.com/ctxfirst
+
+go 1.22

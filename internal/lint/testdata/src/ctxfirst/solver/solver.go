@@ -1,0 +1,41 @@
+// Package solver mirrors the repo's solver package for the ctxfirst scope.
+package solver
+
+import (
+	"context"
+	"sync"
+)
+
+// Misordered takes ctx in the wrong position.
+func Misordered(n int, ctx context.Context) error { // want "context.Context must be the first parameter"
+	_ = n
+	<-ctx.Done()
+	return nil
+}
+
+// RunAll fans out work but cannot be cancelled.
+func RunAll(n int) { // want "blocking constructs but takes no context.Context"
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}
+
+// Mint creates a root context in library code.
+func Mint() {
+	ctx := context.Background() // want "propagate the caller's context"
+	_ = ctx
+}
+
+// Good is the contract every blocking entry point follows.
+func Good(ctx context.Context, n int) error {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

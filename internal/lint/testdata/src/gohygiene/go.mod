@@ -1,0 +1,3 @@
+module example.com/gohygiene
+
+go 1.22

@@ -1,0 +1,7 @@
+// Package par owns goroutine lifecycles and is exempt.
+package par
+
+// Start launches a worker whose lifetime the pool manages elsewhere.
+func Start(f func()) {
+	go f()
+}

@@ -1,0 +1,24 @@
+// Package joined pairs every spawn with a barrier.
+package joined
+
+import "sync"
+
+// Fan joins through a WaitGroup.
+func Fan(fs []func()) {
+	var wg sync.WaitGroup
+	for _, f := range fs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+// Pipe joins by receiving the result.
+func Pipe(f func() int) int {
+	ch := make(chan int, 1)
+	go func() { ch <- f() }()
+	return <-ch
+}

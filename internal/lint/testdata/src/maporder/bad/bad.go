@@ -1,0 +1,20 @@
+// Package bad leaks map iteration order.
+package bad
+
+import "fmt"
+
+// Keys returns map keys in randomized order.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "appends to out without a later sort"
+		out = append(out, k)
+	}
+	return out
+}
+
+// Dump prints entries in randomized order.
+func Dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "output inside range over map"
+	}
+}

@@ -1,0 +1,26 @@
+// Package clean sorts before order can be observed.
+package clean
+
+import "sort"
+
+// Keys returns map keys deterministically.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Sum folds over a slice; ranging a slice is ordered and fine.
+func Sum(xs []int) int {
+	var total int
+	var seen []int
+	for _, x := range xs {
+		seen = append(seen, x)
+		total += x
+	}
+	_ = seen
+	return total
+}

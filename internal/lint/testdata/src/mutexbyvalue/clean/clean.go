@@ -1,0 +1,23 @@
+// Package clean handles the guarded types by pointer.
+package clean
+
+import "example.com/mutexbyvalue/internal/par"
+
+// Holder keeps a pointer.
+type Holder struct {
+	P *par.Pool
+}
+
+// Use receives a pointer.
+func Use(p *par.Pool) {
+	p.Lock()
+}
+
+// Drain iterates by index without copying.
+func Drain(cs []par.Counter) uint32 {
+	var total uint32
+	for i := range cs {
+		total += cs[i].N
+	}
+	return total
+}

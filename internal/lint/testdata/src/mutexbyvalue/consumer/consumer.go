@@ -1,0 +1,29 @@
+// Package consumer copies the guarded types every forbidden way.
+package consumer
+
+import "example.com/mutexbyvalue/internal/par"
+
+// Holder embeds a Pool by value.
+type Holder struct {
+	P par.Pool // want "holds par.Pool by value"
+}
+
+// Use receives a Pool by value.
+func Use(p par.Pool) { // want "par.Pool passed by value"
+	p.Lock()
+}
+
+// Deref copies a Pool out of its pointer.
+func Deref(pp *par.Pool) {
+	q := *pp // want "copies par.Pool by value"
+	q.Lock()
+}
+
+// Drain copies each padded counter while ranging.
+func Drain(cs []par.Counter) uint32 {
+	var total uint32
+	for _, c := range cs { // want "range copies par.Counter by value"
+		total += c.N
+	}
+	return total
+}

@@ -1,0 +1,3 @@
+module example.com/mutexbyvalue
+
+go 1.22

@@ -1,0 +1,19 @@
+// Package par mirrors the repo's parallel substrate types.
+package par
+
+import "sync"
+
+// Pool holds a mutex and must never be copied.
+type Pool struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Counter is cache-line padded and must never be copied.
+type Counter struct {
+	N uint32
+	_ [60]byte
+}
+
+// Lock locks the pool.
+func (p *Pool) Lock() { p.mu.Lock() }

@@ -1,0 +1,6 @@
+// Command tool may panic freely.
+package main
+
+func main() {
+	panic("commands may crash")
+}

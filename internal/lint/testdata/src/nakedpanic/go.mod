@@ -1,0 +1,3 @@
+module example.com/nakedpanic
+
+go 1.22

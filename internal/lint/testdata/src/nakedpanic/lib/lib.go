@@ -1,0 +1,18 @@
+// Package lib is library code where panics must be documented.
+package lib
+
+// Halve divides by two.
+func Halve(n int) int {
+	if n%2 != 0 {
+		panic("odd") // want "undocumented panic in library function Halve"
+	}
+	return n / 2
+}
+
+// MustHalve halves n; it panics if n is odd.
+func MustHalve(n int) int {
+	if n%2 != 0 {
+		panic("odd")
+	}
+	return n / 2
+}

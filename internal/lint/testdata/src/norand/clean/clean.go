@@ -1,0 +1,5 @@
+// Package clean has no randomness at all.
+package clean
+
+// Two is deterministic.
+func Two() int { return 2 }

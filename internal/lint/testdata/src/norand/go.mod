@@ -1,0 +1,3 @@
+module example.com/norand
+
+go 1.22

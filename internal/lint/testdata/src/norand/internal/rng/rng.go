@@ -1,0 +1,7 @@
+// Package rng is the one place math/rand may appear.
+package rng
+
+import "math/rand"
+
+// New returns a seeded source.
+func New(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

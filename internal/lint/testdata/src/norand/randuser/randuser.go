@@ -1,0 +1,7 @@
+// Package randuser imports the forbidden global-state RNG.
+package randuser
+
+import "math/rand" // want "import of math/rand outside internal/rng"
+
+// Roll is nondeterministic across runs.
+func Roll() int { return rand.Int() }

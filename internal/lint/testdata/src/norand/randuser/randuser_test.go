@@ -1,0 +1,12 @@
+package randuser
+
+import (
+	"math/rand/v2" // want "import of math/rand/v2 outside internal/rng"
+	"testing"
+)
+
+func TestRoll(t *testing.T) {
+	if rand.IntN(2) > 1 {
+		t.Fatal("impossible")
+	}
+}

@@ -183,7 +183,9 @@ func (p *Pool) For(n int, strategy Strategy, body func(i int)) {
 
 // ForWorker is For with the executing worker's id passed to the body (for
 // per-worker scratch space) and an explicit Dynamic chunk size (grain <= 0
-// selects max(1, n/(8*workers)); the static strategies ignore it).
+// selects max(1, n/(8*workers)); the static strategies ignore it). It
+// panics when called on a closed Pool, and re-panics a body panic in the
+// caller once the barrier completes.
 func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, i int)) {
 	if n <= 0 {
 		p.mu.Lock()

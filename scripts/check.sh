@@ -1,16 +1,31 @@
 #!/bin/sh
-# Repo-wide verification: build, vet (the binaries get an explicit pass so a
-# library-only vet invocation can never silently skip them), full test suite,
-# then the race detector over the packages with real concurrency (worker
-# pool, parallel DP fill + cache, solver facade). Every `go test` carries a
-# -timeout guard so a hung test fails the pipeline instead of wedging it.
-# This is the gate every PR runs before merging; ROADMAP.md points here.
+# Repo-wide verification: formatting, build, vet (the binaries get an
+# explicit pass so a library-only vet invocation can never silently skip
+# them), the schedlint invariant gate, the full test suite with shuffled
+# test order, then the race detector over the packages with real
+# concurrency (worker pool, parallel DP fills, exact solver, core driver,
+# solver facade). Every `go test` carries a -timeout guard so a hung test
+# fails the pipeline instead of wedging it. This is the gate every PR runs
+# before merging; ROADMAP.md points here.
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# gofmt prints nothing when the tree is formatted; any output is a failure.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 go build ./...
 go vet ./...
 go vet ./cmd/...
-go test -timeout 10m ./...
-go test -race -timeout 15m ./internal/par ./internal/dp ./solver
+
+# schedlint enforces the repo's concurrency/determinism invariants
+# (ALGORITHM.md section 9). Exit 1 on any finding is a hard failure.
+go run ./cmd/schedlint ./...
+
+go test -shuffle=on -timeout 10m ./...
+go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./solver
