@@ -2,9 +2,11 @@
 // figure workload it freezes the rounded instance at the PTAS's converged
 // target makespan and times the table fill — optimized (Jobs-sorted pruned
 // scan, odometer decoding, cached level index) against the legacy seed path
-// (full configuration scan, division decoding) — across worker counts and
-// level modes. Results print as a table and, with -json, land in
-// BENCH_dp.json for regression tracking.
+// (full configuration scan, division decoding), plus the adaptive
+// barrier-pool path (FillAuto) — across worker counts and level modes.
+// Results print as a table and, with -json, land in BENCH_dp.json for
+// regression tracking; -baseline diffs the run against a committed
+// BENCH_dp.json and fails on regressions beyond -baseline-threshold.
 package main
 
 import (
@@ -12,6 +14,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"repro/internal/core"
@@ -42,28 +45,41 @@ type dpRecord struct {
 	N         int     `json:"n"`
 	Workers   int     `json:"workers"`
 	LevelMode string  `json:"level_mode"`
-	Path      string  `json:"path"` // "optimized" or "legacy"
+	Path      string  `json:"path"` // "optimized", "legacy" or "auto"
 	NsPerOp   int64   `json:"ns_per_op"`
 	Entries   int64   `json:"table_entries"`
 	Configs   int     `json:"configs"`
 	Speedup   float64 `json:"speedup_vs_legacy,omitempty"`
+	// SpeedupSeq is ns/op of the 1-worker optimized sequential fill of the
+	// same (workload, family) divided by this record's ns/op — the paper's
+	// speedup axis, with the sequential fill as the T(1) reference.
+	SpeedupSeq float64 `json:"speedup_vs_seq,omitempty"`
 }
 
 // benchJSONName is the artifact the acceptance criteria track.
 const benchJSONName = "BENCH_dp.json"
 
+// dpBenchConfig carries the dp subcommand's flags.
+type dpBenchConfig struct {
+	WriteJSON bool    // write the records to Out
+	Out       string  // output JSON path (default benchJSONName)
+	Baseline  string  // committed BENCH_dp.json to diff against ("" = off)
+	Threshold float64 // allowed fractional slowdown before -baseline fails
+	Windows   int     // measurement windows per cell (more = less noise)
+}
+
 // measureFill times fill() after one warm-up call. It takes the best of
 // several short measurement windows — the minimum is the standard defense
 // against GC pauses and frequency wobble contaminating a single window. A
 // fill error (context cancellation) aborts the measurement immediately.
-func measureFill(fill func() error) (int64, error) {
+func measureFill(fill func() error, windows int) (int64, error) {
 	if err := fill(); err != nil {
 		return 0, err
 	}
-	const (
-		windows   = 5
-		minWindow = 10 * time.Millisecond
-	)
+	if windows < 1 {
+		windows = 1
+	}
+	const minWindow = 10 * time.Millisecond
 	best := int64(0)
 	for w := 0; w < windows; w++ {
 		reps := 0
@@ -85,11 +101,11 @@ func measureFill(fill func() error) (int64, error) {
 }
 
 // runDPBench measures every (shape, family, workers, mode, path) cell and
-// renders the result. Table entries are identical between the two paths (the
+// renders the result. Table entries are identical between the paths (the
 // differential tests enforce it), so ns/op is the only varying quantity.
 // When ctx dies mid-sweep, the cells measured so far are still rendered and
 // the cancellation error is returned.
-func runDPBench(ctx context.Context, cores []int, eps float64, seed uint64, writeJSON bool) error {
+func runDPBench(ctx context.Context, cores []int, eps float64, seed uint64, cfg dpBenchConfig) error {
 	cache := dp.NewCache()
 	var records []dpRecord
 	var benchErr error
@@ -120,20 +136,16 @@ sweep:
 				return err
 			}
 
-			measure := func(workers int, mode dp.LevelMode, legacy bool, fill func() error) bool {
-				tbl.LegacyFill = legacy
-				ns, err := measureFill(fill)
+			measure := func(workers int, mode, path string, fill func() error) bool {
+				tbl.LegacyFill = path == "legacy"
+				ns, err := measureFill(fill, cfg.Windows)
 				if err != nil {
 					benchErr = err
 					return false
 				}
-				path := "optimized"
-				if legacy {
-					path = "legacy"
-				}
 				records = append(records, dpRecord{
 					Workload: shape.Name, Family: fam.String(), M: shape.M, N: shape.N,
-					Workers: workers, LevelMode: mode.String(), Path: path,
+					Workers: workers, LevelMode: mode, Path: path,
 					NsPerOp: ns, Entries: tbl.Sigma, Configs: len(tbl.Configs),
 				})
 				return true
@@ -141,8 +153,9 @@ sweep:
 
 			// Sequential fill (workers = 1); level mode is moot, report as
 			// buckets for a stable key.
+			bkt := dp.LevelBuckets.String()
 			seq := func() error { return tbl.FillSequentialCtx(ctx) }
-			if !measure(1, dp.LevelBuckets, true, seq) || !measure(1, dp.LevelBuckets, false, seq) {
+			if !measure(1, bkt, "legacy", seq) || !measure(1, bkt, "optimized", seq) {
 				break sweep
 			}
 
@@ -150,10 +163,24 @@ sweep:
 				if workers <= 1 {
 					continue
 				}
+				// Adaptive path: FillAuto on a persistent barrier pool, the
+				// production default through the solver facade. Measured
+				// immediately after the sequential reference cells — its
+				// speedup_vs_seq column divides the two, so keeping them
+				// adjacent in time stops host-load drift from contaminating
+				// the ratio.
+				bpool := par.NewBarrierPool(workers)
+				afill := func() error { return tbl.FillAutoCtx(ctx, bpool) }
+				ok := measure(workers, "auto", "auto", afill)
+				bpool.Close()
+				if !ok {
+					break sweep
+				}
+
 				pool := par.NewPool(workers)
 				for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
 					fill := func() error { return tbl.FillParallelCtx(ctx, pool, mode, par.RoundRobin) }
-					if !measure(workers, mode, false, fill) || !measure(workers, mode, true, fill) {
+					if !measure(workers, mode.String(), "optimized", fill) || !measure(workers, mode.String(), "legacy", fill) {
 						pool.Close()
 						break sweep
 					}
@@ -170,60 +197,144 @@ sweep:
 		fmt.Printf("\nsweep interrupted after %d cells: %v\n", len(records), benchErr)
 		return benchErr
 	}
-	if writeJSON {
+	if cfg.WriteJSON {
+		out := cfg.Out
+		if out == "" {
+			out = benchJSONName
+		}
 		blob, err := json.MarshalIndent(records, "", "  ")
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(benchJSONName, append(blob, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s (%d records)\n", benchJSONName, len(records))
+		fmt.Printf("wrote %s (%d records)\n", out, len(records))
+	}
+	if cfg.Baseline != "" {
+		return compareBaseline(records, cfg.Baseline, cfg.Threshold)
+	}
+	return nil
+}
+
+// dpKey identifies a benchmark cell across runs for baseline diffing.
+type dpKey struct {
+	Workload, Family, Mode, Path string
+	Workers                      int
+}
+
+// compareBaseline diffs the run's ns/op row-by-row against the committed
+// baseline JSON and returns a non-nil error (for a nonzero exit) when any
+// shared cell regressed by more than the threshold fraction. Cells present
+// on only one side are reported but never fail the gate, so adding or
+// retiring benchmark cells does not break CI.
+func compareBaseline(records []dpRecord, path string, threshold float64) error {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []dpRecord
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	baseNs := make(map[dpKey]int64, len(base))
+	for _, r := range base {
+		baseNs[dpKey{r.Workload, r.Family, r.LevelMode, r.Path, r.Workers}] = r.NsPerOp
+	}
+	var regressions []string
+	compared, missing := 0, 0
+	for _, r := range records {
+		k := dpKey{r.Workload, r.Family, r.LevelMode, r.Path, r.Workers}
+		bns, ok := baseNs[k]
+		if !ok {
+			missing++
+			continue
+		}
+		delete(baseNs, k)
+		if bns <= 0 || r.NsPerOp <= 0 {
+			continue
+		}
+		compared++
+		ratio := float64(r.NsPerOp) / float64(bns)
+		if ratio > 1+threshold {
+			regressions = append(regressions,
+				fmt.Sprintf("  %s/%s wrk=%d mode=%s path=%s: %d -> %d ns/op (%.2fx > %.2fx allowed)",
+					k.Workload, k.Family, k.Workers, k.Mode, k.Path, bns, r.NsPerOp, ratio, 1+threshold))
+		}
+	}
+	fmt.Printf("\nbaseline %s: %d cells compared, %d new, %d retired, %d regressions (threshold %.0f%%)\n",
+		path, compared, missing, len(baseNs), len(regressions), threshold*100)
+	if len(regressions) > 0 {
+		sort.Strings(regressions)
+		for _, r := range regressions {
+			fmt.Println(r)
+		}
+		return fmt.Errorf("%d benchmark cells regressed beyond %.0f%% vs %s", len(regressions), threshold*100, path)
 	}
 	return nil
 }
 
 // attachSpeedups fills Speedup on each optimized record from its matching
-// legacy measurement.
+// legacy measurement, and SpeedupSeq on every parallel/auto record from the
+// 1-worker optimized sequential fill of the same workload.
 func attachSpeedups(records []dpRecord) {
 	type key struct {
 		w, f, mode string
 		workers    int
 	}
 	legacy := make(map[key]int64)
+	type seqKey struct{ w, f string }
+	seq := make(map[seqKey]int64)
 	for _, r := range records {
 		if r.Path == "legacy" {
 			legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers}] = r.NsPerOp
 		}
+		if r.Path == "optimized" && r.Workers == 1 {
+			seq[seqKey{r.Workload, r.Family}] = r.NsPerOp
+		}
 	}
 	for i := range records {
 		r := &records[i]
-		if r.Path != "optimized" {
+		if r.NsPerOp <= 0 {
 			continue
 		}
-		if base, ok := legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers}]; ok && r.NsPerOp > 0 {
-			r.Speedup = float64(base) / float64(r.NsPerOp)
+		if r.Path == "optimized" {
+			if base, ok := legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers}]; ok {
+				r.Speedup = float64(base) / float64(r.NsPerOp)
+			}
+		}
+		if r.Workers > 1 && r.Path != "legacy" {
+			if base, ok := seq[seqKey{r.Workload, r.Family}]; ok {
+				r.SpeedupSeq = float64(base) / float64(r.NsPerOp)
+			}
 		}
 	}
 }
 
 func renderDPRecords(records []dpRecord) {
-	fmt.Printf("%-6s %-11s %3s %4s %8s %-8s %-9s %12s %8s %9s\n",
-		"fig", "family", "wrk", "mode", "entries", "configs", "path", "ns/op", "speedup", "")
+	fmt.Printf("%-6s %-11s %3s %4s %8s %-8s %-9s %12s %8s %8s\n",
+		"fig", "family", "wrk", "mode", "entries", "configs", "path", "ns/op", "vs-lgcy", "vs-seq")
 	for _, r := range records {
-		speedup := ""
+		speedup, vseq := "", ""
 		if r.Speedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.Speedup)
 		}
-		fmt.Printf("%-6s %-11s %3d %4s %8d %-8d %-9s %12d %8s\n",
+		if r.SpeedupSeq > 0 {
+			vseq = fmt.Sprintf("%.2fx", r.SpeedupSeq)
+		}
+		fmt.Printf("%-6s %-11s %3d %4s %8d %-8d %-9s %12d %8s %8s\n",
 			r.Workload, r.Family, r.Workers, shortMode(r.LevelMode), r.Entries, r.Configs,
-			r.Path, r.NsPerOp, speedup)
+			r.Path, r.NsPerOp, speedup, vseq)
 	}
 }
 
 func shortMode(m string) string {
-	if m == dp.LevelScan.String() {
+	switch m {
+	case dp.LevelScan.String():
 		return "scan"
+	case "auto":
+		return "auto"
+	default:
+		return "bkt"
 	}
-	return "bkt"
 }

@@ -44,7 +44,11 @@ func run(args []string) error {
 		noWall   = fs.Bool("no-wallclock", false, "skip measured wall-clock parallel runs")
 		faithful = fs.Bool("paper-faithful", false, "use the presentation-faithful DP variants")
 		csv      = fs.Bool("csv", false, "render tables as CSV")
-		jsonOut  = fs.Bool("json", false, "dp: also write results to "+benchJSONName)
+		jsonOut  = fs.Bool("json", false, "dp: also write results to the -out file")
+		jsonPath = fs.String("out", benchJSONName, "dp: output path for -json")
+		baseline = fs.String("baseline", "", "dp: diff ns/op against this committed BENCH_dp.json and exit nonzero on regressions")
+		baseTol  = fs.Float64("baseline-threshold", 0.30, "dp: allowed fractional slowdown vs -baseline before failing")
+		windows  = fs.Int("windows", 5, "dp: measurement windows per cell (lower = faster, noisier)")
 		deadline = fs.Duration("deadline", 0, "overall deadline for the whole run (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -161,7 +165,13 @@ func run(args []string) error {
 		}
 		return res.Render(cfg)
 	case "dp":
-		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, *jsonOut)
+		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, dpBenchConfig{
+			WriteJSON: *jsonOut,
+			Out:       *jsonPath,
+			Baseline:  *baseline,
+			Threshold: *baseTol,
+			Windows:   *windows,
+		})
 	case "hard":
 		res, err := cfg.RunHard(ctx, nil, 0)
 		if err != nil {

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+// TestAutoFillMatchesSequential checks the AutoFill route end to end: same
+// schedule as the sequential reference, and Stats.Auto accounts for every
+// anti-diagonal level the bisection filled.
+func TestAutoFillMatchesSequential(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 11})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, AutoFill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan(in) != ref.Makespan(in) {
+		t.Fatalf("AutoFill makespan %d != sequential %d", got.Makespan(in), ref.Makespan(in))
+	}
+	total := st.Auto.LevelsInline + st.Auto.LevelsFused + st.Auto.LevelsParallel
+	if total == 0 {
+		t.Fatalf("Stats.Auto empty after an AutoFill solve: %+v", st.Auto)
+	}
+}
+
+// TestAutoFillExternalBarrierPool reuses one caller-owned barrier pool
+// across several solves, mirroring the external Pool contract.
+func TestAutoFillExternalBarrierPool(t *testing.T) {
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 6, N: 40, Seed: 3})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		got, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, AutoFill: true, BarrierPool: bp})
+		if err != nil {
+			t.Fatalf("reuse %d: %v", i, err)
+		}
+		if got.Makespan(in) != ref.Makespan(in) {
+			t.Fatalf("reuse %d: makespan %d != %d", i, got.Makespan(in), ref.Makespan(in))
+		}
+		if st.Auto.LevelsInline+st.Auto.LevelsFused+st.Auto.LevelsParallel == 0 {
+			t.Fatalf("reuse %d: Stats.Auto empty", i)
+		}
+	}
+	// The caller's pool must survive the solves.
+	var n int
+	bp.For(1, func(int) { n++ })
+	if n != 1 {
+		t.Fatal("barrier pool unusable after solves")
+	}
+}
+
+// TestAutoFillIgnoredWithDataflow pins the precedence: Dataflow keeps its
+// dedicated fill even when AutoFill is requested.
+func TestAutoFillIgnoredWithDataflow(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 5, N: 30, Seed: 7})
+	ref, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Solve(context.Background(), in, Options{Epsilon: 0.3, Workers: 4, AutoFill: true, Dataflow: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan(in) != ref.Makespan(in) {
+		t.Fatalf("makespan %d != %d", got.Makespan(in), ref.Makespan(in))
+	}
+	if st.Auto.LevelsInline+st.Auto.LevelsFused+st.Auto.LevelsParallel != 0 {
+		t.Fatalf("Dataflow solve reported adaptive routing: %+v", st.Auto)
+	}
+}

@@ -111,6 +111,12 @@ type Options struct {
 	// (sigma < ~10^4) are barrier-bound; this is the practical default a
 	// production caller wants (the solver facade enables it).
 	AdaptiveFill bool
+	// AutoFill routes parallel fills through dp.FillAutoCtx on a persistent
+	// barrier pool instead of the per-level Pool dispatch: narrow levels run
+	// inline, runs of mid-width levels fuse into one dispatch, and only wide
+	// levels fan out. Ignored when Workers == 1 or Dataflow is set. Stats.Auto
+	// reports how levels were routed. The solver facade enables it by default.
+	AutoFill bool
 	// TimeLimit aborts the solve with ErrTimeLimit when exceeded. It is a
 	// back-compat shim over context deadlines: Solve installs it via
 	// context.WithTimeout on the caller's ctx, so the abort lands inside a
@@ -133,6 +139,10 @@ type Options struct {
 	// across Solve calls. When nil and Workers != 1, Solve creates and
 	// closes its own pool.
 	Pool *par.Pool
+	// BarrierPool optionally supplies an externally managed barrier pool for
+	// AutoFill, reused across Solve calls. When nil and AutoFill applies,
+	// Solve creates and closes its own.
+	BarrierPool *par.BarrierPool
 	// Cache optionally supplies a DP cache shared across Solve calls, so
 	// repeated solves over similar instances reuse configuration
 	// enumerations and level-bucket indexes. When nil, Solve creates a
@@ -172,6 +182,10 @@ type Stats struct {
 	TotalEntriesFilled int64
 	// FillTime is the wall-clock time spent inside DP table fills.
 	FillTime time.Duration
+	// Auto accumulates, over all bisection probes, how the adaptive fill
+	// routed anti-diagonal levels (inline / fused / dedicated parallel
+	// rounds). All-zero unless Options.AutoFill applied.
+	Auto dp.AutoStats
 	// UsedLPTFallback reports that plain LPT beat the PTAS construction on
 	// this instance and its schedule was returned instead. The fallback
 	// costs O(n log n), never hurts, and caps the guarantee at LPT's
@@ -250,13 +264,24 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 	ubT := in.UpperBound()
 	stats.LB0, stats.UB0 = lbT, ubT
 
-	var pool *par.Pool
+	var (
+		pool  *par.Pool
+		bpool *par.BarrierPool
+	)
 	workers := par.Normalize(opts.Workers)
 	if workers > 1 {
-		pool = opts.Pool
-		if pool == nil {
-			pool = par.NewPool(workers)
-			defer pool.Close()
+		if opts.AutoFill && !opts.Dataflow {
+			bpool = opts.BarrierPool
+			if bpool == nil {
+				bpool = par.NewBarrierPool(workers)
+				defer bpool.Close()
+			}
+		} else {
+			pool = opts.Pool
+			if pool == nil {
+				pool = par.NewPool(workers)
+				defer pool.Close()
+			}
 		}
 	}
 
@@ -295,11 +320,14 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 		if err := cancel.Check(ctx); err != nil {
 			return nil, nil, false, err
 		}
-		res, err := runAttempt(ctx, in, k, T, opts, pool)
+		res, err := runAttempt(ctx, in, k, T, opts, pool, bpool)
 		if err != nil {
 			return nil, nil, false, err
 		}
 		stats.FillTime += res.fill
+		stats.Auto.LevelsInline += res.auto.LevelsInline
+		stats.Auto.LevelsFused += res.auto.LevelsFused
+		stats.Auto.LevelsParallel += res.auto.LevelsParallel
 		if res.tbl != nil {
 			stats.TotalEntriesFilled += res.tbl.Sigma
 			if opts.Profile != nil {

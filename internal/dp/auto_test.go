@@ -1,0 +1,146 @@
+package dp
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/cancel"
+	"repro/internal/par"
+	"repro/pcmax"
+)
+
+// bigTableSpec is bigTable's instance triple, for cached builds.
+func bigTableSpec() ([]pcmax.Time, []int, pcmax.Time) {
+	return []pcmax.Time{1, 2, 3, 4, 5}, []int{7, 7, 7, 7, 8}, 15
+}
+
+// TestFillAutoStatsRouting forces each calibration regime and checks that
+// AutoStats reports the routing truthfully: a hardware-clamped (or tiny)
+// fill counts every level inline, a forced-parallel fill uses all three
+// arms on a table whose level widths span the grain thresholds, and the
+// counters always sum to NPrime.
+func TestFillAutoStatsRouting(t *testing.T) {
+	ref := bigTable(t)
+	ref.FillSequential()
+
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+
+	t.Run("clamped-sequential", func(t *testing.T) {
+		restore := AutoTuneForTest(1, 1<<17, 64, 4096)
+		defer restore()
+		tbl := bigTable(t)
+		if err := tbl.FillAutoCtx(context.Background(), bp); err != nil {
+			t.Fatal(err)
+		}
+		s := tbl.AutoStats
+		if s.LevelsInline != tbl.NPrime || s.LevelsFused != 0 || s.LevelsParallel != 0 {
+			t.Fatalf("clamped fill routed %+v, want all %d levels inline", s, tbl.NPrime)
+		}
+		optEqual(t, "clamped FillAuto", tbl.Opt, ref.Opt)
+	})
+
+	t.Run("forced-parallel", func(t *testing.T) {
+		restore := AutoTuneForTest(8, 1, 8, 64)
+		defer restore()
+		tbl := bigTable(t)
+		if err := tbl.FillAutoCtx(context.Background(), bp); err != nil {
+			t.Fatal(err)
+		}
+		s := tbl.AutoStats
+		if s.LevelsInline+s.LevelsFused+s.LevelsParallel != tbl.NPrime {
+			t.Fatalf("AutoStats %+v does not sum to NPrime=%d", s, tbl.NPrime)
+		}
+		// bigTable's level widths run from 5 up into the thousands, so every
+		// regime of the forced calibration must be populated.
+		if s.LevelsInline == 0 || s.LevelsFused == 0 || s.LevelsParallel == 0 {
+			t.Fatalf("forced calibration left an arm unused: %+v", s)
+		}
+		optEqual(t, "forced FillAuto", tbl.Opt, ref.Opt)
+	})
+
+	t.Run("nil-pool", func(t *testing.T) {
+		tbl := bigTable(t)
+		tbl.FillAuto(nil)
+		s := tbl.AutoStats
+		if s.LevelsInline != tbl.NPrime || s.LevelsFused != 0 || s.LevelsParallel != 0 {
+			t.Fatalf("nil-pool fill routed %+v, want sequential cutover", s)
+		}
+		optEqual(t, "nil-pool FillAuto", tbl.Opt, ref.Opt)
+	})
+}
+
+// TestFillAutoCancelAndRecover mirrors the other fills' cancellation
+// contract: a canceled context leaves the table unfilled with the structured
+// error, and a later fill on the same table succeeds bit-identically.
+func TestFillAutoCancelAndRecover(t *testing.T) {
+	ref := bigTable(t)
+	ref.FillSequential()
+
+	restore := AutoTuneForTest(8, 1, 8, 64)
+	defer restore()
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+
+	tbl := bigTable(t)
+	if err := tbl.FillAutoCtx(canceledCtx(), bp); !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if _, err := tbl.OptValue(); !errors.Is(err, ErrNotFilled) {
+		t.Fatalf("canceled fill left table readable: %v", err)
+	}
+	if err := tbl.FillAutoCtx(context.Background(), bp); err != nil {
+		t.Fatalf("recovery fill: %v", err)
+	}
+	optEqual(t, "recovered FillAuto", tbl.Opt, ref.Opt)
+}
+
+// TestFillAutoMidFillCancel cancels after the fill has started (via a
+// context canceled by the first dispatched bodies) and checks the unfilled
+// contract holds mid-flight too.
+func TestFillAutoMidFillCancel(t *testing.T) {
+	restore := AutoTuneForTest(8, 1, 8, 64)
+	defer restore()
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+
+	tbl := bigTable(t)
+	ctx, cancelFn := context.WithCancel(context.Background())
+	cancelFn()
+	err := tbl.FillAutoCtx(ctx, bp)
+	if !errors.Is(err, cancel.ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// The pool survives the canceled fill for unrelated rounds.
+	var n int
+	bp.For(1, func(int) { n++ })
+	if n != 1 {
+		t.Fatalf("barrier pool unusable after canceled fill")
+	}
+}
+
+// TestFillAutoReusesCachedLevelIndex checks FillAuto participates in the
+// same level-index cache as the parallel fill: two fills over one cache must
+// record a level-index hit.
+func TestFillAutoReusesCachedLevelIndex(t *testing.T) {
+	restore := AutoTuneForTest(8, 1, 8, 64)
+	defer restore()
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+
+	cache := NewCache()
+	sizes, counts, T := bigTableSpec()
+	for round := 0; round < 2; round++ {
+		tbl, err := NewCached(sizes, counts, T, 0, 0, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tbl.FillAutoCtx(context.Background(), bp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := cache.Stats(); st.LevelHits == 0 {
+		t.Fatalf("FillAuto never hit the level-index cache: %+v", st)
+	}
+}

@@ -83,6 +83,8 @@ func machinesEqual(t *testing.T, label string, got, want [][]int32) {
 func TestDifferentialAllFillVariants(t *testing.T) {
 	pool := par.NewPool(4)
 	defer pool.Close()
+	bpool := par.NewBarrierPool(4)
+	defer bpool.Close()
 	cache := NewCache()
 
 	const instances = 50
@@ -161,6 +163,23 @@ func TestDifferentialAllFillVariants(t *testing.T) {
 		df.FillDataflow(4)
 		check("FillDataflow", df)
 
+		// Adaptive fill, default calibration: on small tables (or clamped
+		// hardware) this is the sequential-cutover arm of FillAuto.
+		ad := mk()
+		ad.FillAuto(bpool)
+		check("FillAuto/default", ad)
+
+		// Adaptive fill with the calibration forced so these small tables
+		// exercise the inline, fused-batch and wide barrier-pool arms.
+		restore := AutoTuneForTest(8, 1, 2, 8)
+		af := mk()
+		af.FillAuto(bpool)
+		restore()
+		check("FillAuto/forced", af)
+		if s := af.AutoStats; s.LevelsInline+s.LevelsFused+s.LevelsParallel != af.NPrime {
+			t.Fatalf("seed %d: AutoStats %+v does not sum to NPrime=%d", seed, s, af.NPrime)
+		}
+
 		// Cached builds: two rounds through one cache so the second fill
 		// exercises the shared config set and level-index hit paths.
 		for round := 0; round < 2; round++ {
@@ -174,6 +193,68 @@ func TestDifferentialAllFillVariants(t *testing.T) {
 	}
 	if st := cache.Stats(); st.ConfigHits == 0 || st.LevelHits == 0 {
 		t.Fatalf("cache saw no hits: %+v", cache.Stats())
+	}
+}
+
+// TestDifferentialPackedBoundaries pins the SWAR packed fits-kernel at its
+// gating boundaries. The random population above always stays within one
+// packed word (d <= 4, counts <= 4), so these fixed instances cover what it
+// cannot: a class count >= 128 that must disable packing entirely, a
+// two-word table (8 < d <= 16), and the exact one-word boundary d = 8. Every
+// fill variant must still match the unpruned oracle bit for bit.
+func TestDifferentialPackedBoundaries(t *testing.T) {
+	bpool := par.NewBarrierPool(4)
+	defer bpool.Close()
+	pool := par.NewPool(4)
+	defer pool.Close()
+
+	cases := []struct {
+		name   string
+		sizes  []pcmax.Time
+		counts []int
+		T      pcmax.Time
+		packW  int // 0 = packing must be disabled
+	}{
+		{"count>=128-unpacked", []pcmax.Time{2, 9}, []int{150, 2}, 21, 0},
+		{"two-word", []pcmax.Time{1, 2, 3, 4, 5, 6, 7, 8, 9}, []int{1, 1, 1, 1, 1, 1, 1, 1, 1}, 13, 2},
+		{"one-word-boundary", []pcmax.Time{1, 2, 3, 4, 5, 6, 7, 8}, []int{1, 1, 1, 1, 2, 1, 1, 1}, 12, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mk := func() *Table {
+				tbl, err := New(tc.sizes, tc.counts, tc.T, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tbl
+			}
+			ref := mk()
+			if tc.packW == 0 {
+				if ref.packed != nil {
+					t.Fatalf("packing not disabled (packW=%d)", ref.packW)
+				}
+			} else if ref.packed == nil || ref.packW != tc.packW {
+				t.Fatalf("packW = %d (packed=%v), want %d", ref.packW, ref.packed != nil, tc.packW)
+			}
+			oracle := fillOracle(ref)
+			ref.FillSequential()
+			optEqual(t, "FillSequential vs oracle", ref.Opt, oracle)
+
+			leg := mk()
+			leg.LegacyFill = true
+			leg.FillSequential()
+			optEqual(t, "legacy FillSequential", leg.Opt, oracle)
+
+			p := mk()
+			p.FillParallel(pool, LevelBuckets, par.Dynamic)
+			optEqual(t, "FillParallel", p.Opt, oracle)
+
+			restore := AutoTuneForTest(8, 1, 2, 8)
+			a := mk()
+			a.FillAuto(bpool)
+			restore()
+			optEqual(t, "FillAuto/forced", a.Opt, oracle)
+		})
 	}
 }
 

@@ -139,8 +139,19 @@ type Table struct {
 	// either way.
 	LegacyFill bool
 
+	// AutoStats reports how FillAuto routed the anti-diagonal levels; it is
+	// meaningful only after a FillAuto/FillAutoCtx call (other fill variants
+	// leave it untouched).
+	AutoStats AutoStats
+
 	// set is the flat Jobs-sorted scan view of Configs (shared, read-only).
 	set *conf.Set
+	// packed holds each configuration's count vector packed one byte per
+	// size class (packW words per configuration), enabling the branch-free
+	// SWAR fits check of computeEntryPacked. nil when the table does not
+	// qualify (more than 16 classes or a class count >= 128).
+	packed []uint64
+	packW  int
 	// cache, when non-nil, memoizes configuration sets and level-bucket
 	// indexes across tables (bisection probes repeat both).
 	cache *Cache
@@ -219,8 +230,49 @@ func NewCached(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64,
 	}
 	t.Configs = configs
 	t.set = set
+	t.buildPacked()
 	t.Opt = make([]int32, sigma)
 	return t, nil
+}
+
+// buildPacked precomputes the byte-packed configuration rows for the SWAR
+// fits check: one byte per size class, low class in the low byte, padded
+// with zeros. Applicable whenever every digit fits in 7 bits (class counts
+// < 128, which bounds configuration counts too) and d <= 16 (one or two
+// 64-bit words per row). The paper-scale tables (d = k^2 classes with
+// k <= 4) always qualify.
+func (t *Table) buildPacked() {
+	d := len(t.Counts)
+	if d > 16 {
+		return
+	}
+	for _, n := range t.Counts {
+		if n >= 128 {
+			return
+		}
+	}
+	words := 1
+	if d > 8 {
+		words = 2
+	}
+	s := t.set
+	t.packW = words
+	t.packed = make([]uint64, s.N*words)
+	for ci := 0; ci < s.N; ci++ {
+		row := s.Counts[ci*d : ci*d+d]
+		var w0, w1 uint64
+		for j, c := range row {
+			if j < 8 {
+				w0 |= uint64(uint8(c)) << (8 * j)
+			} else {
+				w1 |= uint64(uint8(c)) << (8 * (j - 8))
+			}
+		}
+		t.packed[ci*words] = w0
+		if words == 2 {
+			t.packed[ci*words+1] = w1
+		}
+	}
 }
 
 // digits decodes the entry index into the vector v, writing into dst
@@ -349,6 +401,10 @@ func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 		t.Opt[idx] = best + 1
 		return
 	}
+	if t.packed != nil {
+		t.computeEntryPacked(idx, v, level)
+		return
+	}
 	s := t.set
 	d := s.D
 	// Level-aware pruning: a configuration with Jobs > level cannot satisfy
@@ -373,6 +429,56 @@ scan:
 	}
 	// A non-zero entry always admits at least one singleton configuration
 	// (every size is <= T), so best is a real value here.
+	t.Opt[idx] = best + 1
+}
+
+// swarHigh masks the sign bit of every byte lane.
+const swarHigh = uint64(0x8080808080808080)
+
+// computeEntryPacked is computeEntry's scan with the per-class comparison
+// loop replaced by a packed SWAR check: with every digit below 128, packing
+// v's digits (and each configuration row) one byte per class makes
+//
+//	c <= v (componentwise)  <=>  ((v | H) - c) & H == H,  H = 0x80 repeated,
+//
+// because v|H raises every byte to >= 128 (so the per-byte subtractions
+// cannot borrow across lanes) and byte j of the difference keeps its sign
+// bit exactly when c_j <= v_j. Unused high lanes hold v-byte 0x80 and
+// c-byte 0, so they always pass. The candidate set and the minimum are
+// identical to the generic scan — the differential harness pins this down.
+func (t *Table) computeEntryPacked(idx int64, v []int32, level int32) {
+	s := t.set
+	bound := int(s.Bounds.Upto(level))
+	offsets := s.Offsets
+	best := int32(math.MaxInt32)
+	var v0, v1 uint64
+	for j, x := range v {
+		if j < 8 {
+			v0 |= uint64(uint8(x)) << (8 * j)
+		} else {
+			v1 |= uint64(uint8(x)) << (8 * (j - 8))
+		}
+	}
+	x0 := v0 | swarHigh
+	packed := t.packed
+	if t.packW == 1 {
+		for ci := 0; ci < bound; ci++ {
+			if (x0-packed[ci])&swarHigh == swarHigh {
+				if o := t.Opt[idx-offsets[ci]]; o < best {
+					best = o
+				}
+			}
+		}
+	} else {
+		x1 := v1 | swarHigh
+		for ci := 0; ci < bound; ci++ {
+			if (x0-packed[2*ci])&swarHigh == swarHigh && (x1-packed[2*ci+1])&swarHigh == swarHigh {
+				if o := t.Opt[idx-offsets[ci]]; o < best {
+					best = o
+				}
+			}
+		}
+	}
 	t.Opt[idx] = best + 1
 }
 
@@ -678,24 +784,25 @@ func (t *Table) solveRec(idx int64) int32 {
 	return t.Opt[idx]
 }
 
-// fillLevels writes the digit sum of every entry into levels. The optimized
-// path splits the table into contiguous chunks, pays one division decode per
-// chunk and advances an odometer inside it; LegacyFill reproduces the seed's
-// division decode per entry.
-func (t *Table) fillLevels(pool *par.Pool, strategy par.Strategy, levels []int32) {
+// fillLevels writes the digit sum of every entry into levels, using the
+// given parallel-for (a pool or barrier-pool dispatch, or an inline loop)
+// over workers workers. The optimized path splits the table into contiguous
+// chunks, pays one division decode per chunk and advances an odometer inside
+// it; LegacyFill reproduces the seed's division decode per entry.
+func (t *Table) fillLevels(pfor func(n int, body func(i int)), workers int, levels []int32) {
 	if t.LegacyFill {
-		pool.For(int(t.Sigma), strategy, func(i int) {
+		pfor(int(t.Sigma), func(i int) {
 			levels[i] = t.levelOf(int64(i))
 		})
 		return
 	}
-	chunkLen := t.Sigma / int64(8*pool.Workers())
+	chunkLen := t.Sigma / int64(8*workers)
 	if chunkLen < 1024 {
 		chunkLen = 1024
 	}
 	nChunks := int((t.Sigma + chunkLen - 1) / chunkLen)
 	d := len(t.Stride)
-	pool.For(nChunks, strategy, func(c int) {
+	pfor(nChunks, func(c int) {
 		lo := int64(c) * chunkLen
 		hi := lo + chunkLen
 		if hi > t.Sigma {
@@ -721,10 +828,11 @@ type levelIndex struct {
 	start []int64
 }
 
-// buildLevelIndex counting-sorts the entries by level.
-func (t *Table) buildLevelIndex(pool *par.Pool, strategy par.Strategy) *levelIndex {
+// buildLevelIndex counting-sorts the entries by level; pfor and workers
+// parallelize the level computation (see fillLevels).
+func (t *Table) buildLevelIndex(pfor func(n int, body func(i int)), workers int) *levelIndex {
 	levels := make([]int32, t.Sigma)
-	t.fillLevels(pool, strategy, levels)
+	t.fillLevels(pfor, workers, levels)
 	count := make([]int64, t.NPrime+2)
 	for _, l := range levels {
 		count[l+1]++
@@ -771,6 +879,7 @@ func (t *Table) FillParallelCtx(ctx context.Context, pool *par.Pool, mode LevelM
 		return nil
 	}
 	decs := newDecoders(t, pool.Workers())
+	pfor := func(n int, body func(i int)) { pool.For(n, strategy, body) }
 
 	t.Opt[0] = 0
 	switch mode {
@@ -778,7 +887,7 @@ func (t *Table) FillParallelCtx(ctx context.Context, pool *par.Pool, mode LevelM
 		// Lines 4-8: compute the digit sums d_i of every entry in parallel,
 		// then (Lines 10-25, faithful) every level scans all sigma entries.
 		levels := make([]int32, t.Sigma)
-		t.fillLevels(pool, strategy, levels)
+		t.fillLevels(pfor, pool.Workers(), levels)
 		for l := int32(1); l <= int32(t.NPrime); l++ {
 			for w := range decs {
 				decs[w].reset()
@@ -804,10 +913,10 @@ func (t *Table) FillParallelCtx(ctx context.Context, pool *par.Pool, mode LevelM
 		var li *levelIndex
 		if t.cache != nil && !t.LegacyFill {
 			li = t.cache.levelIndexFor(t.Counts, func() *levelIndex {
-				return t.buildLevelIndex(pool, strategy)
+				return t.buildLevelIndex(pfor, pool.Workers())
 			})
 		} else {
-			li = t.buildLevelIndex(pool, strategy)
+			li = t.buildLevelIndex(pfor, pool.Workers())
 		}
 		for l := 1; l <= t.NPrime; l++ {
 			bucket := li.order[li.start[l]:li.start[l+1]]

@@ -1,0 +1,15 @@
+package dp
+
+// AutoTuneForTest overrides the adaptive fill's calibration so tests (both
+// in-package and the external workload differential suite) can force every
+// dispatch arm — sequential cutover, inline, fused batch, wide fan-out — on
+// any host, including single-core CI machines where the GOMAXPROCS clamp
+// would otherwise route everything sequentially. cores <= 0 restores the
+// hardware clamp. The returned func restores the previous calibration.
+func AutoTuneForTest(cores int, seqWork, inlineGrain, wideGrain int64) (restore func()) {
+	pc, pw, pi, pg := autoAssumeCores, autoSeqWork, autoInlineGrain, autoWideGrain
+	autoAssumeCores, autoSeqWork, autoInlineGrain, autoWideGrain = cores, seqWork, inlineGrain, wideGrain
+	return func() {
+		autoAssumeCores, autoSeqWork, autoInlineGrain, autoWideGrain = pc, pw, pi, pg
+	}
+}

@@ -1,0 +1,82 @@
+package dp_test
+
+// External differential suite: proves FillAuto (and the barrier-pool path
+// under it) bit-identical to FillSequential on rounded instances from all
+// six workload families of the paper's evaluation. It lives outside package
+// dp because deriving the rounded (sizes, counts, T) triples uses
+// internal/core, which imports dp.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dp"
+	"repro/internal/par"
+	"repro/internal/workload"
+)
+
+func TestFillAutoBitIdenticalAcrossWorkloadFamilies(t *testing.T) {
+	bp := par.NewBarrierPool(4)
+	defer bp.Close()
+	// Forced calibration: exercise the inline, fused and wide barrier arms
+	// regardless of the host's core count.
+	restore := dp.AutoTuneForTest(8, 1, 8, 64)
+	defer restore()
+
+	for _, fam := range workload.Families {
+		fam := fam
+		t.Run(fam.String(), func(t *testing.T) {
+			in, err := workload.Generate(workload.Spec{Family: fam, M: 10, N: 50, Seed: 2017})
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := core.DefaultOptions()
+			_, st, err := core.Solve(t.Context(), in, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes, counts, err := core.RoundedClasses(in, st.K, st.FinalT)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sizes) == 0 {
+				t.Skipf("family %v has no long jobs at T=%d", fam, st.FinalT)
+			}
+			mk := func() *dp.Table {
+				tbl, err := dp.New(sizes, counts, st.FinalT, 0, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return tbl
+			}
+			ref := mk()
+			ref.FillSequential()
+
+			auto := mk()
+			if err := auto.FillAutoCtx(t.Context(), bp); err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref.Opt {
+				if auto.Opt[i] != ref.Opt[i] {
+					t.Fatalf("family %v: Opt[%d] = %d, want %d", fam, i, auto.Opt[i], ref.Opt[i])
+				}
+			}
+			s := auto.AutoStats
+			if s.LevelsInline+s.LevelsFused+s.LevelsParallel != auto.NPrime {
+				t.Fatalf("family %v: AutoStats %+v does not sum to NPrime=%d", fam, s, auto.NPrime)
+			}
+			// If any level is wide enough for the forced calibration, the
+			// fill must actually have dispatched to the barrier pool.
+			wide := false
+			for _, q := range dp.LevelSizes(counts) {
+				if q >= 8 {
+					wide = true
+				}
+			}
+			if wide && s.LevelsFused+s.LevelsParallel == 0 {
+				t.Fatalf("family %v: forced calibration never dispatched (stats %+v, sigma=%d)",
+					fam, s, auto.Sigma)
+			}
+		})
+	}
+}

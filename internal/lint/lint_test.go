@@ -114,8 +114,8 @@ func TestNakedPanic(t *testing.T) {
 
 func TestMutexByValue(t *testing.T) {
 	diags := runCase(t, "mutexbyvalue", MutexByValue)
-	if len(diags) != 4 {
-		t.Errorf("want 4 diagnostics, got %d: %v", len(diags), diags)
+	if len(diags) != 8 {
+		t.Errorf("want 8 diagnostics, got %d: %v", len(diags), diags)
 	}
 }
 

@@ -7,16 +7,20 @@ import (
 )
 
 // MutexByValue is the copylocks check specialized to the parallel substrate:
-// internal/par's Pool (which owns a mutex and the worker feed channels) and
-// its cache-line-padded counter types must never be copied or embedded by
-// value. Copying a Pool forks its closed/mutex state — exactly the class of
-// bug behind the PR-1 Close/For race — and copying a padded counter silently
-// destroys the false-sharing layout the type exists for. The guarded set is
-// derived from types, not names: any struct declared in internal/par that
-// holds a sync/sync-atomic value or a blank padding array.
+// internal/par's Pool (which owns a mutex and the worker feed channels), the
+// BarrierPool (whose sense-reversing round word, arrival counter and parked
+// flags are atomics a copy would fork) and the cache-line-padded counter and
+// cursor types must never be copied or embedded by value. Copying a Pool
+// forks its closed/mutex state — exactly the class of bug behind the PR-1
+// Close/For race — copying a BarrierPool detaches it from its resident
+// workers, and copying a padded counter silently destroys the false-sharing
+// layout the type exists for. The guarded set is derived from types, not
+// names: any struct declared in internal/par that holds a sync/sync-atomic
+// value or a blank padding array, which covers the barrier-pool types
+// automatically.
 var MutexByValue = &Analyzer{
 	Name: "mutexbyvalue",
-	Doc:  "internal/par's pool and padded counter types must be handled by pointer, never copied or embedded by value",
+	Doc:  "internal/par's pool, barrier-pool and padded counter types must be handled by pointer, never copied or embedded by value",
 	Run:  runMutexByValue,
 }
 
@@ -55,11 +59,16 @@ func runMutexByValue(p *Pass) {
 }
 
 // checkStructFields flags struct fields (including embedded ones) of a
-// guarded type held by value.
+// guarded type held by value. Fixed-size arrays copy their elements with the
+// struct and are peeled; slices only copy their header, so a []pad or
+// []cursorPad field (the barrier pool's per-worker state) is fine.
 func checkStructFields(p *Pass, st *ast.StructType) {
 	for _, field := range st.Fields.List {
 		t := field.Type
 		if arr, ok := t.(*ast.ArrayType); ok {
+			if arr.Len == nil {
+				continue // slice header: elements are not copied
+			}
 			t = arr.Elt
 		}
 		if name, ok := guardedExprType(p, t); ok {

@@ -3,9 +3,11 @@ package clean
 
 import "example.com/mutexbyvalue/internal/par"
 
-// Holder keeps a pointer.
+// Holder keeps a pointer, and a slice of padded cursors: copying the struct
+// copies only the slice header, never the cursors, so the field is legal.
 type Holder struct {
-	P *par.Pool
+	P  *par.Pool
+	Cs []par.Cursor
 }
 
 // Use receives a pointer.
@@ -18,6 +20,20 @@ func Drain(cs []par.Counter) uint32 {
 	var total uint32
 	for i := range cs {
 		total += cs[i].N
+	}
+	return total
+}
+
+// Observe reads the barrier through a pointer.
+func Observe(b *par.Barrier) uint64 {
+	return b.Seq()
+}
+
+// Steal iterates the padded cursors by index without copying.
+func Steal(cs []par.Cursor) int64 {
+	var total int64
+	for i := range cs {
+		total += cs[i].V.Load()
 	}
 	return total
 }

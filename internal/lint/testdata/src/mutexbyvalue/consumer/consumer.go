@@ -27,3 +27,24 @@ func Drain(cs []par.Counter) uint32 {
 	}
 	return total
 }
+
+// Sync embeds a Barrier by value: the atomic round word makes it guarded.
+type Sync struct {
+	B par.Barrier // want "holds par.Barrier by value"
+	// A fixed-size array copies its elements with the struct.
+	Cs [4]par.Cursor // want "holds par.Cursor by value"
+}
+
+// Observe receives a Barrier by value.
+func Observe(b par.Barrier) uint64 { // want "par.Barrier passed by value"
+	return b.Seq()
+}
+
+// Steal copies each padded cursor while ranging.
+func Steal(cs []par.Cursor) int64 {
+	var total int64
+	for _, c := range cs { // want "range copies par.Cursor by value"
+		total += c.V.Load()
+	}
+	return total
+}

@@ -1,7 +1,10 @@
 // Package par mirrors the repo's parallel substrate types.
 package par
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // Pool holds a mutex and must never be copied.
 type Pool struct {
@@ -15,5 +18,21 @@ type Counter struct {
 	_ [60]byte
 }
 
+// Barrier mirrors the barrier pool: its guarded status comes from the
+// sync/atomic round word, not from a mutex or padding.
+type Barrier struct {
+	Round atomic.Uint64
+	n     int
+}
+
+// Cursor mirrors the barrier pool's padded chunk cursor.
+type Cursor struct {
+	V atomic.Int64
+	_ [56]byte
+}
+
 // Lock locks the pool.
 func (p *Pool) Lock() { p.mu.Lock() }
+
+// Seq reads the barrier's round word.
+func (b *Barrier) Seq() uint64 { return b.Round.Load() }

@@ -63,11 +63,14 @@ func Normalize(workers int) int {
 	return workers
 }
 
-// round describes one parallel-for executed by a Pool.
+// round describes one parallel-for executed by a Pool. parts is the number
+// of workers the round was dispatched to — min(n, pool size), so a round
+// with fewer iterations than workers never wakes the idle tail.
 type round struct {
 	n        int
 	strategy Strategy
 	grain    int
+	parts    int
 	body     func(worker, i int)
 	next     *atomic.Int64 // shared cursor for Dynamic
 	done     *sync.WaitGroup
@@ -148,12 +151,12 @@ func (p *Pool) run(w int, r round) {
 	}()
 	switch r.strategy {
 	case RoundRobin:
-		for i := w; i < r.n; i += p.workers {
+		for i := w; i < r.n; i += r.parts {
 			r.body(w, i)
 		}
 	case Chunked:
-		lo := w * r.n / p.workers
-		hi := (w + 1) * r.n / p.workers
+		lo := w * r.n / r.parts
+		hi := (w + 1) * r.n / r.parts
 		for i := lo; i < hi; i++ {
 			r.body(w, i)
 		}
@@ -183,28 +186,37 @@ func (p *Pool) For(n int, strategy Strategy, body func(i int)) {
 
 // ForWorker is For with the executing worker's id passed to the body (for
 // per-worker scratch space) and an explicit Dynamic chunk size (grain <= 0
-// selects max(1, n/(8*workers)); the static strategies ignore it). It
-// panics when called on a closed Pool, and re-panics a body panic in the
-// caller once the barrier completes.
+// selects max(1, n/(8*workers)); the static strategies ignore it). A round
+// with n < workers dispatches to only the first n workers (the idle tail is
+// never woken), and n == 1 runs inline on the caller. It panics when called
+// on a closed Pool, and re-panics a body panic in the caller once the
+// barrier completes.
 func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, i int)) {
-	if n <= 0 {
+	if n <= 1 {
 		p.mu.Lock()
 		closed := p.closed
 		p.mu.Unlock()
 		if closed {
 			panic("par: For on closed Pool")
 		}
+		if n == 1 {
+			body(0, 0)
+		}
 		return
 	}
+	parts := p.workers
+	if n < parts {
+		parts = n
+	}
 	if grain <= 0 {
-		grain = n / (8 * p.workers)
+		grain = n / (8 * parts)
 		if grain < 1 {
 			grain = 1
 		}
 	}
 	var wg sync.WaitGroup
-	wg.Add(p.workers)
-	r := round{n: n, strategy: strategy, grain: grain, body: body, next: new(atomic.Int64), done: &wg}
+	wg.Add(parts)
+	r := round{n: n, strategy: strategy, grain: grain, parts: parts, body: body, next: new(atomic.Int64), done: &wg}
 	// Dispatch under the mutex: a concurrent Close either waits for all
 	// sends to land (workers already hold the round, so closing the feeds
 	// afterwards cannot lose it) or wins the lock first, in which case the
@@ -214,7 +226,7 @@ func (p *Pool) ForWorker(n int, strategy Strategy, grain int, body func(worker, 
 		p.mu.Unlock()
 		panic("par: For on closed Pool")
 	}
-	for _, ch := range p.feeds {
+	for _, ch := range p.feeds[:parts] {
 		ch <- r
 	}
 	p.mu.Unlock()

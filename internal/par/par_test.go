@@ -78,6 +78,46 @@ func TestForWorkerIDsInRange(t *testing.T) {
 	}
 }
 
+func TestPoolSmallRoundUsesOnlyNeededWorkers(t *testing.T) {
+	// n < workers dispatches to just the first n workers: ids stay below n
+	// and coverage is exact (the idle tail never wakes).
+	for _, strategy := range Strategies {
+		p := NewPool(8)
+		for _, n := range []int{2, 3, 7} {
+			var bad atomic.Int64
+			coverageCheck(t, n, func(mark func(int)) {
+				p.ForWorker(n, strategy, 0, func(w, i int) {
+					if w >= n {
+						bad.Add(1)
+					}
+					mark(i)
+				})
+			})
+			if bad.Load() != 0 {
+				t.Fatalf("%v n=%d: worker id >= n", strategy, n)
+			}
+		}
+		p.Close()
+	}
+}
+
+func TestPoolSingleIterationRunsInlineOnCaller(t *testing.T) {
+	// n == 1 must run on the calling goroutine: an unsynchronized local
+	// write would be a reported race otherwise (run with -race).
+	p := NewPool(4)
+	defer p.Close()
+	ran := 0
+	p.ForWorker(1, Dynamic, 0, func(w, i int) {
+		if w != 0 || i != 0 {
+			t.Errorf("inline call got (w=%d, i=%d)", w, i)
+		}
+		ran++
+	})
+	if ran != 1 {
+		t.Fatalf("ran = %d", ran)
+	}
+}
+
 func TestRoundRobinAssignsByModulo(t *testing.T) {
 	p := NewPool(4)
 	defer p.Close()

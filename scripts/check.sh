@@ -29,3 +29,8 @@ go run ./cmd/schedlint ./...
 
 go test -shuffle=on -timeout 10m ./...
 go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./solver
+
+# Dedicated stress pass over the barrier pool: its park/wake, panic and
+# cancellation handoffs are the trickiest lock-free code in the tree, so run
+# the Barrier suite twice more under the race detector.
+go test -race -timeout 5m -count=2 -run 'Barrier' ./internal/par

@@ -123,9 +123,13 @@ type PTASOptions struct {
 	// beyond the paper; it preserves the (1+eps) guarantee. When set,
 	// Workers is ignored for the fill.
 	SpeculativeProbes int
-	// AdaptiveFill falls back to the sequential fill for DP tables too
-	// small to amortize parallel coordination, even with Workers > 1.
-	// DefaultPTASOptions enables it; disable for paper-faithful timing.
+	// AdaptiveFill routes parallel fills through the adaptive path: tables
+	// too small to amortize any coordination run sequentially even with
+	// Workers > 1, and larger tables run dp.FillAutoCtx on a persistent
+	// barrier pool — narrow levels inline on the caller, runs of mid-width
+	// levels fused into one dispatch, only wide levels fanned out.
+	// PTASStats.Auto reports the routing. DefaultPTASOptions enables it;
+	// disable (or set PaperFaithful) for paper-faithful per-level timing.
 	AdaptiveFill bool
 	// TimeLimit aborts the solve when exceeded.
 	//
@@ -167,6 +171,11 @@ type PTASStats struct {
 
 	TotalEntriesFilled int64
 	FillTime           time.Duration
+	// Auto reports, across all bisection probes, how the adaptive fill
+	// routed DP anti-diagonal levels: inline on the caller, fused into
+	// batched dispatches, or fanned out as dedicated parallel rounds.
+	// All-zero unless AdaptiveFill ran the barrier-pool path.
+	Auto dp.AutoStats
 	// UsedLPTFallback reports that plain LPT beat the PTAS construction and
 	// its (never worse) schedule was returned.
 	UsedLPTFallback bool
@@ -192,6 +201,7 @@ func PTAS(ctx context.Context, in *pcmax.Instance, opts PTASOptions) (*pcmax.Sch
 		Strategy:          par.RoundRobin,
 		SpeculativeProbes: opts.SpeculativeProbes,
 		AdaptiveFill:      opts.AdaptiveFill,
+		AutoFill:          opts.AdaptiveFill && !opts.PaperFaithful,
 		TimeLimit:         opts.TimeLimit,
 		LPTFallback:       !opts.NoLPTFallback,
 	}

@@ -116,6 +116,44 @@ func TestPTASVariantsAgree(t *testing.T) {
 	}
 }
 
+func TestPTASAdaptiveFillReportsRouting(t *testing.T) {
+	// The default options route parallel solves through the adaptive fill;
+	// the schedule must match the sequential reference and PTASStats.Auto
+	// must account for the levels filled.
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 8, N: 60, Seed: 11})
+	seq := solver.DefaultPTASOptions()
+	ref, refSt, err := solver.PTAS(context.Background(), in, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refSt.TotalEntriesFilled == 0 {
+		t.Fatal("instance has no long jobs; pick a seed whose solve fills DP tables")
+	}
+	par := solver.DefaultPTASOptions()
+	par.Workers = 4
+	got, st, err := solver.PTAS(context.Background(), in, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan(in) != ref.Makespan(in) {
+		t.Fatalf("adaptive makespan %d != sequential %d", got.Makespan(in), ref.Makespan(in))
+	}
+	if st.Auto.LevelsInline+st.Auto.LevelsFused+st.Auto.LevelsParallel == 0 {
+		t.Fatalf("PTASStats.Auto empty after an adaptive parallel solve: %+v", st.Auto)
+	}
+	// PaperFaithful keeps the paper's per-level dispatch: no adaptive stats.
+	pf := solver.DefaultPTASOptions()
+	pf.Workers = 4
+	pf.PaperFaithful = true
+	_, pfSt, err := solver.PTAS(context.Background(), in, pf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pfSt.Auto.LevelsInline+pfSt.Auto.LevelsFused+pfSt.Auto.LevelsParallel != 0 {
+		t.Fatalf("paper-faithful solve reported adaptive routing: %+v", pfSt.Auto)
+	}
+}
+
 func TestPTASShortJobsLSMayDifferButIsValid(t *testing.T) {
 	in := sampleInstance()
 	s, _, err := solver.PTAS(context.Background(), in, solver.PTASOptions{Epsilon: 0.3, Workers: 1, ShortJobsLS: true})
