@@ -65,7 +65,16 @@ type dpBenchConfig struct {
 	Out       string  // output JSON path (default benchJSONName)
 	Baseline  string  // committed BENCH_dp.json to diff against ("" = off)
 	Threshold float64 // allowed fractional slowdown before -baseline fails
-	Windows   int     // measurement windows per cell (more = less noise)
+	// BaselineReport makes the -baseline diff informational: regressions are
+	// printed but never fail the run. CI uses this because its shared runners
+	// are a different host than the one that committed BENCH_dp.json, so
+	// absolute ns/op comparisons carry no cross-host signal.
+	BaselineReport bool
+	// MinSpeedup, when > 0, fails the run if any adaptive (auto) cell's
+	// speedup_vs_seq — measured against the same run's sequential fill, so
+	// host speed cancels out — falls below it.
+	MinSpeedup float64
+	Windows    int // measurement windows per cell (more = less noise)
 }
 
 // measureFill times fill() after one warm-up call. It takes the best of
@@ -212,7 +221,48 @@ sweep:
 		fmt.Printf("wrote %s (%d records)\n", out, len(records))
 	}
 	if cfg.Baseline != "" {
-		return compareBaseline(records, cfg.Baseline, cfg.Threshold)
+		if err := compareBaseline(records, cfg.Baseline, cfg.Threshold); err != nil {
+			if !cfg.BaselineReport {
+				return err
+			}
+			fmt.Printf("baseline diff is report-only; not failing: %v\n", err)
+		}
+	}
+	if cfg.MinSpeedup > 0 {
+		return gateSpeedup(records, cfg.MinSpeedup)
+	}
+	return nil
+}
+
+// gateSpeedup enforces the host-invariant regression gate: every adaptive
+// (auto) cell must reach at least min times the speed of this same run's
+// 1-worker sequential fill of the same workload. Both sides of the ratio come
+// from the same process on the same host minutes apart, so runner speed and
+// load cancel out — unlike the cross-host ns/op diff of -baseline, a failure
+// here means the adaptive routing itself regressed (e.g. back to paying a
+// dispatch round per narrow level).
+func gateSpeedup(records []dpRecord, min float64) error {
+	var failures []string
+	checked := 0
+	for _, r := range records {
+		if r.Path != "auto" || r.Workers <= 1 || r.SpeedupSeq <= 0 {
+			continue
+		}
+		checked++
+		if r.SpeedupSeq < min {
+			failures = append(failures,
+				fmt.Sprintf("  %s/%s wrk=%d: %.2fx vs same-run sequential (floor %.2fx)",
+					r.Workload, r.Family, r.Workers, r.SpeedupSeq, min))
+		}
+	}
+	fmt.Printf("\nspeedup gate: %d auto cells checked against %.2fx floor, %d below\n",
+		checked, min, len(failures))
+	if len(failures) > 0 {
+		sort.Strings(failures)
+		for _, f := range failures {
+			fmt.Println(f)
+		}
+		return fmt.Errorf("%d auto cells below the %.2fx same-run speedup floor", len(failures), min)
 	}
 	return nil
 }

@@ -48,6 +48,8 @@ func run(args []string) error {
 		jsonPath = fs.String("out", benchJSONName, "dp: output path for -json")
 		baseline = fs.String("baseline", "", "dp: diff ns/op against this committed BENCH_dp.json and exit nonzero on regressions")
 		baseTol  = fs.Float64("baseline-threshold", 0.30, "dp: allowed fractional slowdown vs -baseline before failing")
+		baseRpt  = fs.Bool("baseline-report-only", false, "dp: print -baseline regressions without failing (for cross-host CI runs)")
+		gateSpd  = fs.Float64("gate-speedup", 0, "dp: fail when any auto cell's same-run speedup_vs_seq falls below this floor (0 = off)")
 		windows  = fs.Int("windows", 5, "dp: measurement windows per cell (lower = faster, noisier)")
 		deadline = fs.Duration("deadline", 0, "overall deadline for the whole run (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
@@ -166,11 +168,13 @@ func run(args []string) error {
 		return res.Render(cfg)
 	case "dp":
 		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, dpBenchConfig{
-			WriteJSON: *jsonOut,
-			Out:       *jsonPath,
-			Baseline:  *baseline,
-			Threshold: *baseTol,
-			Windows:   *windows,
+			WriteJSON:      *jsonOut,
+			Out:            *jsonPath,
+			Baseline:       *baseline,
+			Threshold:      *baseTol,
+			BaselineReport: *baseRpt,
+			MinSpeedup:     *gateSpd,
+			Windows:        *windows,
 		})
 	case "hard":
 		res, err := cfg.RunHard(ctx, nil, 0)

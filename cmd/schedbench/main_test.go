@@ -50,3 +50,22 @@ func TestRunBadCoresFlag(t *testing.T) {
 		t.Fatal("want error for bad cores")
 	}
 }
+
+func TestGateSpeedup(t *testing.T) {
+	recs := []dpRecord{
+		{Workload: "fig2", Family: "uniform", Workers: 4, Path: "auto", SpeedupSeq: 1.42},
+		{Workload: "fig3", Family: "uniform", Workers: 4, Path: "auto", SpeedupSeq: 0.31},
+		// Non-auto and 1-worker cells are outside the gate.
+		{Workload: "fig2", Family: "uniform", Workers: 4, Path: "optimized", SpeedupSeq: 0.01},
+		{Workload: "fig2", Family: "uniform", Workers: 1, Path: "auto"},
+	}
+	if err := gateSpeedup(recs, 0.5); err == nil {
+		t.Fatal("want failure: an auto cell sits below the floor")
+	}
+	if err := gateSpeedup(recs, 0.2); err != nil {
+		t.Fatalf("all auto cells above floor, got %v", err)
+	}
+	if err := gateSpeedup(recs[:1], 0.5); err != nil {
+		t.Fatalf("single passing cell, got %v", err)
+	}
+}

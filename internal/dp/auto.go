@@ -114,8 +114,13 @@ func (t *Table) FillAutoCtx(ctx context.Context, bp *par.BarrierPool) error {
 	// regime it picks.
 	if bp == nil || t.LegacyFill || t.PerEntryEnum ||
 		t.Sigma*int64(len(t.Configs)) < autoSeqWork {
+		if err := t.FillSequentialCtx(ctx); err != nil {
+			return err
+		}
+		// Stats claim the inline levels only once they actually completed —
+		// a mid-fill cancellation must not report a fully filled table.
 		t.AutoStats.LevelsInline = t.NPrime
-		return t.FillSequentialCtx(ctx)
+		return nil
 	}
 	parts := bp.Workers()
 	if cores := autoCores(); parts > cores {
@@ -124,8 +129,11 @@ func (t *Table) FillAutoCtx(ctx context.Context, bp *par.BarrierPool) error {
 		parts = cores
 	}
 	if parts < 2 {
+		if err := t.FillSequentialCtx(ctx); err != nil {
+			return err
+		}
 		t.AutoStats.LevelsInline = t.NPrime
-		return t.FillSequentialCtx(ctx)
+		return nil
 	}
 
 	pfor := func(n int, body func(i int)) { bp.For(n, body) }

@@ -3,6 +3,7 @@ package dp
 import (
 	"context"
 	"errors"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/cancel"
@@ -117,6 +118,70 @@ func TestFillAutoMidFillCancel(t *testing.T) {
 	bp.For(1, func(int) { n++ })
 	if n != 1 {
 		t.Fatalf("barrier pool unusable after canceled fill")
+	}
+}
+
+// trippingCtx is live for its first Done poll and canceled from the second
+// onward: FillAutoCtx's entry check passes, and the fill it routed to dies
+// at its own next poll — a deterministic mid-cutover cancellation.
+type trippingCtx struct {
+	context.Context
+	polls atomic.Int32
+	done  chan struct{}
+}
+
+func newTrippingCtx() *trippingCtx {
+	done := make(chan struct{})
+	close(done)
+	return &trippingCtx{Context: context.Background(), done: done}
+}
+
+func (c *trippingCtx) Done() <-chan struct{} {
+	if c.polls.Add(1) >= 2 {
+		return c.done
+	}
+	return nil
+}
+
+func (c *trippingCtx) Err() error {
+	if c.polls.Load() >= 2 {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestFillAutoCanceledCutoverReportsNoInlineLevels pins the stats contract on
+// the sequential-cutover arms: a fill that dies inside the cut-over
+// FillSequentialCtx must not claim its levels completed inline.
+func TestFillAutoCanceledCutoverReportsNoInlineLevels(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		seqWork int64
+		pool    bool
+	}{
+		// bp == nil routes to the first cutover arm regardless of table size.
+		{"nil-pool", 1 << 17, false},
+		// A real pool with the hardware clamp forced to one core exercises
+		// the parts < 2 fallback arm (seqWork 1 keeps the small-table arm
+		// from swallowing the case first).
+		{"hardware-clamped", 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			restore := AutoTuneForTest(1, tc.seqWork, 64, 4096)
+			defer restore()
+			var bp *par.BarrierPool
+			if tc.pool {
+				bp = par.NewBarrierPool(4)
+				defer bp.Close()
+			}
+			tbl := bigTable(t)
+			if err := tbl.FillAutoCtx(newTrippingCtx(), bp); !errors.Is(err, cancel.ErrCanceled) {
+				t.Fatalf("want ErrCanceled, got %v", err)
+			}
+			if s := tbl.AutoStats; s != (AutoStats{}) {
+				t.Fatalf("canceled cutover fill reported stats %+v, want zero", s)
+			}
+		})
 	}
 }
 

@@ -90,11 +90,17 @@ type BarrierPool struct {
 	cursors  [2][]cursorPad
 
 	// Caller-completion handoff: when the caller exhausts its spin budget it
-	// sets callerWaiting and blocks on done; the participant whose arrival
-	// completes the round claims the flag (atomic swap) and sends the single
-	// completion token. The swap decides ownership, so the token is sent
-	// exactly when someone will consume it.
-	callerWaiting atomic.Bool
+	// stores its round's sequence in callerWaiting and blocks on done; the
+	// participant whose arrival completes a round claims the flag with
+	// CompareAndSwap(itsRoundSeq, 0) and sends the single completion token
+	// only on success. Tagging the flag with the sequence (0 = not waiting;
+	// dispatch never issues seq 0) closes the cross-round race where a worker
+	// that finished round N is preempted between its final arrive.Add and the
+	// claim: by the time it runs again the caller may be parked on round N+1,
+	// and an untagged swap would hand that caller a premature token while
+	// round N+1 is still executing. With the tag, the stale claim fails and
+	// only round N+1's own last arriver can release the caller.
+	callerWaiting atomic.Uint64
 	done          chan struct{}
 
 	// Parking: a worker sets parked[w], re-checks the round word, then
@@ -189,7 +195,9 @@ func (b *BarrierPool) resident(w int) {
 		last = r
 		if parts := int(r >> barrierSeqBits); w < parts {
 			cur, final := b.participate(w, parts)
-			if cur == final && b.callerWaiting.Swap(false) {
+			// Last arriver of THIS round: release the caller only if it is
+			// parked on this same round (seq-tagged CAS; see callerWaiting).
+			if cur == final && b.callerWaiting.CompareAndSwap(r&barrierSeqMask, 0) {
 				b.done <- struct{}{}
 			}
 		}
@@ -350,6 +358,10 @@ func (b *BarrierPool) dispatch(segs []int, body func(worker, seg, i int)) {
 		b.cursors[0][w].v.Store(staticLo(w, parts, segs[0]))
 	}
 	seq := (b.round.Load() + 1) & barrierSeqMask
+	if seq == 0 {
+		// Seq 0 is the callerWaiting "not waiting" sentinel; skip it on wrap.
+		seq = 1
+	}
 	b.round.Store(uint64(parts)<<barrierSeqBits | seq)
 	for w := 1; w < parts; w++ {
 		if b.parked[w].Swap(false) {
@@ -359,7 +371,7 @@ func (b *BarrierPool) dispatch(segs []int, body func(worker, seg, i int)) {
 	b.mu.Unlock()
 	cur, final := b.participate(0, parts)
 	if cur != final {
-		b.awaitFinal(final)
+		b.awaitFinal(final, seq)
 	}
 	b.panicMu.Lock()
 	e := b.panicked
@@ -371,26 +383,35 @@ func (b *BarrierPool) dispatch(segs []int, body func(worker, seg, i int)) {
 }
 
 // awaitFinal blocks the caller until every participant arrived at the
-// round's final barrier: a short yielding spin, then the flag-swap handoff
-// with the last arriver (see callerWaiting).
-func (b *BarrierPool) awaitFinal(final int64) {
+// round's final barrier: a short yielding spin, then the seq-tagged handoff
+// with the round's last arriver (see callerWaiting). seq is this round's
+// sequence, never 0.
+func (b *BarrierPool) awaitFinal(final int64, seq uint64) {
 	for i := 0; i < barrierSpin; i++ {
 		if b.arrive.Load() >= final {
 			return
 		}
 		runtime.Gosched()
 	}
-	b.callerWaiting.Store(true)
-	if b.arrive.Load() >= final {
-		// Completed between the spin and the flag store. If the last
-		// arriver already claimed the flag, its token is in flight and must
-		// be drained so the next round starts clean.
-		if !b.callerWaiting.Swap(false) {
-			<-b.done
+	for {
+		b.callerWaiting.Store(seq)
+		if b.arrive.Load() >= final {
+			// Completed between the spin and the flag store. If the last
+			// arriver already claimed the flag, its token is in flight and
+			// must be drained so the next round starts clean.
+			if !b.callerWaiting.CompareAndSwap(seq, 0) {
+				<-b.done
+			}
+			return
 		}
-		return
+		<-b.done
+		// A token implies its sender claimed this round's seq after arriving
+		// last, so the round is complete; re-validate anyway so a handoff bug
+		// can never return the caller into a still-running round.
+		if b.arrive.Load() >= final {
+			return
+		}
 	}
-	<-b.done
 }
 
 // For runs body(i) for every i in [0, n) across the pool and waits.

@@ -84,6 +84,32 @@ func TestBarrierPoolReusedAcrossManyRounds(t *testing.T) {
 	}
 }
 
+func TestBarrierCallerParkHandoffAcrossRounds(t *testing.T) {
+	// Regression for the cross-round completion handoff: a worker that ends
+	// round N may be preempted between its final arrival and its claim of the
+	// caller's waiting flag, by which time the caller can already be parked
+	// on round N+1 — a stale (untagged) claim would release the caller while
+	// round N+1 is still running. Force the caller to park every round (the
+	// non-caller shares outlast its spin budget) and check each dispatch
+	// returns only after all its bodies ran.
+	b := NewBarrierPool(4)
+	defer b.Close()
+	const rounds, n = 300, 8
+	var ran atomic.Int64
+	for r := 0; r < rounds; r++ {
+		ran.Store(0)
+		b.ForWorker(n, func(w, i int) {
+			if w != 0 {
+				time.Sleep(100 * time.Microsecond)
+			}
+			ran.Add(1)
+		})
+		if got := ran.Load(); got != n {
+			t.Fatalf("round %d: dispatch returned after %d of %d bodies", r, got, n)
+		}
+	}
+}
+
 func TestBarrierSharedWritesPublishedByBarrier(t *testing.T) {
 	// Run with -race: each index writes its own slot; the final barrier must
 	// publish every participant's writes to the caller.
