@@ -1,14 +1,18 @@
-// Command schedlint runs the repository's static-analysis suite: six
-// analyzers (see internal/lint and ALGORITHM.md §9) that machine-check the
-// concurrency and determinism invariants the scheduler depends on —
+// Command schedlint runs the repository's static-analysis suite: eleven
+// analyzers (see internal/lint and ALGORITHM.md §9/§11) that machine-check
+// the concurrency and determinism invariants the scheduler depends on —
 // deterministic RNG only through internal/rng, context threaded through
 // every blocking solver entry point, no unjoined goroutines, no map
-// iteration order leaking into results, no undocumented library panics,
-// and no by-value copies of the parallel substrate's lock-bearing types.
+// iteration order leaking into results, no undocumented library panics, no
+// by-value copies of the parallel substrate's lock-bearing types, no mixing
+// of atomic and plain access to one word, a consistent mutex acquisition
+// order, no unterminatable goroutines reachable from exported functions,
+// WaitGroup accounting balanced on every path, and allocation-free
+// //lint:hotpath kernels.
 //
 // Usage:
 //
-//	schedlint [-json] [packages]
+//	schedlint [-json] [-out file] [-only check] [-parallel N] [-v] [packages]
 //
 // schedlint always analyzes the whole module containing the working
 // directory; package arguments (./...) are accepted for command-line
@@ -26,56 +30,141 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/lint"
 )
 
 func main() {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	listChecks := flag.Bool("checks", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: schedlint [-json] [packages]\n")
-		flag.PrintDefaults()
-	}
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
+// config is one schedlint invocation's parsed flags.
+type config struct {
+	jsonOut  bool
+	outFile  string
+	only     string
+	parallel int
+	verbose  bool
+}
+
+// run is the testable entry point: parses flags, runs the suite, writes the
+// report, and returns the process exit code (0 clean, 1 findings, 2 errors).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("schedlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var cfg config
+	fs.BoolVar(&cfg.jsonOut, "json", false, "emit findings as a JSON array")
+	fs.StringVar(&cfg.outFile, "out", "", "also write the report to this file (implies the same format as stdout)")
+	fs.StringVar(&cfg.only, "only", "", "report only findings of this check (others still run; the suite is module-wide)")
+	fs.IntVar(&cfg.parallel, "parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS)")
+	fs.BoolVar(&cfg.verbose, "v", false, "print per-analyzer wall time to stderr")
+	listChecks := fs.Bool("checks", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: schedlint [-json] [-out file] [-only check] [-parallel N] [-v] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := lint.All()
 	if *listChecks {
-		for _, a := range lint.All() {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-14s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
+	}
+	if cfg.only != "" && cfg.only != lint.DirectiveCheck {
+		known := false
+		for _, a := range analyzers {
+			if a.Name == cfg.only {
+				known = true
+				break
+			}
+		}
+		if !known {
+			fmt.Fprintf(stderr, "schedlint: -only %s: unknown check (see -checks)\n", cfg.only)
+			return 2
+		}
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "schedlint: %v\n", err)
+		return 2
 	}
-	diags, err := lint.RunAnalyzers(root, lint.All())
+	loadStart := time.Now()
+	mod, err := lint.LoadModuleParallel(root, cfg.parallel)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "schedlint: %v\n", err)
+		return 2
 	}
-	if *jsonOut {
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
+	loadTime := time.Since(loadStart)
+	diags, timings := lint.RunOnModuleOpts(mod, analyzers, cfg.parallel)
+	if cfg.verbose {
+		fmt.Fprintf(stderr, "schedlint: load %8.1fms  (%d packages)\n", millis(loadTime), len(mod.Packages))
+		for _, t := range timings {
+			fmt.Fprintf(stderr, "schedlint: %-12s %8.1fms\n", t.Name, millis(t.Elapsed))
 		}
-		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintf(os.Stderr, "schedlint: %v\n", err)
-			os.Exit(2)
-		}
-	} else {
+	}
+	if cfg.only != "" {
+		kept := diags[:0]
 		for _, d := range diags {
-			fmt.Println(d.String())
+			if d.Check == cfg.only {
+				kept = append(kept, d)
+			}
+		}
+		diags = kept
+	}
+
+	if err := writeReport(stdout, cfg.jsonOut, diags); err != nil {
+		fmt.Fprintf(stderr, "schedlint: %v\n", err)
+		return 2
+	}
+	if cfg.outFile != "" {
+		f, err := os.Create(cfg.outFile)
+		if err == nil {
+			err = writeReport(f, cfg.jsonOut, diags)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(stderr, "schedlint: %v\n", err)
+			return 2
 		}
 	}
 	if len(diags) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeReport renders the findings: one line per finding, or an indented
+// JSON array (never null — an empty run is []) when jsonOut is set.
+func writeReport(w io.Writer, jsonOut bool, diags []lint.Diagnostic) error {
+	if !jsonOut {
+		var b strings.Builder
+		for _, d := range diags {
+			b.WriteString(d.String())
+			b.WriteByte('\n')
+		}
+		_, err := io.WriteString(w, b.String())
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if diags == nil {
+		diags = []lint.Diagnostic{}
+	}
+	return enc.Encode(diags)
 }
 
 // findModuleRoot walks up from the working directory to the nearest go.mod.

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runDemo runs schedlint over the testdata/demo module and returns the
+// exit code with the captured streams.
+func runDemo(t *testing.T, args ...string) (int, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	t.Chdir(filepath.Join("testdata", "demo"))
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, &out, &errb
+}
+
+// TestJSONGolden locks the -json report byte-for-byte against the checked-in
+// golden file, so the output schema CI archives cannot drift silently.
+// Refresh from the repo root with:
+//
+//	go build -o /tmp/schedlint ./cmd/schedlint
+//	(cd cmd/schedlint/testdata/demo && /tmp/schedlint -json > ../demo.golden.json)
+func TestJSONGolden(t *testing.T) {
+	code, out, errb := runDemo(t, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (the demo module has findings); stderr: %s", code, errb)
+	}
+	want, err := os.ReadFile(filepath.Join("..", "demo.golden.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("-json output differs from golden:\n--- got ---\n%s--- want ---\n%s", out, want)
+	}
+}
+
+// TestJSONSchema checks the shape of every finding object: exactly the five
+// documented fields with the right JSON types.
+func TestJSONSchema(t *testing.T) {
+	code, out, _ := runDemo(t, "-json")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("output is not a JSON array: %v", err)
+	}
+	if len(findings) == 0 {
+		t.Fatalf("demo module should produce findings")
+	}
+	for i, f := range findings {
+		if len(f) != 5 {
+			t.Errorf("finding %d has %d fields, want 5: %v", i, len(f), f)
+		}
+		for _, key := range []string{"file", "check", "message"} {
+			if _, ok := f[key].(string); !ok {
+				t.Errorf("finding %d: %q should be a string: %v", i, key, f[key])
+			}
+		}
+		for _, key := range []string{"line", "col"} {
+			if _, ok := f[key].(float64); !ok {
+				t.Errorf("finding %d: %q should be a number: %v", i, key, f[key])
+			}
+		}
+	}
+}
+
+// TestOutFile checks that -out writes the same report to a file, and that
+// -only narrows the report (but not the exit-relevant run) to one check.
+func TestOutFile(t *testing.T) {
+	outPath := filepath.Join(t.TempDir(), "schedlint.json")
+	code, out, errb := runDemo(t, "-json", "-out", outPath, "-only", "lintdirective")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatalf("read -out file: %v", err)
+	}
+	if !bytes.Equal(data, out.Bytes()) {
+		t.Errorf("-out file differs from stdout")
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(data, &findings); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("want 1 lintdirective finding, got %d: %v", len(findings), findings)
+	}
+	if findings[0]["check"] != "lintdirective" {
+		t.Errorf("check = %v, want lintdirective", findings[0]["check"])
+	}
+}
+
+// TestOnlyCleanAndUnknown: a check with no findings exits 0 under -only;
+// an unknown check name is a usage error (2).
+func TestOnlyClean(t *testing.T) {
+	code, out, _ := runDemo(t, "-only", "maporder")
+	if code != 0 {
+		t.Errorf("exit code = %d, want 0 (demo has no maporder findings)", code)
+	}
+	if out.Len() != 0 {
+		t.Errorf("expected empty report, got %q", out)
+	}
+}
+
+func TestOnlyUnknown(t *testing.T) {
+	code, _, errb := runDemo(t, "-only", "nosuchcheck")
+	if code != 2 {
+		t.Errorf("exit code = %d, want 2; stderr: %s", code, errb)
+	}
+}
+
+// TestParallelMatchesDefault: -parallel fan-out must not change the report.
+func TestParallelMatchesDefault(t *testing.T) {
+	code1, out1, _ := runDemo(t, "-json")
+	t.Chdir(filepath.Join("..", ".."))
+	code4, out4, _ := runDemo(t, "-json", "-parallel", "4")
+	if code1 != code4 || !bytes.Equal(out1.Bytes(), out4.Bytes()) {
+		t.Errorf("-parallel changed the report (codes %d/%d)", code1, code4)
+	}
+}

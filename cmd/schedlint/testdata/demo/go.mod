@@ -1,0 +1,3 @@
+module example.com/demo
+
+go 1.22

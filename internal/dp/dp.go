@@ -312,6 +312,8 @@ func sumDigits(v []int32) int32 {
 // stay inside the table. Cost is O(d) worst case but the loop exits as soon
 // as the remaining delta is zero, so advancing between nearby entries only
 // touches the fastest digits.
+//
+//lint:hotpath odometer advancement runs once per table entry
 func (t *Table) advance(v []int32, delta int64) int32 {
 	var dl int32
 	for i := len(v) - 1; i >= 0 && delta > 0; i-- {
@@ -332,6 +334,8 @@ func (t *Table) advance(v []int32, delta int64) int32 {
 // advanceOne is the odometer increment (advance by exactly 1), returning the
 // digit-sum change. Incrementing the last entry wraps to the zero vector;
 // callers never advance past the end.
+//
+//lint:hotpath odometer increment runs once per table entry
 func (t *Table) advanceOne(v []int32) int32 {
 	var dl int32
 	for i := len(v) - 1; i >= 0; i-- {
@@ -368,6 +372,8 @@ func (dc *decoder) reset() { dc.last = -1 }
 // at returns the digit vector of idx. Successive calls on one decoder must
 // use non-decreasing indices for the incremental path to engage; a backward
 // jump falls back to a full decode.
+//
+//lint:hotpath per-entry index decode on the fill loop
 func (dc *decoder) at(idx int64) []int32 {
 	t := dc.t
 	switch {
@@ -383,6 +389,8 @@ func (dc *decoder) at(idx int64) []int32 {
 // computeEntry evaluates the recurrence for one non-zero entry whose decoded
 // digits are v with digit sum level. All dependencies (smaller digit sums)
 // must be final.
+//
+//lint:hotpath the DP recurrence kernel, millions of calls per probe
 func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 	if t.PerEntryEnum {
 		t.computeEntryPerEnum(idx, v)
@@ -446,6 +454,8 @@ const swarHigh = uint64(0x8080808080808080)
 // bit exactly when c_j <= v_j. Unused high lanes hold v-byte 0x80 and
 // c-byte 0, so they always pass. The candidate set and the minimum are
 // identical to the generic scan — the differential harness pins this down.
+//
+//lint:hotpath SWAR kernel, the tightest loop in the repository
 func (t *Table) computeEntryPacked(idx int64, v []int32, level int32) {
 	s := t.set
 	bound := int(s.Bounds.Upto(level))

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AtomicMix guards the invariant that broke the barrier-pool handoff in the
+// PR 4 bug: once a word is manipulated through sync/atomic anywhere in the
+// module, every access must be atomic. A plain read of a CAS-published
+// field can be torn, reordered, or hoisted out of a loop by the compiler —
+// the exact race the seq-tagged callerWaiting handoff had before it moved
+// to typed atomics. The analyzer is module-level because the atomic writes
+// and the plain reads of an exported field can live in different packages.
+var AtomicMix = &Analyzer{
+	Name:      "atomicmix",
+	Doc:       "words accessed through sync/atomic must never be read or written plainly",
+	RunModule: runAtomicMix,
+}
+
+// atomicFuncs are the sync/atomic operations that take an address. Typed
+// atomics (atomic.Uint64 and friends) are invisible to plain accesses by
+// construction, so only the function forms need tracking.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"AndInt32": true, "AndInt64": true, "AndUint32": true, "AndUint64": true, "AndUintptr": true,
+	"OrInt32": true, "OrInt64": true, "OrUint32": true, "OrUint64": true, "OrUintptr": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true,
+	"LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true,
+	"StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true,
+	"SwapUintptr": true, "SwapPointer": true,
+}
+
+func runAtomicMix(pass *ModulePass) {
+	mod := pass.Mod
+
+	// Pass 1: record every struct field and package-level variable whose
+	// address reaches a sync/atomic function, keeping the first such site as
+	// the witness the diagnostics cite, and remembering the exact idents
+	// used inside atomic arguments so pass 2 does not flag them.
+	witness := map[*types.Var]token.Pos{}
+	atomicUse := map[*ast.Ident]bool{}
+	for _, pkg := range mod.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(pkg, call) {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					v, id := addressedVar(pkg, un.X)
+					if v == nil || !sharedWord(v) {
+						continue
+					}
+					atomicUse[id] = true
+					if _, seen := witness[v]; !seen {
+						witness[v] = un.Pos()
+					}
+				}
+				return true
+			})
+		}
+	}
+	if len(witness) == 0 {
+		return
+	}
+
+	// Pass 2: every other mention of a tracked word is a plain access.
+	// Composite-literal keys are exempt — keyed initialization happens
+	// before the value is shared, and is how zeroed atomics are reset.
+	for _, pkg := range mod.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			litKey := map[*ast.Ident]bool{}
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CompositeLit:
+					for _, el := range n.Elts {
+						if kv, ok := el.(*ast.KeyValueExpr); ok {
+							if id, ok := kv.Key.(*ast.Ident); ok {
+								litKey[id] = true
+							}
+						}
+					}
+				case *ast.Ident:
+					if atomicUse[n] || litKey[n] {
+						return true
+					}
+					v, _ := pkg.Info.Uses[n].(*types.Var)
+					if v == nil {
+						return true
+					}
+					at, tracked := witness[v]
+					if !tracked {
+						return true
+					}
+					pass.Reportf(n.Pos(), "%s is accessed with sync/atomic (%s) but read or written plainly here; mixing the two races",
+						v.Name(), mod.Fset.Position(at))
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isAtomicCall reports whether the call is one of sync/atomic's
+// address-taking functions.
+func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+		return false
+	}
+	return atomicFuncs[fn.Name()]
+}
+
+// addressedVar resolves the operand of an address-of expression to the
+// variable it names — a struct field (through any selector chain) or a
+// plain identifier — together with the ident that names it. Index
+// expressions (atomic ops on slice elements) and other shapes return nil.
+func addressedVar(pkg *Package, e ast.Expr) (*types.Var, *ast.Ident) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		v, _ := pkg.Info.Uses[e].(*types.Var)
+		return v, e
+	case *ast.SelectorExpr:
+		if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			if v, ok := sel.Obj().(*types.Var); ok {
+				return v, e.Sel
+			}
+			return nil, nil
+		}
+		// Qualified reference to another package's variable (pkg.V).
+		v, _ := pkg.Info.Uses[e.Sel].(*types.Var)
+		return v, e.Sel
+	}
+	return nil, nil
+}
+
+// sharedWord reports whether the variable can outlive a single goroutine's
+// stack frame in the obvious way: a struct field or a package-level
+// variable. Locals are excluded — "atomic while workers run, plain after
+// the join" is a legitimate idiom for a local counter, and flagging it
+// would teach people to ignore the check.
+func sharedWord(v *types.Var) bool {
+	if v.IsField() {
+		return true
+	}
+	return v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

@@ -69,25 +69,38 @@ func runCtxFirst(p *Pass) {
 	}
 }
 
-// checkCtxPosition flags context.Context parameters that are not first.
+// checkCtxPosition flags context.Context parameters that are not first, and
+// variadic context parameters (…context.Context), which break the one-ctx
+// convention and do not satisfy the cancellability requirement.
 func checkCtxPosition(p *Pass, fd *ast.FuncDecl) {
 	pos := 0
 	for _, field := range fd.Type.Params.List {
-		isCtx := isContextType(p, field.Type)
 		n := len(field.Names)
 		if n == 0 {
 			n = 1
 		}
-		if isCtx && pos != 0 {
+		if ell, ok := field.Type.(*ast.Ellipsis); ok {
+			if isContextType(p, ell.Elt) {
+				p.Reportf(field.Pos(), "context.Context must not be variadic in %s; take exactly one ctx as the first parameter", fd.Name.Name)
+			}
+			pos += n
+			continue
+		}
+		if isContextType(p, field.Type) && pos != 0 {
 			p.Reportf(field.Pos(), "context.Context must be the first parameter of %s", fd.Name.Name)
 		}
 		pos += n
 	}
 }
 
-// hasContextParam reports whether fd takes a context.Context anywhere.
+// hasContextParam reports whether fd takes a context.Context anywhere. A
+// variadic …context.Context does not count: callers can pass zero of them,
+// so the function is not actually cancellable.
 func hasContextParam(p *Pass, fd *ast.FuncDecl) bool {
 	for _, field := range fd.Type.Params.List {
+		if _, variadic := field.Type.(*ast.Ellipsis); variadic {
+			continue
+		}
 		if isContextType(p, field.Type) {
 			return true
 		}
@@ -109,10 +122,35 @@ func isContextType(p *Pass, e ast.Expr) bool {
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
 }
 
-// usesBlockingConstructs reports whether the body contains a go statement,
-// a select, a channel send/receive, a range over a channel, or a
-// sync.WaitGroup Wait call.
+// usesBlockingConstructs reports whether the body blocks: directly, or by
+// taking a method value of a module function that blocks (handing
+// pool.ForWorker to a helper blocks when the helper invokes it, so the
+// exported wrapper must still be cancellable).
 func usesBlockingConstructs(p *Pass, body *ast.BlockStmt) bool {
+	return blockingBody(p.Mod, p.Pkg, body, true)
+}
+
+// blockingBody reports whether the body contains a go statement, a select,
+// a channel send/receive, a range over a channel, or a sync.WaitGroup Wait
+// call. When followRefs is set, an uncalled reference to a module function
+// or method (a method value or function value) whose own body blocks
+// directly also counts — one level deep, not transitively, so the check
+// stays a linter and not a whole-program escape analysis.
+func blockingBody(mod *Module, pkg *Package, body *ast.BlockStmt, followRefs bool) bool {
+	// called holds every expression in call position, so references can be
+	// told apart from invocations; selSels marks selector Sel idents, which
+	// are handled at the enclosing SelectorExpr.
+	called := map[ast.Expr]bool{}
+	selSels := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			called[ast.Unparen(n.Fun)] = true
+		case *ast.SelectorExpr:
+			selSels[n.Sel] = true
+		}
+		return true
+	})
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -126,13 +164,31 @@ func usesBlockingConstructs(p *Pass, body *ast.BlockStmt) bool {
 				found = true
 			}
 		case *ast.RangeStmt:
-			if tv, ok := p.Pkg.Info.Types[n.X]; ok && tv.Type != nil {
+			if tv, ok := pkg.Info.Types[n.X]; ok && tv.Type != nil {
 				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
 					found = true
 				}
 			}
 		case *ast.CallExpr:
-			if isWaitGroupWait(p, n) {
+			if isWaitGroupWait(pkg, n) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if !followRefs || called[n] {
+				break
+			}
+			if n.Sel.Name == "Wait" && isWaitGroupExpr(pkg, n.X) {
+				found = true // wg.Wait as a method value
+				break
+			}
+			if fn, ok := pkg.Info.Uses[n.Sel].(*types.Func); ok && blockingFuncRef(mod, fn) {
+				found = true
+			}
+		case *ast.Ident:
+			if !followRefs || called[n] || selSels[n] {
+				break
+			}
+			if fn, ok := pkg.Info.Uses[n].(*types.Func); ok && blockingFuncRef(mod, fn) {
 				found = true
 			}
 		}
@@ -141,13 +197,32 @@ func usesBlockingConstructs(p *Pass, body *ast.BlockStmt) bool {
 	return found
 }
 
+// blockingFuncRef reports whether fn is a module function whose own body
+// blocks directly.
+func blockingFuncRef(mod *Module, fn *types.Func) bool {
+	if !moduleLocal(mod, fn) {
+		return false
+	}
+	declPkg, decl := mod.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return false
+	}
+	return blockingBody(mod, declPkg, decl.Body, false)
+}
+
 // isWaitGroupWait reports whether the call is <sync.WaitGroup>.Wait().
-func isWaitGroupWait(p *Pass, call *ast.CallExpr) bool {
+func isWaitGroupWait(pkg *Package, call *ast.CallExpr) bool {
 	sel, ok := call.Fun.(*ast.SelectorExpr)
 	if !ok || sel.Sel.Name != "Wait" {
 		return false
 	}
-	tv, ok := p.Pkg.Info.Types[sel.X]
+	return isWaitGroupExpr(pkg, sel.X)
+}
+
+// isWaitGroupExpr reports whether the expression is a sync.WaitGroup (or
+// pointer to one).
+func isWaitGroupExpr(pkg *Package, e ast.Expr) bool {
+	tv, ok := pkg.Info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}

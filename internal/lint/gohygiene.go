@@ -78,7 +78,7 @@ func hasJoin(p *Pass, body *ast.BlockStmt) bool {
 		}
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			if isWaitGroupWait(p, n) {
+			if isWaitGroupWait(p.Pkg, n) {
 				found = true
 			}
 		case *ast.UnaryExpr:

@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc keeps the DP inner loops allocation-free. Functions whose doc
+// comment carries a //lint:hotpath directive (the layer-fill entry
+// computation, the SWAR kernel, the odometer decoders) run millions of
+// times per bisection probe; a single composite literal, growing append,
+// closure, or interface boxing in one of them shows up directly in the
+// benchmarks the CI gate watches. The directive makes the contract
+// machine-checked instead of a comment nobody re-verifies.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "//lint:hotpath functions must not allocate: no composite literals, make, append, closures, or interface boxing",
+	Run:  runHotAlloc,
+}
+
+const hotpathPrefix = "//lint:hotpath"
+
+func runHotAlloc(pass *Pass) {
+	pkg := pass.Pkg
+	for _, f := range pkg.Files {
+		// Directives attached to function declarations mark hot paths;
+		// any other placement is dead weight and flagged as such.
+		attached := map[*ast.Comment]bool{}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			hot := false
+			for _, c := range fd.Doc.List {
+				if isHotpathDirective(c.Text) {
+					attached[c] = true
+					hot = true
+				}
+			}
+			if hot && fd.Body != nil {
+				checkHotBody(pass, fd)
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if isHotpathDirective(c.Text) && !attached[c] {
+					pass.Reportf(c.Pos(), "stray //lint:hotpath: the directive must be part of a function declaration's doc comment")
+				}
+			}
+		}
+	}
+}
+
+func isHotpathDirective(text string) bool {
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := text[len(hotpathPrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
+}
+
+func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
+	pkg := pass.Pkg
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "hot path %s builds a closure, which allocates; hoist it out of the hot function", name)
+			return false // its body is not on the hot path contract
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(), "hot path %s builds a composite literal, which allocates; reuse a caller-provided buffer", name)
+		case *ast.CallExpr:
+			checkHotCall(pass, pkg, name, n)
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, pkg *Package, name string, call *ast.CallExpr) {
+	// Builtins that allocate.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				pass.Reportf(call.Pos(), "hot path %s calls append, which may grow the backing array; size the slice up front", name)
+			case "make", "new":
+				pass.Reportf(call.Pos(), "hot path %s calls %s, which allocates; hoist the allocation to the caller", name, id.Name)
+			}
+			return
+		}
+	}
+	tv, ok := pkg.Info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	// Conversion to an interface type boxes the operand.
+	if tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			if at, ok := pkg.Info.Types[call.Args[0]]; ok && at.Type != nil && !types.IsInterface(at.Type) {
+				pass.Reportf(call.Pos(), "hot path %s converts a concrete value to an interface, which boxes (allocates)", name)
+			}
+		}
+		return
+	}
+	// Concrete argument passed to an interface parameter boxes too — this
+	// is how fmt.Sprintf sneaks allocations into a kernel.
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // passing a slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type()
+			if s, ok := pt.(*types.Slice); ok {
+				pt = s.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at, ok := pkg.Info.Types[arg]
+		if !ok || at.Type == nil || types.IsInterface(at.Type) {
+			continue
+		}
+		if b, ok := at.Type.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path %s boxes a concrete argument into an interface parameter (allocates)", name)
+	}
+}

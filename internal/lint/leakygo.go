@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakyGo hunts goroutine leaks interprocedurally: any go statement
+// reachable from an exported function of a library package must have a way
+// to terminate — either its body can run to completion (the CFG exit is
+// reachable), or it blocks on something the outside world can fire: a
+// ctx.Done, a channel receive or range (closing the channel unblocks it), a
+// select with at least one case. A goroutine that spins forever with none
+// of these outlives every solve call that spawned it, and under the
+// paper's repeated-bisection driver that is an unbounded leak. The check
+// follows static calls through the module call graph, so an exported
+// entry point is accountable for goroutines its helpers start.
+var LeakyGo = &Analyzer{
+	Name:      "leakygo",
+	Doc:       "goroutines reachable from exported functions must have a termination path (return, ctx.Done, channel close)",
+	RunModule: runLeakyGo,
+}
+
+func runLeakyGo(pass *ModulePass) {
+	mod := pass.Mod
+	graph := BuildCallGraph(mod)
+
+	var roots []*types.Func
+	for _, n := range graph.SortedNodes() {
+		if n.Pkg.IsMain() || !n.Decl.Name.IsExported() {
+			continue
+		}
+		roots = append(roots, n.Fn)
+	}
+	witness := graph.Reachable(roots)
+
+	for _, n := range graph.SortedNodes() {
+		root := witness[n.Fn]
+		if root == nil || n.Decl.Body == nil {
+			continue
+		}
+		pkg := n.Pkg
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			g, ok := nd.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			bodyPkg, body := goroutineBody(mod, pkg, g)
+			if body == nil {
+				return true // dynamic target: nothing to analyze
+			}
+			if terminates(mod, bodyPkg, body, 3) {
+				return true
+			}
+			pass.Reportf(g.Pos(), "goroutine can never terminate: no path to return and no ctx.Done, channel receive, or select to unblock it (reachable from exported %s)",
+				root.Name())
+			return true
+		})
+	}
+}
+
+// goroutineBody resolves the body the go statement runs: a function
+// literal's own body, or the declaration of a statically-resolved
+// module function. Dynamic targets (interface methods, function-typed
+// values) return nil.
+func goroutineBody(mod *Module, pkg *Package, g *ast.GoStmt) (*Package, *ast.BlockStmt) {
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return pkg, lit.Body
+	}
+	fn := staticCallee(pkg, g.Call)
+	if fn == nil {
+		return nil, nil
+	}
+	declPkg, decl := mod.FuncDecl(fn)
+	if decl == nil || decl.Body == nil {
+		return nil, nil
+	}
+	return declPkg, decl.Body
+}
+
+// terminates reports whether a goroutine body has a termination path:
+// the CFG exit is reachable, or the body (or a module callee, up to the
+// given call depth) blocks on something that can be fired from outside —
+// a channel receive, a range over a channel, a select with at least one
+// case, or ctx.Done. An empty select{} blocks forever and is NOT a
+// termination path.
+func terminates(mod *Module, pkg *Package, body *ast.BlockStmt, depth int) bool {
+	cfg := BuildCFG(body)
+	if cfg.Reachable()[cfg.Exit] {
+		return true
+	}
+	return blocksOnSignal(mod, pkg, body, depth)
+}
+
+// blocksOnSignal is the signal half of terminates: does this body (or its
+// module callees, depth-limited) contain a channel receive, channel range,
+// non-empty select, or ctx.Done?
+func blocksOnSignal(mod *Module, pkg *Package, body *ast.BlockStmt, depth int) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t, ok := pkg.Info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			if n.Body != nil && len(n.Body.List) > 0 {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if n.Sel.Name == "Done" && isContextExpr(pkg, n.X) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if depth > 0 {
+				if callee := staticCallee(pkg, n); callee != nil && moduleLocal(mod, callee) {
+					if cpkg, cdecl := mod.FuncDecl(callee); cdecl != nil && cdecl.Body != nil {
+						if blocksOnSignal(mod, cpkg, cdecl.Body, depth-1) {
+							found = true
+						}
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextExpr reports whether the expression has type context.Context.
+func isContextExpr(pkg *Package, e ast.Expr) bool {
+	t, ok := pkg.Info.Types[e]
+	if !ok || t.Type == nil {
+		return false
+	}
+	named, ok := t.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -7,6 +7,10 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/par"
 )
 
 // Diagnostic is one finding. Positions are relative to the module root so
@@ -24,7 +28,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Check, d.Message)
 }
 
-// Analyzer is one named invariant check.
+// Analyzer is one named invariant check. Exactly one of Run and RunModule
+// is set: Run analyzers see one package at a time, RunModule analyzers see
+// the whole module at once (for interprocedural checks that chase calls
+// across package boundaries, like atomicmix, lockorder and leakygo).
 type Analyzer struct {
 	// Name is the check identifier used in output and //lint:ignore
 	// directives.
@@ -33,6 +40,8 @@ type Analyzer struct {
 	Doc string
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
+	// RunModule inspects the whole module in one pass.
+	RunModule func(*ModulePass)
 	// IncludeTests makes Files() also yield the package's _test.go files.
 	// Those are parsed but not type-checked, so only purely syntactic
 	// analyzers may set this.
@@ -61,16 +70,32 @@ func (p *Pass) Files() []*ast.File {
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
-	position := p.Mod.Fset.Position(pos)
+	reportAt(p.Mod, p.Analyzer.Name, pos, p.diags, format, args...)
+}
+
+// ModulePass carries one module-level analyzer's run over a whole module.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Mod      *Module
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	reportAt(p.Mod, p.Analyzer.Name, pos, p.diags, format, args...)
+}
+
+func reportAt(mod *Module, check string, pos token.Pos, diags *[]Diagnostic, format string, args ...any) {
+	position := mod.Fset.Position(pos)
 	file := position.Filename
-	if rel, err := filepath.Rel(p.Mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
+	if rel, err := filepath.Rel(mod.Root, file); err == nil && !strings.HasPrefix(rel, "..") {
 		file = filepath.ToSlash(rel)
 	}
-	*p.diags = append(*p.diags, Diagnostic{
+	*diags = append(*diags, Diagnostic{
 		File:    file,
 		Line:    position.Line,
 		Col:     position.Column,
-		Check:   p.Analyzer.Name,
+		Check:   check,
 		Message: fmt.Sprintf(format, args...),
 	})
 }
@@ -176,16 +201,67 @@ func RunAnalyzers(root string, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return RunOnModule(mod, analyzers), nil
 }
 
-// RunOnModule runs the analyzers over an already-loaded module.
+// RunOnModule runs the analyzers over an already-loaded module on the
+// calling goroutine.
 func RunOnModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunOnModuleOpts(mod, analyzers, 1)
+	return diags
+}
+
+// AnalyzerTiming is the cumulative wall time one analyzer spent across its
+// work units (every package for Run analyzers, the whole module for
+// RunModule analyzers), as reported by schedlint -v.
+type AnalyzerTiming struct {
+	Name    string
+	Elapsed time.Duration
+}
+
+// RunOnModuleOpts runs the analyzers over an already-loaded module, fanning
+// the (analyzer, package) work units out over workers goroutines of an
+// internal/par.Pool (workers < 1 selects GOMAXPROCS). Every unit appends to
+// its own pre-assigned slot and the slots are merged in a fixed order, so
+// the returned diagnostics are bit-identical to a sequential run. Timings
+// come back in analyzer order.
+func RunOnModuleOpts(mod *Module, analyzers []*Analyzer, workers int) ([]Diagnostic, []AnalyzerTiming) {
+	type unit struct {
+		a   *Analyzer
+		ai  int
+		pkg *Package // nil for a RunModule unit
+	}
+	var units []unit
+	for ai, a := range analyzers {
+		if a.RunModule != nil {
+			units = append(units, unit{a: a, ai: ai})
+			continue
+		}
+		for _, pkg := range mod.Packages {
+			if pkg.Types == nil {
+				continue // empty directory package
+			}
+			units = append(units, unit{a: a, ai: ai, pkg: pkg})
+		}
+	}
+	workers = par.Normalize(workers)
+	var pool *par.Pool
+	if workers > 1 && len(units) > 1 {
+		pool = par.NewPool(workers)
+		defer pool.Close()
+	}
+	slots := make([][]Diagnostic, len(units))
+	nanos := make([]atomicInt64, len(analyzers))
+	forEachIdx(pool, len(units), func(i int) {
+		u := units[i]
+		start := time.Now()
+		if u.pkg == nil {
+			u.a.RunModule(&ModulePass{Analyzer: u.a, Mod: mod, diags: &slots[i]})
+		} else {
+			u.a.Run(&Pass{Analyzer: u.a, Mod: mod, Pkg: u.pkg, diags: &slots[i]})
+		}
+		nanos[u.ai].add(int64(time.Since(start)))
+	})
 	var diags []Diagnostic
-	for _, pkg := range mod.Packages {
-		if pkg.Types == nil {
-			continue // empty directory package
-		}
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Mod: mod, Pkg: pkg, diags: &diags})
-		}
+	for _, s := range slots {
+		diags = append(diags, s...)
 	}
 	known := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
@@ -206,8 +282,18 @@ func RunOnModule(mod *Module, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Check < b.Check
 	})
-	return diags
+	timings := make([]AnalyzerTiming, len(analyzers))
+	for ai, a := range analyzers {
+		timings[ai] = AnalyzerTiming{Name: a.Name, Elapsed: time.Duration(nanos[ai].load())}
+	}
+	return diags, timings
 }
+
+// atomicInt64 is a tiny wrapper so the timing accumulation stays readable.
+type atomicInt64 struct{ v atomic.Int64 }
+
+func (a *atomicInt64) add(d int64) { a.v.Add(d) }
+func (a *atomicInt64) load() int64 { return a.v.Load() }
 
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
@@ -218,5 +304,10 @@ func All() []*Analyzer {
 		MapOrder,
 		NakedPanic,
 		MutexByValue,
+		AtomicMix,
+		LockOrder,
+		LeakyGo,
+		WaitBalance,
+		HotAlloc,
 	}
 }

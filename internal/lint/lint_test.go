@@ -3,6 +3,7 @@ package lint
 import (
 	"go/ast"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strings"
 	"testing"
@@ -86,8 +87,67 @@ func TestNoRandGlobal(t *testing.T) {
 
 func TestCtxFirst(t *testing.T) {
 	diags := runCase(t, "ctxfirst", CtxFirst)
+	// Misordered, RunAll, Mint, plus the PR 5 regressions: variadic ctx and
+	// the blocking method value handed to a helper.
+	if len(diags) != 5 {
+		t.Errorf("want 5 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestAtomicMix(t *testing.T) {
+	diags := runCase(t, "atomicmix", AtomicMix)
+	// The two plain accesses in gate (the PR 4 barrier-handoff regression
+	// shape) and the cross-package plain read in reader.
 	if len(diags) != 3 {
 		t.Errorf("want 3 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestLockOrder(t *testing.T) {
+	diags := runCase(t, "lockorder", LockOrder)
+	// One edge per direction of the par/dp cycle; the second is visible only
+	// through TouchSched's interprocedural acquisition summary.
+	if len(diags) != 2 {
+		t.Errorf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestLeakyGo(t *testing.T) {
+	diags := runCase(t, "leakygo", LeakyGo)
+	if len(diags) != 3 {
+		t.Errorf("want 3 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestWaitBalance(t *testing.T) {
+	diags := runCase(t, "waitbalance", WaitBalance)
+	if len(diags) != 2 {
+		t.Errorf("want 2 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestHotAlloc(t *testing.T) {
+	diags := runCase(t, "hotalloc", HotAlloc)
+	// Six violations in Leaky plus the stray directive.
+	if len(diags) != 7 {
+		t.Errorf("want 7 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+// TestSuppressionScope pins down directive scoping across analyzers: a line
+// whose go statement trips both gohygiene and leakygo, under a directive
+// naming only gohygiene, must still produce the leakygo finding.
+func TestSuppressionScope(t *testing.T) {
+	root := filepath.Join("testdata", "src", "scopeignore")
+	diags, err := RunAnalyzers(root, All())
+	if err != nil {
+		t.Fatalf("RunAnalyzers: %v", err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly the surviving leakygo finding, got %d: %v", len(diags), diags)
+	}
+	if diags[0].Check != LeakyGo.Name {
+		t.Errorf("surviving finding is %s, want %s: %s", diags[0].Check, LeakyGo.Name, diags[0])
 	}
 }
 
@@ -166,6 +226,55 @@ func TestRepoIsClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("repo tree finding: %s", d)
+	}
+}
+
+// TestLoadModuleParallel pins down that the wave-parallel loader produces
+// the same module as a sequential load: same packages, same files, type
+// information everywhere.
+func TestLoadModuleParallel(t *testing.T) {
+	seq, err := LoadModuleParallel(filepath.Join("..", ".."), 1)
+	if err != nil {
+		t.Fatalf("sequential load: %v", err)
+	}
+	par, err := LoadModuleParallel(filepath.Join("..", ".."), 4)
+	if err != nil {
+		t.Fatalf("parallel load: %v", err)
+	}
+	if len(seq.Packages) != len(par.Packages) {
+		t.Fatalf("package count differs: %d sequential, %d parallel", len(seq.Packages), len(par.Packages))
+	}
+	for i := range seq.Packages {
+		s, p := seq.Packages[i], par.Packages[i]
+		if s.RelPath != p.RelPath {
+			t.Fatalf("package %d: %q vs %q", i, s.RelPath, p.RelPath)
+		}
+		if len(s.Files) != len(p.Files) || len(s.TestFiles) != len(p.TestFiles) {
+			t.Errorf("%s: file counts differ (%d/%d vs %d/%d)", s.RelPath, len(s.Files), len(s.TestFiles), len(p.Files), len(p.TestFiles))
+		}
+		if (s.Types == nil) != (p.Types == nil) {
+			t.Errorf("%s: type info presence differs", s.RelPath)
+		}
+	}
+}
+
+// TestParallelRunMatchesSequential is the determinism gate for the fan-out
+// runner: the same module analyzed with 1 and 4 workers must yield
+// bit-identical diagnostics, including their order.
+func TestParallelRunMatchesSequential(t *testing.T) {
+	for _, dir := range []string{"hotalloc", "waitbalance", "lockorder"} {
+		mod, err := LoadModule(filepath.Join("testdata", "src", dir))
+		if err != nil {
+			t.Fatalf("LoadModule(%s): %v", dir, err)
+		}
+		seq := RunOnModule(mod, All())
+		par, timings := RunOnModuleOpts(mod, All(), 4)
+		if !reflect.DeepEqual(seq, par) {
+			t.Errorf("%s: parallel diagnostics differ\nseq: %v\npar: %v", dir, seq, par)
+		}
+		if len(timings) != len(All()) {
+			t.Errorf("%s: %d timings, want one per analyzer", dir, len(timings))
+		}
 	}
 }
 

@@ -1,12 +1,17 @@
 // Package lint is the repository's static-analysis framework: a module
-// loader and a set of analyzers that machine-check the concurrency and
-// determinism invariants the scheduler's correctness depends on (see
-// ALGORITHM.md §9 and cmd/schedlint).
+// loader, per-function control-flow graphs with a generic dataflow engine,
+// a module-local call graph, and a set of analyzers that machine-check the
+// concurrency and determinism invariants the scheduler's correctness
+// depends on (see ALGORITHM.md §9/§11 and cmd/schedlint).
 //
 // The framework is built on the standard library only — go/ast, go/build,
 // go/parser and go/types — honoring the repository's no-external-deps rule.
 // Stdlib imports are type-checked from GOROOT source and cached process-wide,
 // so repeated runs (and the testdata-driven tests) pay the cost once.
+// Loading fans out on internal/par.Pool: directory scanning and parsing are
+// embarrassingly parallel, and type-checking proceeds in topological waves
+// of the module-local import graph, every package of a wave checked
+// concurrently against the completed results of earlier waves.
 package lint
 
 import (
@@ -22,6 +27,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"repro/internal/par"
 )
 
 // Package is one type-checked package of the module under analysis.
@@ -57,6 +64,9 @@ type Module struct {
 	Fset *token.FileSet
 	// Packages lists the module's packages sorted by RelPath.
 	Packages []*Package
+
+	// funcs is the lazy function-declaration index behind FuncDecl.
+	funcs funcIndex
 }
 
 // sharedFset is the process-wide file set: module files and stdlib sources
@@ -71,21 +81,33 @@ var (
 	stdPkgs = map[string]*types.Package{}
 )
 
-// loader resolves and type-checks one module.
-type loader struct {
-	root    string
-	modPath string
-	ctxt    *build.Context
-	sizes   types.Sizes
-	pkgs    map[string]*Package // by import path, fully loaded
-	loading map[string]bool     // cycle guard
+// LoadModule loads, parses and type-checks every package under root
+// (skipping testdata, vendor, hidden and underscore directories) on a
+// single goroutine. The module path is read from root's go.mod. Type errors
+// are hard errors: the analyzers assume a compiling tree.
+func LoadModule(root string) (*Module, error) {
+	return LoadModuleParallel(root, 1)
 }
 
-// LoadModule loads, parses and type-checks every package under root
-// (skipping testdata, vendor, hidden and underscore directories). The
-// module path is read from root's go.mod. Type errors are hard errors:
-// the analyzers assume a compiling tree.
-func LoadModule(root string) (*Module, error) {
+// rawPkg is one package directory after the scan/parse phase, before
+// type-checking.
+type rawPkg struct {
+	path, rel, dir string
+	files          []*ast.File
+	testFiles      []*ast.File
+	imports        []string // module-local import paths of the non-test files
+	empty          bool     // directory with only ignored files
+	err            error
+}
+
+// LoadModuleParallel is LoadModule with the scan/parse and type-check
+// phases fanned out over workers goroutines of an internal/par.Pool
+// (workers < 1 selects GOMAXPROCS, 1 keeps everything on the caller).
+// Parsing is per-directory independent; type-checking runs in topological
+// waves of the module-local import graph, so every import a checker
+// resolves is already complete. The resulting Module is identical to a
+// sequential load.
+func LoadModuleParallel(root string, workers int) (*Module, error) {
 	root, err := filepath.Abs(root)
 	if err != nil {
 		return nil, err
@@ -94,38 +116,210 @@ func LoadModule(root string) (*Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	ctxt := build.Default
-	l := &loader{
-		root:    root,
-		modPath: modPath,
-		ctxt:    &ctxt,
-		sizes:   types.SizesFor(build.Default.Compiler, build.Default.GOARCH),
-		pkgs:    map[string]*Package{},
-		loading: map[string]bool{},
-	}
-	if l.sizes == nil {
-		l.sizes = types.SizesFor("gc", runtime.GOARCH)
-	}
 	dirs, err := packageDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	mod := &Module{Root: root, Path: modPath, Fset: sharedFset}
-	for _, dir := range dirs {
-		rel, _ := filepath.Rel(root, dir)
-		imp := modPath
-		if rel != "." {
-			imp = modPath + "/" + filepath.ToSlash(rel)
-		}
-		if _, err := l.load(imp); err != nil {
-			return nil, fmt.Errorf("%s: %w", imp, err)
+	workers = par.Normalize(workers)
+	var pool *par.Pool
+	if workers > 1 && len(dirs) > 1 {
+		pool = par.NewPool(workers)
+		defer pool.Close()
+	}
+
+	// Phase 1: scan and parse every package directory independently.
+	ctxt := build.Default
+	raws := make([]rawPkg, len(dirs))
+	forEachIdx(pool, len(dirs), func(i int) {
+		raws[i] = scanAndParse(&ctxt, root, modPath, dirs[i])
+	})
+	for i := range raws {
+		if raws[i].err != nil {
+			return nil, fmt.Errorf("%s: %w", raws[i].path, raws[i].err)
 		}
 	}
-	for _, p := range l.pkgs {
+
+	// Phase 2: type-check in topological waves of the module-local import
+	// graph. Kahn's algorithm over the package set; a wave's packages only
+	// import completed ones, so they can check concurrently.
+	byPath := make(map[string]int, len(raws))
+	for i := range raws {
+		byPath[raws[i].path] = i
+	}
+	indeg := make([]int, len(raws))
+	dependents := make([][]int, len(raws))
+	for i := range raws {
+		for _, imp := range raws[i].imports {
+			if j, ok := byPath[imp]; ok {
+				indeg[i]++
+				dependents[j] = append(dependents[j], i)
+			}
+		}
+	}
+	mod := &Module{Root: root, Path: modPath, Fset: sharedFset}
+	imp := &waveImporter{modPath: modPath, pkgs: make(map[string]*Package, len(raws))}
+	var wave []int
+	for i := range raws {
+		if indeg[i] == 0 {
+			wave = append(wave, i)
+		}
+	}
+	checked := 0
+	sizes := checkerSizes()
+	for len(wave) > 0 {
+		errs := make([]error, len(wave))
+		pkgs := make([]*Package, len(wave))
+		cur := wave
+		forEachIdx(pool, len(cur), func(k int) {
+			pkgs[k], errs[k] = typeCheck(&raws[cur[k]], imp, sizes)
+		})
+		for k := range cur {
+			if errs[k] != nil {
+				return nil, fmt.Errorf("%s: %w", raws[cur[k]].path, errs[k])
+			}
+		}
+		imp.mu.Lock()
+		for k, p := range pkgs {
+			imp.pkgs[raws[cur[k]].path] = p
+		}
+		imp.mu.Unlock()
+		checked += len(cur)
+		wave = wave[:0]
+		for _, i := range cur {
+			for _, dep := range dependents[i] {
+				if indeg[dep]--; indeg[dep] == 0 {
+					wave = append(wave, dep)
+				}
+			}
+		}
+		sort.Ints(wave)
+	}
+	if checked != len(raws) {
+		return nil, fmt.Errorf("import cycle among the module's packages")
+	}
+	for _, p := range imp.pkgs {
 		mod.Packages = append(mod.Packages, p)
 	}
 	sort.Slice(mod.Packages, func(i, j int) bool { return mod.Packages[i].RelPath < mod.Packages[j].RelPath })
 	return mod, nil
+}
+
+// forEachIdx runs body(i) for every i in [0, n), fanning out on the pool
+// when one is available. Bodies communicate results through index-addressed
+// slots, so the parallel and inline paths are indistinguishable.
+func forEachIdx(pool *par.Pool, n int, body func(i int)) {
+	if pool == nil || n <= 1 {
+		for i := 0; i < n; i++ {
+			body(i)
+		}
+		return
+	}
+	pool.For(n, par.Dynamic, body)
+}
+
+// scanAndParse resolves one package directory and parses its files (tests
+// included, with comments). Build-constraint-empty directories come back
+// with empty set; all other failures land in err.
+func scanAndParse(ctxt *build.Context, root, modPath, dir string) rawPkg {
+	rel, _ := filepath.Rel(root, dir)
+	rel = filepath.ToSlash(rel)
+	if rel == "." {
+		rel = ""
+	}
+	path := modPath
+	if rel != "" {
+		path = modPath + "/" + rel
+	}
+	r := rawPkg{path: path, rel: rel, dir: dir}
+	bp, err := ctxt.ImportDir(dir, 0)
+	if err != nil {
+		if _, nogo := err.(*build.NoGoError); nogo {
+			r.empty = true
+			return r
+		}
+		r.err = err
+		return r
+	}
+	for _, name := range bp.GoFiles {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.files = append(r.files, f)
+	}
+	for _, name := range append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...) {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		r.testFiles = append(r.testFiles, f)
+	}
+	for _, dep := range bp.Imports {
+		if dep == modPath || strings.HasPrefix(dep, modPath+"/") {
+			r.imports = append(r.imports, dep)
+		}
+	}
+	return r
+}
+
+// typeCheck checks one parsed package against the completed packages of
+// earlier waves.
+func typeCheck(r *rawPkg, imp *waveImporter, sizes types.Sizes) (*Package, error) {
+	p := &Package{Path: r.path, RelPath: r.rel, Dir: r.dir, Files: r.files, TestFiles: r.testFiles}
+	if r.empty {
+		return p, nil
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp, Sizes: sizes, FakeImportC: true}
+	tpkg, err := conf.Check(r.path, sharedFset, r.files, info)
+	if err != nil {
+		return nil, err
+	}
+	p.Types = tpkg
+	p.Info = info
+	return p, nil
+}
+
+// checkerSizes returns the type sizes for the build platform.
+func checkerSizes() types.Sizes {
+	sizes := types.SizesFor(build.Default.Compiler, build.Default.GOARCH)
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	return sizes
+}
+
+// waveImporter implements types.Importer during wave checking: module-local
+// paths resolve against the completed packages of earlier waves (guarded by
+// mu, since a wave's checkers run concurrently), everything else is a
+// standard-library package from GOROOT source.
+type waveImporter struct {
+	modPath string
+	mu      sync.Mutex
+	pkgs    map[string]*Package
+}
+
+func (w *waveImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == w.modPath || strings.HasPrefix(path, w.modPath+"/") {
+		w.mu.Lock()
+		p := w.pkgs[path]
+		w.mu.Unlock()
+		if p == nil || p.Types == nil {
+			return nil, fmt.Errorf("module package %q not available (missing directory or import cycle)", path)
+		}
+		return p.Types, nil
+	}
+	return stdImport(path)
 }
 
 // readModulePath extracts the module path from a go.mod file.
@@ -176,86 +370,6 @@ func packageDirs(root string) ([]string, error) {
 	}
 	sort.Strings(dirs)
 	return dirs, nil
-}
-
-// Import implements types.Importer: module-local paths load (and cache)
-// module packages, "unsafe" maps to types.Unsafe, everything else resolves
-// as a standard-library package from GOROOT source.
-func (l *loader) Import(path string) (*types.Package, error) {
-	if path == "unsafe" {
-		return types.Unsafe, nil
-	}
-	if path == l.modPath || strings.HasPrefix(path, l.modPath+"/") {
-		p, err := l.load(path)
-		if err != nil {
-			return nil, err
-		}
-		return p.Types, nil
-	}
-	return stdImport(path)
-}
-
-// load parses and type-checks one module-local package.
-func (l *loader) load(path string) (*Package, error) {
-	if p, ok := l.pkgs[path]; ok {
-		return p, nil
-	}
-	if l.loading[path] {
-		return nil, fmt.Errorf("import cycle through %s", path)
-	}
-	l.loading[path] = true
-	defer delete(l.loading, path)
-
-	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.modPath), "/")
-	dir := filepath.Join(l.root, filepath.FromSlash(rel))
-	bp, err := l.ctxt.ImportDir(dir, 0)
-	if err != nil {
-		if _, nogo := err.(*build.NoGoError); nogo {
-			// Directory with only ignored files; synthesize an empty package.
-			p := &Package{Path: path, RelPath: rel, Dir: dir}
-			l.pkgs[path] = p
-			return p, nil
-		}
-		return nil, err
-	}
-	var files []*ast.File
-	for _, name := range bp.GoFiles {
-		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		files = append(files, f)
-	}
-	var testFiles []*ast.File
-	for _, name := range append(append([]string{}, bp.TestGoFiles...), bp.XTestGoFiles...) {
-		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			return nil, err
-		}
-		testFiles = append(testFiles, f)
-	}
-	info := &types.Info{
-		Types:      map[ast.Expr]types.TypeAndValue{},
-		Defs:       map[*ast.Ident]types.Object{},
-		Uses:       map[*ast.Ident]types.Object{},
-		Selections: map[*ast.SelectorExpr]*types.Selection{},
-	}
-	conf := types.Config{Importer: l, Sizes: l.sizes, FakeImportC: true}
-	tpkg, err := conf.Check(path, sharedFset, files, info)
-	if err != nil {
-		return nil, err
-	}
-	p := &Package{
-		Path:      path,
-		RelPath:   rel,
-		Dir:       dir,
-		Files:     files,
-		TestFiles: testFiles,
-		Types:     tpkg,
-		Info:      info,
-	}
-	l.pkgs[path] = p
-	return p, nil
 }
 
 // stdImporter adapts stdImport to types.Importer for checking stdlib
@@ -310,13 +424,9 @@ func stdImportLocked(path string, loading map[string]bool) (*types.Package, erro
 		}
 		files = append(files, f)
 	}
-	sizes := types.SizesFor(build.Default.Compiler, build.Default.GOARCH)
-	if sizes == nil {
-		sizes = types.SizesFor("gc", runtime.GOARCH)
-	}
 	conf := types.Config{
 		Importer:    importerFunc(func(p string) (*types.Package, error) { return stdImportLocked(p, loading) }),
-		Sizes:       sizes,
+		Sizes:       checkerSizes(),
 		FakeImportC: true,
 	}
 	tpkg, err := conf.Check(path, sharedFset, files, nil)

@@ -119,8 +119,28 @@ func isOutputCall(p *Pass, call *ast.CallExpr) bool {
 }
 
 // sortedAfter reports whether obj is passed to a sort/slices call somewhere
-// after the range statement in the function containing it.
+// after the range statement in the function containing it — directly, or
+// through one level of assignment (`tmp := keys; sort.Strings(tmp)` sorts
+// the same backing array, since slice assignment aliases).
 func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj types.Object) bool {
+	targets := map[types.Object]bool{obj: true}
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Pos() < rng.End() {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) || !exprMentions(p, rhs, obj) {
+				continue
+			}
+			if ident, ok := as.Lhs[i].(*ast.Ident); ok {
+				if alias := identObj(p, ident); alias != nil {
+					targets[alias] = true
+				}
+			}
+		}
+		return true
+	})
 	found := false
 	ast.Inspect(enclosing, func(n ast.Node) bool {
 		if found || n == nil {
@@ -134,9 +154,11 @@ func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, obj type
 			return true
 		}
 		for _, arg := range call.Args {
-			if exprMentions(p, arg, obj) {
-				found = true
-				return false
+			for target := range targets {
+				if exprMentions(p, arg, target) {
+					found = true
+					return false
+				}
 			}
 		}
 		return true

@@ -1,0 +1,39 @@
+// Package clean shows the sanctioned patterns: every access of an
+// atomically-used word goes through sync/atomic, keyed composite-literal
+// initialization is allowed (the value is not shared yet), and atomic
+// operations on slice elements are out of scope.
+package clean
+
+import "sync/atomic"
+
+type counter struct {
+	hits uint64
+	name string
+}
+
+func newCounter(name string) *counter {
+	return &counter{hits: 0, name: name}
+}
+
+func (c *counter) bump() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+func (c *counter) read() uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+// drain uses atomics on slice elements; element identity is dynamic, so the
+// check does not track them.
+func drain(xs []int32) int32 {
+	var total int32
+	for i := range xs {
+		total += atomic.SwapInt32(&xs[i], 0)
+	}
+	return total
+}
+
+var _ = newCounter
+var _ = (*counter).bump
+var _ = (*counter).read
+var _ = drain

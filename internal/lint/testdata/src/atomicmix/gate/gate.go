@@ -1,0 +1,28 @@
+// Package gate reproduces the barrier-pool handoff bug this check exists
+// for: a seq-tagged word published with CompareAndSwap but read (and reset)
+// with plain loads and stores. The plain read can be torn or hoisted; the
+// fixed code uses a typed atomic for every access.
+package gate
+
+import "sync/atomic"
+
+// Gate is the pre-fix handoff: callerWaiting holds the round sequence the
+// caller parked on, or zero.
+type Gate struct {
+	callerWaiting uint64
+}
+
+// Park publishes the caller's round tag.
+func (g *Gate) Park(seq uint64) bool {
+	return atomic.CompareAndSwapUint64(&g.callerWaiting, 0, seq)
+}
+
+// Claimed is the racy half: a plain read of the CAS-published word.
+func (g *Gate) Claimed(seq uint64) bool {
+	return g.callerWaiting == seq // want "accessed with sync/atomic .* but read or written plainly"
+}
+
+// Reset plainly stores over the atomic word.
+func (g *Gate) Reset() {
+	g.callerWaiting = 0 // want "accessed with sync/atomic .* but read or written plainly"
+}

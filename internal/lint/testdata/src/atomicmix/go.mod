@@ -1,0 +1,3 @@
+module example.com/atomicmix
+
+go 1.22

@@ -1,0 +1,10 @@
+// Package reader mixes a plain cross-package read into state's atomic
+// counter.
+package reader
+
+import "example.com/atomicmix/state"
+
+// Snapshot reads the counter without the atomic load.
+func Snapshot() uint64 {
+	return state.Ticks // want "accessed with sync/atomic .* but read or written plainly"
+}

@@ -1,0 +1,18 @@
+// Package state exports a counter bumped atomically; package reader reads
+// it plainly, so the mix only becomes visible module-wide.
+package state
+
+import "sync/atomic"
+
+// Ticks counts completed rounds.
+var Ticks uint64
+
+// Bump records one round.
+func Bump() {
+	atomic.AddUint64(&Ticks, 1)
+}
+
+// Load is the sanctioned read.
+func Load() uint64 {
+	return atomic.LoadUint64(&Ticks)
+}

@@ -39,3 +39,34 @@ func Good(ctx context.Context, n int) error {
 	wg.Wait()
 	return ctx.Err()
 }
+
+// Variadic smuggles ctx in as a variadic parameter, which callers can omit.
+func Variadic(n int, ctxs ...context.Context) { // want "must not be variadic"
+	_ = n
+	_ = ctxs
+}
+
+// Pool mirrors internal/par.Pool: ForWorker blocks on the pool's channel.
+type Pool struct {
+	ch chan func(int)
+}
+
+// ForWorker is cancellable itself; the bug was that *references* to it
+// escaped the blocking-construct detection.
+func (p *Pool) ForWorker(ctx context.Context, body func(int)) {
+	select {
+	case p.ch <- body:
+	case <-ctx.Done():
+	}
+}
+
+var shared = &Pool{ch: make(chan func(int), 1)}
+
+func submit(f func(context.Context, func(int))) { _ = f }
+
+// Fan hands a blocking method value to a helper but cannot itself be
+// cancelled: the method value blocks when the helper invokes it.
+func Fan(n int) { // want "blocking constructs but takes no context.Context"
+	_ = n
+	submit(shared.ForWorker)
+}

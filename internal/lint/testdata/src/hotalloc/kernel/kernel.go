@@ -1,0 +1,43 @@
+// Package kernel exercises the hot-path allocation contract.
+package kernel
+
+type pair struct{ a, b int }
+
+// Leaky is marked hot but allocates five different ways.
+//
+//lint:hotpath exercised by the fixture
+func Leaky(dst []int, n int) []int {
+	p := pair{a: n, b: n}        // want "composite literal"
+	buf := make([]int, n)        // want "calls make"
+	dst = append(dst, n)         // want "calls append"
+	f := func() int { return n } // want "builds a closure"
+	sink(n)                      // want "boxes a concrete argument"
+	_ = interface{}(n)           // want "converts a concrete value to an interface"
+	_ = p
+	_ = buf
+	_ = f
+	return dst
+}
+
+func sink(v interface{}) { _ = v }
+
+// Sum is hot and clean: index loops, no literals, no boxing. Passing one
+// interface to another interface parameter does not box.
+//
+//lint:hotpath regression guard for the clean shape
+func Sum(xs []int, sel interface{}) int {
+	total := 0
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	sink(sel)
+	return total
+}
+
+// Cold allocates freely without the directive; not the analyzer's business.
+func Cold(n int) []int {
+	return append(make([]int, 0, n), n)
+}
+
+//lint:hotpath floating directive // want "stray //lint:hotpath"
+var coldVar = 3

@@ -1,0 +1,3 @@
+module example.com/leakygo
+
+go 1.22

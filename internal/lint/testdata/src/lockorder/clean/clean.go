@@ -1,0 +1,46 @@
+// Package clean takes its two locks in one consistent order from every
+// path, and hands off between locks without overlap elsewhere; neither
+// pattern may be flagged.
+package clean
+
+import "sync"
+
+type registry struct {
+	mu     sync.Mutex
+	freeMu sync.Mutex
+	items  map[string]int
+	free   []int
+}
+
+// put and drop both take mu → freeMu: one order, no cycle.
+func (r *registry) put(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+	r.freeMu.Lock()
+	r.free = r.free[:0]
+	r.freeMu.Unlock()
+}
+
+func (r *registry) drop(k string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.items, k)
+	r.freeMu.Lock()
+	r.free = append(r.free, len(r.items))
+	r.freeMu.Unlock()
+}
+
+// handoff releases mu before taking freeMu; no overlap, no edge.
+func (r *registry) handoff() int {
+	r.mu.Lock()
+	n := len(r.items)
+	r.mu.Unlock()
+	r.freeMu.Lock()
+	defer r.freeMu.Unlock()
+	return n + len(r.free)
+}
+
+var _ = (*registry).put
+var _ = (*registry).drop
+var _ = (*registry).handoff

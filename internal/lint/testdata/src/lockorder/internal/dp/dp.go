@@ -1,0 +1,13 @@
+// Package dp acquires par's mutexes in the order State then Sched — the
+// reverse of par.Dispatch — through an interprocedural edge: the Sched
+// acquisition is inside par.TouchSched, visible only via its summary.
+package dp
+
+import "example.com/lockorder/internal/par"
+
+// Refill takes State, then (through TouchSched) Sched.
+func Refill() {
+	par.MuState.Lock()
+	defer par.MuState.Unlock()
+	par.TouchSched() // want "Refill acquires MuSched while holding MuState"
+}

@@ -1,0 +1,26 @@
+// Package par holds two module-visible mutexes and takes them in the order
+// Sched then State. Package dp takes them in the opposite order through a
+// helper call, closing the cycle the analyzer must report.
+package par
+
+import "sync"
+
+// MuSched guards the dispatch queue; MuState the pool bookkeeping.
+var (
+	MuSched sync.Mutex
+	MuState sync.Mutex
+)
+
+// Dispatch takes Sched → State.
+func Dispatch() {
+	MuSched.Lock()
+	defer MuSched.Unlock()
+	MuState.Lock() // want "Dispatch acquires MuState while holding MuSched"
+	MuState.Unlock()
+}
+
+// TouchSched is the helper dp calls while holding MuState.
+func TouchSched() {
+	MuSched.Lock()
+	MuSched.Unlock()
+}

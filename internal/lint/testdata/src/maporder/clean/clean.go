@@ -24,3 +24,16 @@ func Sum(xs []int) int {
 	_ = seen
 	return total
 }
+
+// KeysVia sorts through an intermediate variable: tmp aliases out's backing
+// array, so sorting tmp sorts out. This was a false positive before the
+// one-level alias tracking.
+func KeysVia(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	tmp := out
+	sort.Strings(tmp)
+	return out
+}

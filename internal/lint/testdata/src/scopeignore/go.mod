@@ -1,0 +1,3 @@
+module example.com/scopeignore
+
+go 1.22

@@ -1,0 +1,15 @@
+// Package lib pins down suppression scoping: one line triggers two
+// analyzers, the directive names exactly one of them, and only that one
+// goes quiet.
+package lib
+
+// Serve's go statement is both unjoined (gohygiene) and unterminatable
+// (leakygo). The directive suppresses gohygiene alone; the leakygo finding
+// on the same line must survive.
+func Serve() {
+	//lint:ignore gohygiene the fixture wants only the leak finding silenced-by-name
+	go func() {
+		for {
+		}
+	}()
+}

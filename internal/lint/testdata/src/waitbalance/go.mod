@@ -1,0 +1,3 @@
+module example.com/waitbalance
+
+go 1.22

@@ -1,0 +1,82 @@
+// Package lib exercises WaitGroup accounting: Done on every goroutine path,
+// Add before the go statement.
+package lib
+
+import "sync"
+
+// EarlyReturn skips Done when an item is negative, hanging Wait forever.
+func EarlyReturn(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		it := it
+		go func() { // want "Done is skipped on some path"
+			if it < 0 {
+				return
+			}
+			wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// DeferDone is the sanctioned shape: one defer covers every path.
+func DeferDone(items []int) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for _, it := range items {
+		it := it
+		go func() {
+			defer wg.Done()
+			if it < 0 {
+				return
+			}
+			consume(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// AllPaths calls Done explicitly on both branches; balanced, not flagged.
+func AllPaths(x int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if x < 0 {
+			wg.Done()
+			return
+		}
+		consume(x)
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// AddInside increments the counter from inside the goroutine: if Wait runs
+// before the goroutine is scheduled, it sees a zero counter and returns
+// (or panics on the late Add).
+func AddInside(x int) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "Add inside the goroutine races with the spawner's Wait"
+		defer wg.Done()
+		consume(x)
+	}()
+	wg.Wait()
+}
+
+// PanicPath panics instead of Done on bad input; the process is crashing,
+// so the balance check does not flag the panic path.
+func PanicPath(x int) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		if x < 0 {
+			panic("negative")
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+func consume(int) {}

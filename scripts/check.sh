@@ -23,12 +23,15 @@ go build ./...
 go vet ./...
 go vet ./cmd/...
 
-# schedlint enforces the repo's concurrency/determinism invariants
-# (ALGORITHM.md section 9). Exit 1 on any finding is a hard failure.
+# schedlint enforces the repo's concurrency/determinism invariants with all
+# eleven analyzers, including the dataflow-based concurrency checks
+# (ALGORITHM.md sections 9 and 11). Exit 1 on any finding is a hard failure.
 go run ./cmd/schedlint ./...
 
 go test -shuffle=on -timeout 10m ./...
-go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./solver
+# internal/lint rides along in the race pass: its loader and runner fan out
+# over the worker pool and must stay clean under the detector.
+go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./internal/lint ./solver
 
 # Dedicated stress pass over the barrier pool: its park/wake, panic and
 # cancellation handoffs are the trickiest lock-free code in the tree, so run
