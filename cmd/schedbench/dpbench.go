@@ -12,15 +12,18 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"sort"
 	"time"
 
+	"repro/internal/conf"
 	"repro/internal/core"
 	"repro/internal/dp"
 	"repro/internal/par"
 	"repro/internal/workload"
+	"repro/pcmax"
 )
 
 // dpShape names a figure workload: the (m, n) pair of one of the paper's
@@ -43,17 +46,31 @@ type dpRecord struct {
 	Family    string  `json:"family"`
 	M         int     `json:"m"`
 	N         int     `json:"n"`
+	Eps       float64 `json:"eps"`
+	Enum      string  `json:"enum"` // "faithful" or "sparse" enumeration
 	Workers   int     `json:"workers"`
 	LevelMode string  `json:"level_mode"`
-	Path      string  `json:"path"` // "optimized", "legacy" or "auto"
+	Path      string  `json:"path"` // "optimized", "legacy", "auto" or "solve"
 	NsPerOp   int64   `json:"ns_per_op"`
 	Entries   int64   `json:"table_entries"`
 	Configs   int     `json:"configs"`
-	Speedup   float64 `json:"speedup_vs_legacy,omitempty"`
+	// ConfigsSparse and ConfigReduction are set on sparse rows only: the
+	// configuration count the sparse pipeline's table retained, and the
+	// shrink factor versus the faithful enumeration over the ungrouped
+	// classes at the same target (Configs on those rows; 0 when the faithful
+	// count overflows the enumeration cap — cells only the sparse
+	// enumeration can reach).
+	ConfigsSparse   int     `json:"configs_sparse,omitempty"`
+	ConfigReduction float64 `json:"config_reduction,omitempty"`
+	Speedup         float64 `json:"speedup_vs_legacy,omitempty"`
 	// SpeedupSeq is ns/op of the 1-worker optimized sequential fill of the
 	// same (workload, family) divided by this record's ns/op — the paper's
 	// speedup axis, with the sequential fill as the T(1) reference.
 	SpeedupSeq float64 `json:"speedup_vs_seq,omitempty"`
+	// SpeedupFaithful, on sparse rows, is the matching faithful cell's
+	// ns/op divided by this record's — the sparsification win (end-to-end
+	// on "solve" rows, per-fill on "optimized" rows).
+	SpeedupFaithful float64 `json:"speedup_vs_faithful,omitempty"`
 }
 
 // benchJSONName is the artifact the acceptance criteria track.
@@ -75,6 +92,44 @@ type dpBenchConfig struct {
 	// host speed cancels out — falls below it.
 	MinSpeedup float64
 	Windows    int // measurement windows per cell (more = less noise)
+	// Enum selects the enumeration modes measured: "faithful", "sparse" or
+	// "both" ("" = both). Sparse cells bench the ptas-sparse pipeline —
+	// end-to-end solves and the sequential fill of the grouped, pruned table
+	// at the sparse solve's converged target — next to the faithful cells.
+	Enum string
+}
+
+// sparseArmEps is the extra epsilon arm the sparse sweep always measures:
+// the regime where configuration sparsification pays (k = 10 makes faithful
+// configuration sets large), per the acceptance criteria tracked in
+// BENCH_dp.json. The primary -eps arm is measured too.
+const sparseArmEps = 0.1
+
+// sparseArmMaxEntries caps DP tables on the extra sparseArmEps arm. At
+// eps=0.1 some faithful fig2/fig3 cells exceed any practical budget; the cap
+// turns them into graceful skips (recorded as missing cells) instead of
+// multi-minute fills, and it documents exactly which cells only the sparse
+// enumeration can reach.
+const sparseArmMaxEntries = 8 << 20
+
+// faithfulConfigCount counts the faithful enumeration's configurations over
+// the ungrouped rounded classes at target T — the reference the sparse
+// pipeline's config_reduction column divides by. Returns 0 when the count
+// exceeds the default enumeration cap (cells only the sparse enumeration
+// can reach).
+func faithfulConfigCount(in *pcmax.Instance, k int, T pcmax.Time) (int, error) {
+	sizes, counts, err := core.RoundedClasses(in, k, T)
+	if err != nil || len(sizes) == 0 {
+		return 0, err
+	}
+	cfgs, err := conf.Enumerate(sizes, counts, T, make([]int64, len(sizes)), 0)
+	if errors.Is(err, conf.ErrTooMany) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	return len(cfgs), nil
 }
 
 // measureFill times fill() after one warm-up call. It takes the best of
@@ -112,12 +167,34 @@ func measureFill(fill func() error, windows int) (int64, error) {
 // runDPBench measures every (shape, family, workers, mode, path) cell and
 // renders the result. Table entries are identical between the paths (the
 // differential tests enforce it), so ns/op is the only varying quantity.
-// When ctx dies mid-sweep, the cells measured so far are still rendered and
-// the cancellation error is returned.
+// The sparse enumeration (unless -enum faithful) adds end-to-end solve cells
+// and sparse sequential-fill cells on the primary eps and on an extra
+// eps=0.1 arm, where sparsification pays; cells whose table exceeds the
+// budget are skipped and reported, not fatal. When ctx dies mid-sweep, the
+// cells measured so far are still rendered and the cancellation error is
+// returned.
 func runDPBench(ctx context.Context, cores []int, eps float64, seed uint64, cfg dpBenchConfig) error {
 	cache := dp.NewCache()
 	var records []dpRecord
 	var benchErr error
+
+	doFaithful := cfg.Enum != "sparse"
+	doSparse := cfg.Enum != "faithful"
+	epsArms := []float64{eps}
+	if doSparse && eps != sparseArmEps {
+		epsArms = append(epsArms, sparseArmEps)
+	}
+
+	// skipTooLarge reports (and swallows) budget-exceeded cells: at eps=0.1
+	// several faithful tables cannot fit any practical budget — that a sparse
+	// cell exists where its faithful twin is skipped is itself a result.
+	skipTooLarge := func(shape dpShape, fam workload.Family, armEps float64, enum string, err error) bool {
+		if errors.Is(err, dp.ErrTableTooLarge) {
+			fmt.Printf("skip %s/%s eps=%g %s: %v\n", shape.Name, fam, armEps, enum, err)
+			return true
+		}
+		return false
+	}
 
 sweep:
 	for _, shape := range dpShapes {
@@ -126,75 +203,173 @@ sweep:
 			if err != nil {
 				return err
 			}
-			opts := core.DefaultOptions()
-			opts.Epsilon = eps
-			_, st, err := core.Solve(ctx, in, opts)
-			if err != nil {
-				benchErr = err
-				break sweep
-			}
-			sizes, counts, err := core.RoundedClasses(in, st.K, st.FinalT)
-			if err != nil {
-				return err
-			}
-			if len(sizes) == 0 {
-				continue // no long jobs at this T; nothing to fill
-			}
-			tbl, err := dp.NewCached(sizes, counts, st.FinalT, 0, 0, cache)
-			if err != nil {
-				return err
-			}
-
-			measure := func(workers int, mode, path string, fill func() error) bool {
-				tbl.LegacyFill = path == "legacy"
-				ns, err := measureFill(fill, cfg.Windows)
-				if err != nil {
-					benchErr = err
-					return false
+			for _, armEps := range epsArms {
+				primary := armEps == eps
+				var budget int64
+				if !primary {
+					budget = sparseArmMaxEntries
 				}
-				records = append(records, dpRecord{
+				base := dpRecord{
 					Workload: shape.Name, Family: fam.String(), M: shape.M, N: shape.N,
-					Workers: workers, LevelMode: mode, Path: path,
-					NsPerOp: ns, Entries: tbl.Sigma, Configs: len(tbl.Configs),
-				})
-				return true
-			}
-
-			// Sequential fill (workers = 1); level mode is moot, report as
-			// buckets for a stable key.
-			bkt := dp.LevelBuckets.String()
-			seq := func() error { return tbl.FillSequentialCtx(ctx) }
-			if !measure(1, bkt, "legacy", seq) || !measure(1, bkt, "optimized", seq) {
-				break sweep
-			}
-
-			for _, workers := range cores {
-				if workers <= 1 {
-					continue
-				}
-				// Adaptive path: FillAuto on a persistent barrier pool, the
-				// production default through the solver facade. Measured
-				// immediately after the sequential reference cells — its
-				// speedup_vs_seq column divides the two, so keeping them
-				// adjacent in time stops host-load drift from contaminating
-				// the ratio.
-				bpool := par.NewBarrierPool(workers)
-				afill := func() error { return tbl.FillAutoCtx(ctx, bpool) }
-				ok := measure(workers, "auto", "auto", afill)
-				bpool.Close()
-				if !ok {
-					break sweep
+					Eps: armEps, Workers: 1, LevelMode: dp.LevelBuckets.String(),
 				}
 
-				pool := par.NewPool(workers)
-				for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
-					fill := func() error { return tbl.FillParallelCtx(ctx, pool, mode, par.RoundRobin) }
-					if !measure(workers, mode.String(), "optimized", fill) || !measure(workers, mode.String(), "legacy", fill) {
-						pool.Close()
+				var faithfulSt *core.Stats
+				if doFaithful {
+					opts := core.DefaultOptions()
+					opts.Epsilon = armEps
+					opts.MaxTableEntries = budget
+					t0 := time.Now()
+					_, st, err := core.Solve(ctx, in, opts)
+					solveNs := time.Since(t0).Nanoseconds()
+					switch {
+					case err == nil:
+						faithfulSt = st
+						r := base
+						r.Enum, r.Path, r.LevelMode = "faithful", "solve", "e2e"
+						r.NsPerOp, r.Entries, r.Configs = solveNs, st.TableEntries, st.Configs
+						records = append(records, r)
+					case skipTooLarge(shape, fam, armEps, "faithful", err):
+					default:
+						benchErr = err
 						break sweep
 					}
 				}
-				pool.Close()
+
+				// The full fill-path matrix (legacy/optimized/auto across
+				// worker counts) runs on the primary eps only; the extra arm
+				// exists for the faithful-vs-sparse comparison.
+				if faithfulSt != nil && primary {
+					st := faithfulSt
+					sizes, counts, err := core.RoundedClasses(in, st.K, st.FinalT)
+					if err != nil {
+						return err
+					}
+					if len(sizes) == 0 {
+						continue // no long jobs at this T; nothing to fill
+					}
+					tbl, err := dp.NewCached(sizes, counts, st.FinalT, 0, 0, cache)
+					if err != nil {
+						return err
+					}
+
+					measure := func(workers int, mode, path string, fill func() error) bool {
+						tbl.LegacyFill = path == "legacy"
+						ns, err := measureFill(fill, cfg.Windows)
+						if err != nil {
+							benchErr = err
+							return false
+						}
+						r := base
+						r.Enum, r.Workers, r.LevelMode, r.Path = "faithful", workers, mode, path
+						r.NsPerOp, r.Entries, r.Configs = ns, tbl.Sigma, len(tbl.Configs)
+						records = append(records, r)
+						return true
+					}
+
+					// Sequential fill (workers = 1); level mode is moot,
+					// report as buckets for a stable key.
+					bkt := dp.LevelBuckets.String()
+					seq := func() error { return tbl.FillSequentialCtx(ctx) }
+					if !measure(1, bkt, "legacy", seq) || !measure(1, bkt, "optimized", seq) {
+						break sweep
+					}
+
+					for _, workers := range cores {
+						if workers <= 1 {
+							continue
+						}
+						// Adaptive path: FillAuto on a persistent barrier
+						// pool, the production default through the solver
+						// facade. Measured immediately after the sequential
+						// reference cells — its speedup_vs_seq column divides
+						// the two, so keeping them adjacent in time stops
+						// host-load drift from contaminating the ratio.
+						bpool := par.NewBarrierPool(workers)
+						afill := func() error { return tbl.FillAutoCtx(ctx, bpool) }
+						ok := measure(workers, "auto", "auto", afill)
+						bpool.Close()
+						if !ok {
+							break sweep
+						}
+
+						pool := par.NewPool(workers)
+						for _, mode := range []dp.LevelMode{dp.LevelBuckets, dp.LevelScan} {
+							fill := func() error { return tbl.FillParallelCtx(ctx, pool, mode, par.RoundRobin) }
+							if !measure(workers, mode.String(), "optimized", fill) || !measure(workers, mode.String(), "legacy", fill) {
+								pool.Close()
+								break sweep
+							}
+						}
+						pool.Close()
+					}
+				}
+
+				if doSparse {
+					opts := core.DefaultOptions()
+					opts.Epsilon = armEps
+					opts.Sparsify = true
+					opts.MaxTableEntries = budget
+					t0 := time.Now()
+					_, st, err := core.Solve(ctx, in, opts)
+					solveNs := time.Since(t0).Nanoseconds()
+					switch {
+					case err == nil:
+						fc, ferr := faithfulConfigCount(in, st.K, st.FinalT)
+						if ferr != nil {
+							return ferr
+						}
+						r := base
+						r.Enum, r.Path, r.LevelMode = "sparse", "solve", "e2e"
+						r.NsPerOp, r.Entries = solveNs, st.TableEntries
+						r.Configs = fc
+						r.ConfigsSparse = st.ConfigsAfterSparsification
+						if fc > 0 && st.ConfigsAfterSparsification > 0 {
+							r.ConfigReduction = float64(fc) / float64(st.ConfigsAfterSparsification)
+						}
+						records = append(records, r)
+						if st.SparseFallback {
+							fmt.Printf("note %s/%s eps=%g sparse: fell back to the faithful pipeline\n", shape.Name, fam, armEps)
+							continue
+						}
+
+						// Sequential fill of the sparse table at the sparse
+						// solve's converged target — the per-probe cost the
+						// sparsification shrinks.
+						gs, gc, err := core.SparseRoundedClasses(in, st.K, st.FinalT, armEps)
+						if err != nil {
+							return err
+						}
+						if len(gs) == 0 {
+							continue
+						}
+						tbl, err := dp.NewSparse(gs, gc, st.FinalT, budget, 0, cache, conf.DefaultSparseOptions(st.K))
+						if err != nil {
+							if skipTooLarge(shape, fam, armEps, "sparse", err) {
+								continue
+							}
+							return err
+						}
+						ns, err := measureFill(func() error { return tbl.FillSequentialCtx(ctx) }, cfg.Windows)
+						if err != nil {
+							benchErr = err
+							break sweep
+						}
+						r = base
+						r.Enum, r.Path = "sparse", "optimized"
+						r.NsPerOp, r.Entries = ns, tbl.Sigma
+						r.Configs = fc
+						r.ConfigsSparse = len(tbl.Configs)
+						if fc > 0 && len(tbl.Configs) > 0 {
+							r.ConfigReduction = float64(fc) / float64(len(tbl.Configs))
+						}
+						records = append(records, r)
+					case skipTooLarge(shape, fam, armEps, "sparse", err):
+					default:
+						benchErr = err
+						break sweep
+					}
+				}
 			}
 		}
 	}
@@ -269,8 +444,23 @@ func gateSpeedup(records []dpRecord, min float64) error {
 
 // dpKey identifies a benchmark cell across runs for baseline diffing.
 type dpKey struct {
-	Workload, Family, Mode, Path string
-	Workers                      int
+	Workload, Family, Mode, Path, Enum string
+	Workers                            int
+	Eps                                float64
+}
+
+// recordKey builds the diff key, normalizing records from baselines written
+// before the sparse columns existed (no enum, no eps).
+func recordKey(r dpRecord) dpKey {
+	enum := r.Enum
+	if enum == "" {
+		enum = "faithful"
+	}
+	e := r.Eps
+	if e == 0 {
+		e = 0.3
+	}
+	return dpKey{r.Workload, r.Family, r.LevelMode, r.Path, enum, r.Workers, e}
 }
 
 // compareBaseline diffs the run's ns/op row-by-row against the committed
@@ -289,12 +479,12 @@ func compareBaseline(records []dpRecord, path string, threshold float64) error {
 	}
 	baseNs := make(map[dpKey]int64, len(base))
 	for _, r := range base {
-		baseNs[dpKey{r.Workload, r.Family, r.LevelMode, r.Path, r.Workers}] = r.NsPerOp
+		baseNs[recordKey(r)] = r.NsPerOp
 	}
 	var regressions []string
 	compared, missing := 0, 0
 	for _, r := range records {
-		k := dpKey{r.Workload, r.Family, r.LevelMode, r.Path, r.Workers}
+		k := recordKey(r)
 		bns, ok := baseNs[k]
 		if !ok {
 			missing++
@@ -325,22 +515,39 @@ func compareBaseline(records []dpRecord, path string, threshold float64) error {
 }
 
 // attachSpeedups fills Speedup on each optimized record from its matching
-// legacy measurement, and SpeedupSeq on every parallel/auto record from the
-// 1-worker optimized sequential fill of the same workload.
+// legacy measurement, SpeedupSeq on every parallel/auto record from the
+// 1-worker optimized sequential fill of the same workload, and
+// SpeedupFaithful on every sparse record from the faithful cell of the same
+// (workload, family, eps, path).
 func attachSpeedups(records []dpRecord) {
 	type key struct {
 		w, f, mode string
 		workers    int
+		eps        float64
 	}
 	legacy := make(map[key]int64)
-	type seqKey struct{ w, f string }
+	type seqKey struct {
+		w, f string
+		eps  float64
+	}
 	seq := make(map[seqKey]int64)
+	type faithKey struct {
+		w, f, path string
+		eps        float64
+	}
+	faithful := make(map[faithKey]int64)
 	for _, r := range records {
+		if r.Enum == "sparse" {
+			continue
+		}
 		if r.Path == "legacy" {
-			legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers}] = r.NsPerOp
+			legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers, r.Eps}] = r.NsPerOp
 		}
 		if r.Path == "optimized" && r.Workers == 1 {
-			seq[seqKey{r.Workload, r.Family}] = r.NsPerOp
+			seq[seqKey{r.Workload, r.Family, r.Eps}] = r.NsPerOp
+		}
+		if r.Workers == 1 && (r.Path == "solve" || r.Path == "optimized") {
+			faithful[faithKey{r.Workload, r.Family, r.Path, r.Eps}] = r.NsPerOp
 		}
 	}
 	for i := range records {
@@ -348,13 +555,19 @@ func attachSpeedups(records []dpRecord) {
 		if r.NsPerOp <= 0 {
 			continue
 		}
+		if r.Enum == "sparse" {
+			if base, ok := faithful[faithKey{r.Workload, r.Family, r.Path, r.Eps}]; ok {
+				r.SpeedupFaithful = float64(base) / float64(r.NsPerOp)
+			}
+			continue
+		}
 		if r.Path == "optimized" {
-			if base, ok := legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers}]; ok {
+			if base, ok := legacy[key{r.Workload, r.Family, r.LevelMode, r.Workers, r.Eps}]; ok {
 				r.Speedup = float64(base) / float64(r.NsPerOp)
 			}
 		}
 		if r.Workers > 1 && r.Path != "legacy" {
-			if base, ok := seq[seqKey{r.Workload, r.Family}]; ok {
+			if base, ok := seq[seqKey{r.Workload, r.Family, r.Eps}]; ok {
 				r.SpeedupSeq = float64(base) / float64(r.NsPerOp)
 			}
 		}
@@ -362,19 +575,26 @@ func attachSpeedups(records []dpRecord) {
 }
 
 func renderDPRecords(records []dpRecord) {
-	fmt.Printf("%-6s %-11s %3s %4s %8s %-8s %-9s %12s %8s %8s\n",
-		"fig", "family", "wrk", "mode", "entries", "configs", "path", "ns/op", "vs-lgcy", "vs-seq")
+	fmt.Printf("%-6s %-11s %4s %-8s %3s %4s %8s %-8s %-7s %-5s %-9s %12s %8s %8s %8s\n",
+		"fig", "family", "eps", "enum", "wrk", "mode", "entries", "configs", "cfg-sp", "red", "path", "ns/op", "vs-lgcy", "vs-seq", "vs-fthl")
 	for _, r := range records {
-		speedup, vseq := "", ""
+		speedup, vseq, vf, csp, red := "", "", "", "", ""
 		if r.Speedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.Speedup)
 		}
 		if r.SpeedupSeq > 0 {
 			vseq = fmt.Sprintf("%.2fx", r.SpeedupSeq)
 		}
-		fmt.Printf("%-6s %-11s %3d %4s %8d %-8d %-9s %12d %8s %8s\n",
-			r.Workload, r.Family, r.Workers, shortMode(r.LevelMode), r.Entries, r.Configs,
-			r.Path, r.NsPerOp, speedup, vseq)
+		if r.SpeedupFaithful > 0 {
+			vf = fmt.Sprintf("%.2fx", r.SpeedupFaithful)
+		}
+		if r.Enum == "sparse" {
+			csp = fmt.Sprintf("%d", r.ConfigsSparse)
+			red = fmt.Sprintf("%.1fx", r.ConfigReduction)
+		}
+		fmt.Printf("%-6s %-11s %4g %-8s %3d %4s %8d %-8d %-7s %-5s %-9s %12d %8s %8s %8s\n",
+			r.Workload, r.Family, r.Eps, r.Enum, r.Workers, shortMode(r.LevelMode), r.Entries, r.Configs,
+			csp, red, r.Path, r.NsPerOp, speedup, vseq, vf)
 	}
 }
 
@@ -384,6 +604,8 @@ func shortMode(m string) string {
 		return "scan"
 	case "auto":
 		return "auto"
+	case "e2e":
+		return "e2e"
 	default:
 		return "bkt"
 	}

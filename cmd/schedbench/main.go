@@ -51,6 +51,7 @@ func run(args []string) error {
 		baseRpt  = fs.Bool("baseline-report-only", false, "dp: print -baseline regressions without failing (for cross-host CI runs)")
 		gateSpd  = fs.Float64("gate-speedup", 0, "dp: fail when any auto cell's same-run speedup_vs_seq falls below this floor (0 = off)")
 		windows  = fs.Int("windows", 5, "dp: measurement windows per cell (lower = faster, noisier)")
+		enum     = fs.String("enum", "both", "dp: configuration enumeration modes to bench {faithful|sparse|both}")
 		deadline = fs.Duration("deadline", 0, "overall deadline for the whole run (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
@@ -167,6 +168,11 @@ func run(args []string) error {
 		}
 		return res.Render(cfg)
 	case "dp":
+		switch *enum {
+		case "faithful", "sparse", "both", "":
+		default:
+			return fmt.Errorf("bad -enum %q (want faithful, sparse or both)", *enum)
+		}
 		return runDPBench(ctx, cfg.Cores, cfg.Epsilon, cfg.Seed, dpBenchConfig{
 			WriteJSON:      *jsonOut,
 			Out:            *jsonPath,
@@ -175,6 +181,7 @@ func run(args []string) error {
 			BaselineReport: *baseRpt,
 			MinSpeedup:     *gateSpd,
 			Windows:        *windows,
+			Enum:           *enum,
 		})
 	case "hard":
 		res, err := cfg.RunHard(ctx, nil, 0)

@@ -21,7 +21,9 @@ import (
 	"time"
 
 	"repro/internal/cancel"
+	"repro/internal/conf"
 	"repro/internal/dp"
+	"repro/internal/lb"
 	"repro/internal/listsched"
 	"repro/internal/par"
 	"repro/internal/simsched"
@@ -143,6 +145,25 @@ type Options struct {
 	// AutoFill, reused across Solve calls. When nil and AutoFill applies,
 	// Solve creates and closes its own.
 	BarrierPool *par.BarrierPool
+	// Sparsify enables the sparsified DP pipeline (the ptas-sparse registry
+	// algorithm): geometric grouping of the rounded size classes (see
+	// split.group) shrinks the table's index space, and the sparse
+	// configuration enumerator (conf.EnumerateSparse: support cap plus
+	// dominance pruning) shrinks the candidate-move set. Both shrink the
+	// per-probe DP cost; the (1+eps) guarantee is preserved a posteriori:
+	// the driver certifies the converged target against the faithful
+	// enumeration and measures the constructed makespan, falling back to the
+	// faithful pipeline when either check fails (Stats.SparseCertified,
+	// Stats.SparseFallback).
+	Sparsify bool
+	// SparseOpts overrides the sparse enumerator's parameters. The zero
+	// value selects conf.DefaultSparseOptions(k). Ignored unless Sparsify.
+	SparseOpts conf.SparseOptions
+	// GroupDelta is the geometric grouping band: consecutive rounded classes
+	// within a (1+GroupDelta) factor merge, rounded down to the group floor.
+	// 0 selects the default (Epsilon); negative disables grouping. Ignored
+	// unless Sparsify.
+	GroupDelta float64
 	// Cache optionally supplies a DP cache shared across Solve calls, so
 	// repeated solves over similar instances reuse configuration
 	// enumerations and level-bucket indexes. When nil, Solve creates a
@@ -163,12 +184,39 @@ func DefaultOptions() Options {
 	return Options{Epsilon: 0.3, Workers: 1}
 }
 
+// groupDelta resolves the effective geometric-grouping band: 0 unless
+// Sparsify, Epsilon when GroupDelta is unset, GroupDelta itself otherwise
+// (negative values disable grouping).
+func (o Options) groupDelta() float64 {
+	if !o.Sparsify {
+		return 0
+	}
+	if o.GroupDelta != 0 {
+		if o.GroupDelta < 0 {
+			return 0
+		}
+		return o.GroupDelta
+	}
+	return o.Epsilon
+}
+
+// sparseOptions resolves the effective sparse-enumerator parameters for k.
+func (o Options) sparseOptions(k int) conf.SparseOptions {
+	if o.SparseOpts == (conf.SparseOptions{}) {
+		return conf.DefaultSparseOptions(k)
+	}
+	return o.SparseOpts
+}
+
 // Stats reports what one Solve call did.
 type Stats struct {
-	K          int        // ceil(1/eps)
-	Iterations int        // bisection iterations
-	LB0, UB0   pcmax.Time // initial bounds (paper equations (1)-(2))
-	FinalT     pcmax.Time // converged target makespan
+	K          int // ceil(1/eps)
+	Iterations int // bisection iterations
+	// LB0 and UB0 are the initial bisection brackets: the paper's equations
+	// (1)-(2), tightened by the bounds an LPT run yields (lb.FromLPT below,
+	// and LPT's makespan as the upper bracket). Both still bracket OPT.
+	LB0, UB0 pcmax.Time
+	FinalT   pcmax.Time // converged target makespan
 
 	// At the final T:
 	LongJobs, ShortJobs int
@@ -195,6 +243,28 @@ type Stats struct {
 	// Cache reports DP-cache traffic for the solve (enumeration and
 	// level-index reuse across bisection probes).
 	Cache dp.CacheStats
+
+	// Sparse-pipeline observability (Options.Sparsify / the ptas-sparse
+	// registry algorithm); all zero on faithful runs.
+
+	// ConfigsEnumerated counts the feasible configurations the sparse
+	// enumerator visited at the converged target (after grouping, before
+	// pruning); ConfigsAfterSparsification counts the ones it retained —
+	// their ratio is the configuration-set reduction of the final table.
+	ConfigsEnumerated          int
+	ConfigsAfterSparsification int
+	// SparseCertified reports that the converged target T was proven to be
+	// at most OPT — either T equaled the initial lower bracket, or a faithful
+	// DP at T-1 was infeasible (infeasibility of rounded-down jobs is an OPT
+	// witness) — so the returned schedule carries the full (1+eps)
+	// guarantee. False only when the faithful verification table exceeded
+	// the entry budget: the schedule is then valid and gate-checked against
+	// (1+eps)T, but T <= OPT is unproven.
+	SparseCertified bool
+	// SparseFallback reports that a sparse run failed certification or the
+	// (1+eps)T quality gate and the result came from a faithful re-solve
+	// (FillTime then includes the abandoned sparse attempt).
+	SparseFallback bool
 }
 
 // Typed failures.
@@ -259,9 +329,22 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 		return pcmax.NewSchedule(m, 0), stats, nil
 	}
 
-	// Paper Lines 2-3: bounds on the optimal makespan.
+	// Paper Lines 2-3: bounds on the optimal makespan — tightened by an LPT
+	// run ("LPT revisited": inverting LPT's approximation guarantees turns
+	// its makespan W into a lower bound, and W itself is an upper bound that
+	// is never worse than equation (2)). The schedule is kept for the
+	// LPT-fallback comparison and the graceful-degradation path, so the
+	// tightening costs one O(n log n) pass.
+	lptSched := listsched.LPT(in)
+	lptMS := lptSched.Makespan(in)
 	lbT := in.LowerBound()
+	if b := lb.FromLPT(in, lptSched); b > lbT {
+		lbT = b
+	}
 	ubT := in.UpperBound()
+	if lptMS < ubT {
+		ubT = lptMS
+	}
 	stats.LB0, stats.UB0 = lbT, ubT
 
 	var (
@@ -310,7 +393,7 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 		cerr.Iterations = stats.Iterations
 		cerr.EntriesFilled += stats.TotalEntriesFilled
 		stats.UsedLPTFallback = true
-		return listsched.LPT(in), stats, err
+		return lptSched, stats, err
 	}
 
 	// attempt builds and fills the DP table for target T and reports whether
@@ -379,6 +462,16 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 			return degrade(err)
 		}
 		if !ok {
+			if opts.Sparsify {
+				// Sparse feasibility is not monotone in T the way faithful
+				// feasibility is: pruning only removes configurations and
+				// grouping shifts with T's rounding unit, so the bisection can
+				// converge on a target whose own sparse DP is infeasible (e.g.
+				// when no probe ever succeeded and T is the initial upper
+				// bracket). Over-pruning is a detected condition, not an
+				// invariant violation: re-solve faithfully.
+				return sparseFaithfulFallback(ctx, in, opts, stats)
+			}
 			return nil, nil, fmt.Errorf("%w: converged T=%d is infeasible", ErrInternal, T)
 		}
 		finalSplit, finalTable = sp, tbl
@@ -440,12 +533,98 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 	// Deterministic (strict improvement only), guarantee-preserving in both
 	// directions.
 	if opts.LPTFallback {
-		if lpt := listsched.LPT(in); lpt.Makespan(in) < sched.Makespan(in) {
-			sched = lpt
+		if lptMS < sched.Makespan(in) {
+			sched = lptSched
 			stats.UsedLPTFallback = true
 		}
 	}
+
+	// Sparse mode surrenders per-probe exactness (grouping under-estimates
+	// sizes, pruning drops configurations), so the (1+eps) guarantee is
+	// re-established a posteriori before returning; see sparseVerify.
+	if opts.Sparsify {
+		if finalTable != nil {
+			stats.ConfigsEnumerated = finalTable.SparseStats.Enumerated
+			stats.ConfigsAfterSparsification = finalTable.SparseStats.Retained
+		}
+		fallback, err := sparseVerify(ctx, in, k, T, sched, opts, stats, pool, bpool)
+		if err != nil {
+			return degrade(err)
+		}
+		if fallback {
+			return sparseFaithfulFallback(ctx, in, opts, stats)
+		}
+	}
 	return sched, stats, nil
+}
+
+// sparseFaithfulFallback transparently re-solves the instance with the
+// faithful pipeline after a sparse run failed verification (certification,
+// the quality gate, or outright over-pruned infeasibility at the converged
+// target). The returned stats are the faithful solve's, flagged with
+// SparseFallback and carrying the abandoned sparse attempt's enumeration
+// counts and fill time.
+func sparseFaithfulFallback(ctx context.Context, in *pcmax.Instance, opts Options, stats *Stats) (*pcmax.Schedule, *Stats, error) {
+	fopts := opts
+	fopts.Sparsify = false
+	fsched, fstats, ferr := Solve(ctx, in, fopts)
+	if fstats != nil {
+		fstats.SparseFallback = true
+		fstats.ConfigsEnumerated = stats.ConfigsEnumerated
+		fstats.ConfigsAfterSparsification = stats.ConfigsAfterSparsification
+		fstats.FillTime += stats.FillTime
+	}
+	return fsched, fstats, ferr
+}
+
+// sparseVerify re-establishes the (1+eps) guarantee after a sparse solve
+// converged at T and built sched. Two independent checks:
+//
+//   - certification that T <= OPT: trivially true when T is the initial
+//     lower bracket; otherwise one faithful DP at T-1 decides it — faithful
+//     infeasibility at T-1 proves OPT > T-1 (rounded-DOWN long jobs needing
+//     more than m machines within T-1 means the originals do too), while
+//     faithful feasibility means the sparse bisection over-pruned its way
+//     past targets the faithful pipeline can meet, and the solve must fall
+//     back. When the verification table exceeds the entry budget — sparse
+//     mode solves instances the faithful enumeration cannot — the result is
+//     kept but flagged uncertified (Stats.SparseCertified stays false).
+//   - a quality gate on the measured construction: makespan <= (1+eps)T.
+//     Together with T <= OPT this yields makespan <= (1+eps)OPT, the same
+//     guarantee grade as the faithful pipeline; grouping's worst-case
+//     under-estimation can exceed the gate, so a violation triggers the
+//     faithful fallback rather than a silently weaker schedule.
+//
+// Returns whether the caller must fall back to a faithful re-solve. Only
+// cancellation-grade errors are returned.
+func sparseVerify(ctx context.Context, in *pcmax.Instance, k int, T pcmax.Time, sched *pcmax.Schedule, opts Options, stats *Stats, pool *par.Pool, bpool *par.BarrierPool) (fallback bool, err error) {
+	certified := T <= stats.LB0
+	if !certified {
+		fopts := opts
+		fopts.Sparsify = false
+		res, aerr := runAttempt(ctx, in, k, T-1, fopts, pool, bpool)
+		switch {
+		case errors.Is(aerr, dp.ErrTableTooLarge):
+			// Faithful verification doesn't fit; keep the sparse result,
+			// uncertified.
+		case aerr != nil:
+			return false, aerr
+		default:
+			stats.FillTime += res.fill
+			if res.tbl != nil {
+				stats.TotalEntriesFilled += res.tbl.Sigma
+			}
+			if res.feasible {
+				return true, nil
+			}
+			certified = true
+		}
+	}
+	stats.SparseCertified = certified
+	if float64(sched.Makespan(in)) > (1+opts.Epsilon)*float64(T)+1e-9 {
+		return true, nil
+	}
+	return false, nil
 }
 
 // sortJobsDesc orders job indices by non-increasing processing time, ties by

@@ -100,6 +100,63 @@ func RoundedClasses(in *pcmax.Instance, k int, T pcmax.Time) (sizes []pcmax.Time
 	return sp.sizes, sp.counts, nil
 }
 
+// SparseRoundedClasses is RoundedClasses for the sparse pipeline: the size
+// classes after geometric grouping with band delta (what a sparse solve's DP
+// table is built over at target T). Benchmark harnesses use it to isolate
+// the sparse fill; delta <= 0 degenerates to RoundedClasses.
+func SparseRoundedClasses(in *pcmax.Instance, k int, T pcmax.Time, delta float64) (sizes []pcmax.Time, counts []int, err error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("core: k=%d < 1", k)
+	}
+	sp, err := newSplit(in, k, T)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp.group(delta)
+	return sp.sizes, sp.counts, nil
+}
+
+// group merges consecutive rounded classes whose sizes lie within (1+delta)
+// of the group's smallest member, rounding every member down to that size —
+// the geometric grouping of the sparsification literature (Jansen–Klein–
+// Verschae Section 3), applied on top of the paper's arithmetic rounding.
+// Rounding down preserves completeness (any packing of the true sizes packs
+// the grouped ones), so a grouped DP can only be more often feasible at a
+// given T; the under-estimation is bounded by delta per job and is enforced
+// a posteriori by the driver's quality gate (core.Solve certifies the
+// converged target and measures the construction before returning it).
+// Merged classes pool their unrounding buckets, so reconstruction is
+// unchanged. delta <= 0 is a no-op.
+func (sp *split) group(delta float64) {
+	if delta <= 0 || len(sp.sizes) < 2 {
+		return
+	}
+	var (
+		sizes   []pcmax.Time
+		counts  []int
+		buckets [][]int
+	)
+	i := 0
+	for i < len(sp.sizes) {
+		base := sp.sizes[i]
+		limit := pcmax.Time(float64(base) * (1 + delta))
+		count := 0
+		var bucket []int
+		for i < len(sp.sizes) && sp.sizes[i] <= limit {
+			count += sp.counts[i]
+			bucket = append(bucket, sp.buckets[i]...)
+			i++
+		}
+		sizes = append(sizes, base)
+		counts = append(counts, count)
+		buckets = append(buckets, bucket)
+	}
+	sp.sizes, sp.counts, sp.buckets = sizes, counts, buckets
+}
+
 // longJobs returns the number of long jobs.
 func (sp *split) longJobs() int {
 	n := 0

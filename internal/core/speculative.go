@@ -62,10 +62,18 @@ func runAttempt(ctx context.Context, in *pcmax.Instance, k int, T pcmax.Time, op
 	if err != nil {
 		return attemptResult{}, err
 	}
+	if opts.Sparsify {
+		sp.group(opts.groupDelta())
+	}
 	if len(sp.sizes) == 0 {
 		return attemptResult{sp: sp, feasible: true}, nil // no long jobs
 	}
-	tbl, err := dp.NewCached(sp.sizes, sp.counts, T, opts.MaxTableEntries, opts.MaxConfigs, opts.Cache)
+	var tbl *dp.Table
+	if opts.Sparsify {
+		tbl, err = dp.NewSparse(sp.sizes, sp.counts, T, opts.MaxTableEntries, opts.MaxConfigs, opts.Cache, opts.sparseOptions(k))
+	} else {
+		tbl, err = dp.NewCached(sp.sizes, sp.counts, T, opts.MaxTableEntries, opts.MaxConfigs, opts.Cache)
+	}
 	if err != nil {
 		return attemptResult{}, err
 	}

@@ -35,10 +35,12 @@ type Cache struct {
 	stats      CacheStats
 }
 
-// configsEntry pairs a Jobs-sorted configuration list with its flat scan view.
+// configsEntry pairs a Jobs-sorted configuration list with its flat scan
+// view and, for sparse enumerations, the sparsification counters.
 type configsEntry struct {
 	configs []conf.Config
 	set     *conf.Set
+	sstats  conf.SparseStats
 }
 
 // maxCachedConfigSets bounds the configuration map (a bisection probes
@@ -75,13 +77,29 @@ func (c *Cache) Stats() CacheStats {
 	return c.stats
 }
 
-// configKey serializes the enumeration inputs. Strides derive from counts,
-// so they carry no extra information.
-func configKey(sizes []pcmax.Time, counts []int, T pcmax.Time, maxConfigs int) string {
-	b := make([]byte, 0, 16+8*len(sizes))
+// configKey serializes the enumeration inputs, including the enumeration
+// mode and (when sparse) every sparsification parameter: a mixed-mode caller
+// — the ptas-sparse driver re-verifies its converged target with a faithful
+// table at the same (sizes, counts, T) — must never be handed the other
+// mode's configuration set. Strides derive from counts, so they carry no
+// extra information.
+func configKey(sizes []pcmax.Time, counts []int, T pcmax.Time, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) string {
+	b := make([]byte, 0, 32+8*len(sizes))
 	b = strconv.AppendInt(b, int64(T), 10)
 	b = append(b, '|')
 	b = strconv.AppendInt(b, int64(maxConfigs), 10)
+	if mode == EnumSparse {
+		b = append(b, "|s:"...)
+		b = strconv.AppendInt(b, int64(sopts.MaxSupport), 10)
+		b = append(b, ':')
+		b = strconv.AppendInt(b, int64(sopts.KeepJobs), 10)
+		b = append(b, ':')
+		if sopts.NoDominance {
+			b = append(b, '1')
+		} else {
+			b = append(b, '0')
+		}
+	}
 	for i := range sizes {
 		b = append(b, '|')
 		b = strconv.AppendInt(b, int64(sizes[i]), 10)
@@ -103,44 +121,51 @@ func countsKey(counts []int) string {
 	return string(b)
 }
 
-// configSet returns the Jobs-sorted configuration list and its flat view
-// for the given enumeration inputs, consulting the cache when non-nil.
-// Errors (e.g. conf.ErrTooMany) are never cached.
-func (c *Cache) configSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int) ([]conf.Config, *conf.Set, error) {
+// configSet returns the Jobs-sorted configuration list, its flat view and
+// the sparsification counters for the given enumeration inputs, consulting
+// the cache when non-nil. Errors (e.g. conf.ErrTooMany) are never cached.
+func (c *Cache) configSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) ([]conf.Config, *conf.Set, conf.SparseStats, error) {
 	if c == nil {
-		return buildConfigSet(sizes, counts, T, stride, maxConfigs)
+		return buildConfigSet(sizes, counts, T, stride, maxConfigs, mode, sopts)
 	}
-	key := configKey(sizes, counts, T, maxConfigs)
+	key := configKey(sizes, counts, T, maxConfigs, mode, sopts)
 	c.mu.Lock()
 	if e, ok := c.configs[key]; ok {
 		c.stats.ConfigHits++
 		c.mu.Unlock()
-		return e.configs, e.set, nil
+		return e.configs, e.set, e.sstats, nil
 	}
 	c.stats.ConfigMisses++
 	c.mu.Unlock()
 
-	configs, set, err := buildConfigSet(sizes, counts, T, stride, maxConfigs)
+	configs, set, sstats, err := buildConfigSet(sizes, counts, T, stride, maxConfigs, mode, sopts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sstats, err
 	}
 	c.mu.Lock()
 	if len(c.configs) >= maxCachedConfigSets {
 		c.configs = make(map[string]configsEntry)
 	}
-	c.configs[key] = configsEntry{configs: configs, set: set}
+	c.configs[key] = configsEntry{configs: configs, set: set, sstats: sstats}
 	c.mu.Unlock()
-	return configs, set, nil
+	return configs, set, sstats, nil
 }
 
 // buildConfigSet enumerates, Jobs-sorts and flattens a configuration set.
-func buildConfigSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int) ([]conf.Config, *conf.Set, error) {
-	configs, err := conf.Enumerate(sizes, counts, T, stride, maxConfigs)
+func buildConfigSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) ([]conf.Config, *conf.Set, conf.SparseStats, error) {
+	var configs []conf.Config
+	var sstats conf.SparseStats
+	var err error
+	if mode == EnumSparse {
+		configs, sstats, err = conf.EnumerateSparse(sizes, counts, T, stride, maxConfigs, sopts)
+	} else {
+		configs, err = conf.Enumerate(sizes, counts, T, stride, maxConfigs)
+	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, sstats, err
 	}
 	bounds := conf.SortByJobs(configs)
-	return configs, conf.NewSet(configs, len(sizes), bounds), nil
+	return configs, conf.NewSet(configs, len(sizes), bounds), sstats, nil
 }
 
 // levelIndexFor returns the level-bucket index for the given counts vector,

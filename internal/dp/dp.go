@@ -102,6 +102,26 @@ var (
 // unset marks entries not yet computed by FillRecursive.
 const unset = int32(-1)
 
+// EnumMode selects which configuration enumerator a table is built with.
+type EnumMode int
+
+const (
+	// EnumFaithful lists every feasible non-zero configuration
+	// (conf.Enumerate), the paper's semantics.
+	EnumFaithful EnumMode = iota
+	// EnumSparse applies the Jansen–Klein–Verschae-style prunes
+	// (conf.EnumerateSparse): support cap plus dominance, with the
+	// singleton-and-pair pool always retained.
+	EnumSparse
+)
+
+func (m EnumMode) String() string {
+	if m == EnumSparse {
+		return "sparse"
+	}
+	return "faithful"
+}
+
 // Table is the DP table for one (sizes, counts, T) triple.
 type Table struct {
 	// Sizes holds the distinct rounded long-job sizes, strictly ascending.
@@ -144,6 +164,12 @@ type Table struct {
 	// leave it untouched).
 	AutoStats AutoStats
 
+	// Mode records which enumerator built Configs.
+	Mode EnumMode
+	// SparseStats reports the sparsification outcome (enumerated vs
+	// retained vs pruned counts); zero for EnumFaithful tables.
+	SparseStats conf.SparseStats
+
 	// set is the flat Jobs-sorted scan view of Configs (shared, read-only).
 	set *conf.Set
 	// packed holds each configuration's count vector packed one byte per
@@ -182,6 +208,22 @@ func New(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxCo
 // the same rounded classes was built against the same cache — which is
 // exactly what a bisection search produces. A nil cache disables reuse.
 func NewCached(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int, cache *Cache) (*Table, error) {
+	return build(sizes, counts, T, maxEntries, maxConfigs, cache, EnumFaithful, conf.SparseOptions{})
+}
+
+// NewSparse is NewCached with the sparse enumerator: Configs holds only the
+// configurations conf.EnumerateSparse retains under sopts, and
+// Table.SparseStats reports the reduction. Index space, strides, fill paths
+// and reconstruction are identical to a faithful table over the same
+// classes; only the candidate-move set shrinks, so OPT values can only grow
+// and a feasible sparse table always reconstructs a valid packing. Sparse
+// and faithful tables never share cached configuration sets, even for
+// identical (sizes, counts, T).
+func NewSparse(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int, cache *Cache, sopts conf.SparseOptions) (*Table, error) {
+	return build(sizes, counts, T, maxEntries, maxConfigs, cache, EnumSparse, sopts)
+}
+
+func build(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64, maxConfigs int, cache *Cache, mode EnumMode, sopts conf.SparseOptions) (*Table, error) {
 	if len(sizes) != len(counts) {
 		return nil, fmt.Errorf("dp: %d sizes but %d counts", len(sizes), len(counts))
 	}
@@ -211,6 +253,7 @@ func NewCached(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64,
 		Counts: append([]int(nil), counts...),
 		T:      T,
 		Stride: make([]int64, d),
+		Mode:   mode,
 		cache:  cache,
 	}
 	sigma := int64(1)
@@ -224,12 +267,13 @@ func NewCached(sizes []pcmax.Time, counts []int, T pcmax.Time, maxEntries int64,
 		t.NPrime += counts[i]
 	}
 	t.Sigma = sigma
-	configs, set, err := cache.configSet(t.Sizes, t.Counts, T, t.Stride, maxConfigs)
+	configs, set, sstats, err := cache.configSet(t.Sizes, t.Counts, T, t.Stride, maxConfigs, mode, sopts)
 	if err != nil {
 		return nil, err
 	}
 	t.Configs = configs
 	t.set = set
+	t.SparseStats = sstats
 	t.buildPacked()
 	t.Opt = make([]int32, sigma)
 	return t, nil

@@ -1,0 +1,113 @@
+package dp
+
+import (
+	"testing"
+
+	"repro/internal/conf"
+	"repro/pcmax"
+)
+
+// TestCacheKeysSeparateEnumModes guards the cache-poisoning hazard of the
+// sparse pipeline: the driver's certification re-fills the same
+// (sizes, counts, T) box faithfully right after sparse probes, so a shared
+// cache must never hand one mode the other mode's configuration set.
+func TestCacheKeysSeparateEnumModes(t *testing.T) {
+	cache := NewCache()
+	sizes := []pcmax.Time{6, 11}
+	counts := []int{2, 3}
+	sopts := conf.SparseOptions{MaxSupport: 1, KeepJobs: 1}
+
+	faithful, err := NewCached(sizes, counts, 30, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := NewSparse(sizes, counts, 30, 0, 0, cache, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigHits != 0 || st.ConfigMisses != 2 {
+		t.Fatalf("stats = %+v, want 0 hits / 2 misses (modes must not collide)", st)
+	}
+	if len(sparse.Configs) >= len(faithful.Configs) {
+		t.Fatalf("sparse set (%d) not smaller than faithful (%d) on a prunable box",
+			len(sparse.Configs), len(faithful.Configs))
+	}
+	if faithful.Mode != EnumFaithful || sparse.Mode != EnumSparse {
+		t.Fatalf("modes %v/%v", faithful.Mode, sparse.Mode)
+	}
+	if sparse.SparseStats.Retained != len(sparse.Configs) {
+		t.Fatalf("SparseStats.Retained %d != %d configs", sparse.SparseStats.Retained, len(sparse.Configs))
+	}
+	if faithful.SparseStats != (conf.SparseStats{}) {
+		t.Fatalf("faithful table carries sparse stats %+v", faithful.SparseStats)
+	}
+
+	// Same-mode rebuilds hit; different sparse parameters miss.
+	if _, err := NewSparse(sizes, counts, 30, 0, 0, cache, sopts); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigHits != 1 {
+		t.Fatalf("stats = %+v, want the same-parameter sparse rebuild to hit", st)
+	}
+	if _, err := NewSparse(sizes, counts, 30, 0, 0, cache,
+		conf.SparseOptions{MaxSupport: 2, KeepJobs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigMisses != 3 {
+		t.Fatalf("stats = %+v, want differing sparse parameters to miss", st)
+	}
+}
+
+// TestSparseTableStaysFeasible checks the retention floor end to end: a
+// sparse table's DP stays total (every reachable entry keeps a candidate) and
+// its reconstruction is a valid packing, even under an aggressive support
+// cap.
+func TestSparseTableStaysFeasible(t *testing.T) {
+	sizes := []pcmax.Time{5, 7, 9}
+	counts := []int{3, 2, 4}
+	ref, err := New(sizes, counts, 25, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.FillSequential()
+	refOpt, err := ref.OptValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tbl, err := NewSparse(sizes, counts, 25, 0, 0, nil, conf.SparseOptions{MaxSupport: 1, KeepJobs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.FillSequential()
+	opt, err := tbl.OptValue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt < refOpt {
+		t.Fatalf("sparse OPT %d below faithful %d (pruning can only raise it)", opt, refOpt)
+	}
+	machines, err := tbl.Reconstruct()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(machines) != int(opt) {
+		t.Fatalf("reconstruction used %d machines, OPT says %d", len(machines), opt)
+	}
+	total := make([]int32, len(counts))
+	for _, cfg := range machines {
+		var w pcmax.Time
+		for c, cnt := range cfg {
+			total[c] += cnt
+			w += pcmax.Time(cnt) * sizes[c]
+		}
+		if w > 25 {
+			t.Fatalf("machine exceeds capacity: %v", cfg)
+		}
+	}
+	for c := range counts {
+		if int(total[c]) != counts[c] {
+			t.Fatalf("class %d scheduled %d of %d jobs", c, total[c], counts[c])
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package lb
+
+import (
+	"repro/pcmax"
+)
+
+// FromLPT derives a lower bound on OPT from a finished LPT schedule, in the
+// spirit of "Longest Processing Time rule for identical parallel machines
+// revisited" (Della Croce–Scatamacchia): the LPT run itself is evidence
+// about the instance, and inverting LPT's approximation guarantees turns its
+// makespan W into bounds that are usually far tighter than equation (1)'s
+// max(ceil(sum/m), max_j t_j). Both bounds below are per-instance exact
+// consequences of Graham's LPT analysis:
+//
+//   - ratio inversion: W <= (4/3 - 1/(3m)) OPT always, so
+//     OPT >= ceil(3mW / (4m-1)). For m=1 this gives OPT >= W (LPT is
+//     optimal on one machine).
+//   - critical-machine refinement: let c be the number of jobs on a machine
+//     with load W. Its chronologically last job j* is its smallest (LPT
+//     assigns in non-increasing order), so t_{j*} <= W/c; and j* started at
+//     the then-least load, at most (sum - t_{j*})/m <= OPT - t_{j*}/m.
+//     Hence W <= OPT + t_{j*}(1 - 1/m) and OPT >= ceil(W(cm-m+1) / (cm)),
+//     which beats ratio inversion once the critical machine runs four or
+//     more jobs.
+//
+// The returned bound is the best over all critical machines, never negative.
+// Together with the upper bound OPT <= W this brackets the PTAS bisection:
+// core.Solve seeds its search with [max(eq(1), FromLPT), W] instead of
+// [eq(1), eq(2)], cutting probes for both the faithful and sparse variants.
+// sched must be a schedule produced by the LPT rule on in; the bound is not
+// valid for arbitrary schedules.
+func FromLPT(in *pcmax.Instance, sched *pcmax.Schedule) pcmax.Time {
+	if in == nil || sched == nil || in.M < 1 {
+		return 0
+	}
+	m := pcmax.Time(in.M)
+	loads := make([]pcmax.Time, in.M)
+	jobs := make([]pcmax.Time, in.M)
+	for j, mi := range sched.Assignment {
+		if mi < 0 || mi >= in.M || j >= len(in.Times) {
+			return 0 // not a complete schedule; no bound
+		}
+		loads[mi] += in.Times[j]
+		jobs[mi]++
+	}
+	var w pcmax.Time
+	for _, l := range loads {
+		if l > w {
+			w = l
+		}
+	}
+	if w == 0 {
+		return 0
+	}
+	// Ratio inversion: OPT >= ceil(3mW / (4m-1)).
+	best := ceilDiv(3*m*w, 4*m-1)
+	// Critical-machine refinement over every machine with load W.
+	for mi, l := range loads {
+		if l != w || jobs[mi] == 0 {
+			continue
+		}
+		c := jobs[mi]
+		if b := ceilDiv(w*(c*m-m+1), c*m); b > best {
+			best = b
+		}
+	}
+	return best
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0.
+func ceilDiv(a, b pcmax.Time) pcmax.Time {
+	return (a + b - 1) / b
+}

@@ -1,0 +1,82 @@
+package lb_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/exact"
+	"repro/internal/lb"
+	"repro/internal/listsched"
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+func TestFromLPTSingleMachine(t *testing.T) {
+	// One machine: LPT is optimal, and ratio inversion gives exactly W.
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{7, 3, 2}}
+	sched := listsched.LPT(in)
+	if got := lb.FromLPT(in, sched); got != 12 {
+		t.Fatalf("FromLPT(m=1) = %d, want 12", got)
+	}
+}
+
+func TestFromLPTGrahamTightExample(t *testing.T) {
+	// Graham's tight family for m=2: jobs {3,3,2,2,2}. OPT=6, LPT makespan
+	// W=7. Ratio inversion: ceil(3*2*7/7) = 6 — exactly OPT.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{3, 3, 2, 2, 2}}
+	sched := listsched.LPT(in)
+	if got := lb.FromLPT(in, sched); got != 6 {
+		t.Fatalf("FromLPT(Graham tight) = %d, want 6", got)
+	}
+}
+
+func TestFromLPTTightensTrivialBound(t *testing.T) {
+	// m=2, jobs {4,4,4}: trivial bound max(ceil(12/2),4) = 6; LPT gives
+	// W=8, c=2 on the critical machine, so the critical-machine bound is
+	// ceil(8*(2*2-2+1)/(2*2)) = 6 and ratio inversion ceil(48/7) = 7 wins.
+	// OPT is 8, so 7 is valid and strictly beats the trivial 6.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{4, 4, 4}}
+	sched := listsched.LPT(in)
+	got := lb.FromLPT(in, sched)
+	if got != 7 {
+		t.Fatalf("FromLPT = %d, want 7", got)
+	}
+	if trivial := lb.Trivial(in); got <= trivial {
+		t.Fatalf("FromLPT = %d does not tighten Trivial = %d", got, trivial)
+	}
+}
+
+func TestFromLPTIncompleteScheduleIsZero(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 5}}
+	sched := pcmax.NewSchedule(2, 2) // all unassigned
+	if got := lb.FromLPT(in, sched); got != 0 {
+		t.Fatalf("FromLPT(incomplete) = %d, want 0", got)
+	}
+}
+
+// TestFromLPTNeverExceedsOptimumProperty is the soundness property: the
+// bound derived from an LPT run never exceeds the certified optimum, and the
+// LPT makespan never falls below it (so [FromLPT, W] brackets OPT).
+func TestFromLPTNeverExceedsOptimumProperty(t *testing.T) {
+	f := func(seed uint64, mRaw, nRaw uint8) bool {
+		src := rng.New(seed)
+		m := int(mRaw%4) + 1
+		n := int(nRaw%10) + 1
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Int64n(50))
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		opt, err := exact.BruteForce(in)
+		if err != nil {
+			return false
+		}
+		optMS := opt.Makespan(in)
+		sched := listsched.LPT(in)
+		b := lb.FromLPT(in, sched)
+		return b <= optMS && sched.Makespan(in) >= optMS
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -51,9 +51,10 @@ type Algorithm interface {
 	Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Report, error)
 }
 
-// Registry maps algorithm names to implementations. All seven algorithms
-// are registered at init: "ls", "lpt", "multifit", "ptas", "exact", "ip"
-// and "sahni". Callers may add their own algorithms under fresh names.
+// Registry maps algorithm names to implementations. All eight algorithms
+// are registered at init: "ls", "lpt", "multifit", "ptas", "ptas-sparse",
+// "exact", "ip" and "sahni". Callers may add their own algorithms under
+// fresh names.
 var Registry = map[string]Algorithm{}
 
 // Register adds an algorithm to Registry; it panics on a duplicate name,
@@ -148,6 +149,13 @@ func init() {
 	}})
 	Register(algo{"ptas", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
 		sched, st, err := PTAS(ctx, in, ptasOptions(opts))
+		rep.PTAS = st
+		return sched, err
+	}})
+	Register(algo{"ptas-sparse", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+		popts := ptasOptions(opts)
+		popts.Sparsify = true
+		sched, st, err := PTAS(ctx, in, popts)
 		rep.PTAS = st
 		return sched, err
 	}})

@@ -146,6 +146,15 @@ type PTASOptions struct {
 	// guarantee robust for coarse epsilons under integer rounding; disable
 	// only for paper-faithful measurements.
 	NoLPTFallback bool
+	// Sparsify enables the sparsified DP pipeline (the "ptas-sparse"
+	// registry algorithm): geometric grouping of the rounded size classes
+	// plus a support-bounded, dominance-pruned configuration enumeration
+	// shrink every bisection probe's DP. The (1+eps) guarantee is preserved
+	// by construction-time verification: the driver certifies the converged
+	// target against the faithful enumeration and gate-checks the measured
+	// makespan, transparently re-solving faithfully when either fails
+	// (PTASStats.SparseCertified, PTASStats.SparseFallback).
+	Sparsify bool
 }
 
 // DefaultPTASOptions mirrors the paper's experimental configuration:
@@ -182,6 +191,23 @@ type PTASStats struct {
 	// Cache reports DP-cache traffic: how often the bisection reused
 	// configuration enumerations and level-bucket indexes across probes.
 	Cache dp.CacheStats
+
+	// Sparse-pipeline observability (PTASOptions.Sparsify / the ptas-sparse
+	// registry algorithm); all zero on faithful runs.
+
+	// ConfigsEnumerated counts the feasible configurations the sparse
+	// enumerator visited at the converged target (after grouping, before
+	// pruning); ConfigsAfterSparsification counts the ones it retained.
+	// Their ratio is the configuration-set reduction of the final table.
+	ConfigsEnumerated          int
+	ConfigsAfterSparsification int
+	// SparseCertified reports that the converged target was proven <= OPT
+	// (so the schedule carries the full (1+eps) guarantee); false only when
+	// the faithful verification table exceeded the entry budget.
+	SparseCertified bool
+	// SparseFallback reports that the sparse run failed verification and
+	// the result came from a transparent faithful re-solve.
+	SparseFallback bool
 }
 
 // PTAS runs the (1+eps)-approximation scheme, parallel when
@@ -204,6 +230,7 @@ func PTAS(ctx context.Context, in *pcmax.Instance, opts PTASOptions) (*pcmax.Sch
 		AutoFill:          opts.AdaptiveFill && !opts.PaperFaithful,
 		TimeLimit:         opts.TimeLimit,
 		LPTFallback:       !opts.NoLPTFallback,
+		Sparsify:          opts.Sparsify,
 	}
 	if opts.SpeculativeProbes > 1 {
 		copts.Workers = 1
