@@ -5,6 +5,13 @@
 // Usage:
 //
 //	instgen -family "U(1,100)" -m 20 -n 100 -seed 7 > instance.txt
+//	instgen -variant rw -m 4 -n 16 -seed 3 > restricted.txt
+//
+// -variant decorates the instance with optional model features: any
+// combination of r (per-job release times), s (machine-dependent setup
+// times) and w (per-machine availability windows). The decorated sections
+// are emitted as the text format's optional section lines; plain instances
+// are written exactly as before.
 package main
 
 import (
@@ -32,6 +39,12 @@ func run(args []string, stdout io.Writer) error {
 		n      = fs.Int("n", 50, "number of jobs (ignored with -lpt-adversarial)")
 		seed   = fs.Uint64("seed", 1, "RNG seed")
 		adv    = fs.Bool("lpt-adversarial", false, "emit the deterministic LPT worst-case instance for m machines (n=2m+1)")
+
+		variant  = fs.String("variant", "plain", `instance variant: "plain" or a combination of r (releases), s (setups), w (windows), e.g. "rs" or "w"`)
+		relSprd  = fs.Float64("release-spread", 0, "release-time range as a fraction of the balanced load sum(t)/m (0 = default 0.5)")
+		setupMax = fs.Int64("setup-max", 0, "maximum per-machine setup time (0 = a tenth of the family's upper bound)")
+		windows  = fs.Int("windows", 0, "availability windows per machine (0 = default 2)")
+		duty     = fs.Float64("window-duty", 0, "fraction of the horizon each machine is available, in (0,1] (0 = default 0.75)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: instgen [flags] > instance.txt")
@@ -45,11 +58,16 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("unexpected arguments %v", fs.Args())
 	}
 
-	var (
-		in  *pcmax.Instance
-		err error
-	)
+	v, err := pcmax.ParseVariant(*variant)
+	if err != nil {
+		return err
+	}
+
+	var in *pcmax.Instance
 	if *adv {
+		if v != pcmax.Plain {
+			return fmt.Errorf("-lpt-adversarial emits a plain instance; drop -variant %s", v.Letters())
+		}
 		in, err = workload.AdversarialLPT(*m)
 	} else {
 		var fam workload.Family
@@ -57,11 +75,19 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		in, err = workload.Generate(workload.Spec{Family: fam, M: *m, N: *n, Seed: *seed})
+		in, err = workload.GenerateVariant(workload.VariantSpec{
+			Spec:          workload.Spec{Family: fam, M: *m, N: *n, Seed: *seed},
+			Variant:       v,
+			ReleaseSpread: *relSprd,
+			SetupMax:      *setupMax,
+			WindowCount:   *windows,
+			WindowDuty:    *duty,
+		})
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(stdout, "# P||Cmax instance: family=%s m=%d n=%d seed=%d\n", *family, in.M, in.N(), *seed)
+	fmt.Fprintf(stdout, "# P||Cmax instance: family=%s m=%d n=%d seed=%d variant=%s\n",
+		*family, in.M, in.N(), *seed, in.Variant().Letters())
 	return pcmax.WriteText(stdout, in)
 }

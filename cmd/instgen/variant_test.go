@@ -1,0 +1,87 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/pcmax"
+)
+
+func genVariant(t *testing.T, args ...string) (*pcmax.Instance, string) {
+	t.Helper()
+	var out strings.Builder
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	in, err := pcmax.ReadText(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("output not parseable: %v\n%s", err, out.String())
+	}
+	return in, out.String()
+}
+
+func TestGenerateVariantRoundTrip(t *testing.T) {
+	cases := []struct {
+		letters string
+		want    pcmax.Variant
+	}{
+		{"r", pcmax.ReleaseTimes},
+		{"s", pcmax.SetupTimes},
+		{"w", pcmax.TimeRestricted},
+		{"rsw", pcmax.AllVariants},
+	}
+	for _, tc := range cases {
+		in, text := genVariant(t, "-variant", tc.letters, "-m", "3", "-n", "12", "-seed", "4")
+		if in.Variant() != tc.want {
+			t.Fatalf("-variant %s: parsed variant %v, want %v", tc.letters, in.Variant(), tc.want)
+		}
+		if !strings.Contains(text, "variant="+tc.letters) {
+			t.Fatalf("-variant %s: header missing variant tag:\n%s", tc.letters, text)
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("-variant %s: %v", tc.letters, err)
+		}
+	}
+}
+
+func TestGenerateVariantDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	args := []string{"-variant", "rsw", "-m", "3", "-n", "10", "-seed", "6"}
+	if err := run(args, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same variant spec, different output")
+	}
+}
+
+func TestGenerateVariantFlags(t *testing.T) {
+	in, _ := genVariant(t, "-variant", "sw", "-m", "2", "-n", "8", "-seed", "1",
+		"-setup-max", "3", "-windows", "3", "-window-duty", "0.5")
+	for i, s := range in.Setup {
+		if s < 0 || s > 3 {
+			t.Fatalf("setup[%d] = %d outside [0,3]", i, s)
+		}
+	}
+	for i, ws := range in.Windows {
+		if len(ws) != 3 {
+			t.Fatalf("machine %d has %d windows, want 3", i, len(ws))
+		}
+	}
+}
+
+func TestGenerateVariantBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-variant", "q"},
+		{"-variant", "r", "-lpt-adversarial"},
+		{"-variant", "w", "-window-duty", "2"},
+	}
+	for _, args := range cases {
+		if err := run(args, &strings.Builder{}); err == nil {
+			t.Errorf("accepted %v", args)
+		}
+	}
+}

@@ -7,11 +7,15 @@
 //	psched -algo ptas -eps 0.3 -workers 4 instance.txt
 //	psched -algo ptas -deadline 100ms instance.txt
 //
-// Algorithms are dispatched through the solver registry, so -algo accepts
-// every registered name (ls, lpt, multifit, ptas, exact, ip, sahni) plus
-// "all" for a comparison table. -deadline bounds the whole solve through
-// context cancellation; an interrupted solve prints the fallback schedule
-// when the algorithm provides one.
+// Algorithms are dispatched through the solver registry with variant
+// capability checking, so -algo accepts every registered name (ls, lpt,
+// multifit, ptas, ptas-sparse, exact, ip, sahni, ptas-tr, brute) plus "all"
+// for a comparison table and "auto" to pick the default algorithm for the
+// instance's variant (ptas on plain instances, ptas-tr on setup/window
+// instances, lpt otherwise). Selecting an algorithm that does not support
+// the instance's variant fails with a descriptive error. -deadline bounds
+// the whole solve through context cancellation; an interrupted solve prints
+// the fallback schedule when the algorithm provides one.
 //
 // The instance format is the one written by cmd/instgen:
 //
@@ -43,7 +47,7 @@ func main() {
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("psched", flag.ContinueOnError)
 	var (
-		algo     = fs.String("algo", "ptas", "algorithm name from the solver registry, or all (comparison table)")
+		algo     = fs.String("algo", "ptas", "algorithm name from the solver registry, all (comparison table), or auto (pick by instance variant)")
 		eps      = fs.Float64("eps", 0.3, "PTAS relative error")
 		workers  = fs.Int("workers", 0, "PTAS workers (0 = all cores, 1 = sequential)")
 		ratio    = fs.Bool("ratio", false, "also solve exactly and print the actual approximation ratio")
@@ -90,29 +94,40 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	opts.PTAS = solver.DefaultPTASOptions()
 	opts.PTAS.Epsilon = *eps
 	opts.PTAS.Workers = *workers
+	opts.TR = solver.TROptions{Epsilon: *eps}
 
 	if *algo == "all" {
 		return compareAll(ctx, stdout, in, opts)
 	}
-
-	alg, err := solver.Lookup(*algo)
-	if err != nil {
-		return err
+	name := *algo
+	if name == "auto" {
+		name = solver.DefaultAlgorithm(in.Variant())
+		fmt.Fprintf(stdout, "auto: instance variant %s, selected %s\n", in.Variant(), name)
 	}
-	sched, rep, err := alg.Solve(ctx, in, opts)
+
+	sched, rep, err := solver.Solve(ctx, name, in, opts)
 	if err != nil {
 		if !errors.Is(err, solver.ErrCanceled) || sched == nil {
 			return err
 		}
-		fmt.Fprintf(stdout, "%s: interrupted (%v), showing fallback schedule\n", *algo, err)
+		fmt.Fprintf(stdout, "%s: interrupted (%v), showing fallback schedule\n", name, err)
 	}
 	if rep.PTAS != nil && !rep.Interrupted {
 		st := rep.PTAS
 		fmt.Fprintf(stdout, "ptas: k=%d iterations=%d finalT=%d table=%d entries, %d configs\n",
 			st.K, st.Iterations, st.FinalT, st.TableEntries, st.Configs)
 	}
+	if rep.TR != nil && !rep.Interrupted {
+		st := rep.TR
+		mode := "grouped"
+		if st.Exact {
+			mode = "exact"
+		}
+		fmt.Fprintf(stdout, "ptas-tr: %s mode, iterations=%d finalT=%d classes=%d configs=%d states=%d\n",
+			mode, st.Iterations, st.FinalT, st.SizeClasses, st.Configs, st.States)
+	}
 	if rep.Exact != nil && !rep.Exact.Optimal {
-		fmt.Fprintf(stdout, "%s: limit reached, best incumbent shown (lower bound %d)\n", *algo, rep.Exact.LowerBound)
+		fmt.Fprintf(stdout, "%s: limit reached, best incumbent shown (lower bound %d)\n", name, rep.Exact.LowerBound)
 	}
 
 	if *asJSON {
@@ -121,24 +136,26 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 			Makespan  int64           `json:"makespan"`
 			Seconds   float64         `json:"seconds"`
 			Schedule  *pcmax.Schedule `json:"schedule"`
-		}{*algo, int64(sched.Makespan(in)), rep.Elapsed.Seconds(), sched}
+		}{name, int64(sched.Makespan(in)), rep.Elapsed.Seconds(), sched}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
 
-	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d max=%d (lower bound %d)\n",
-		in.M, in.N(), in.TotalTime(), in.MaxTime(), in.LowerBound())
-	fmt.Fprintf(stdout, "%s makespan: %d (%.3fms)\n", *algo, sched.Makespan(in), rep.Elapsed.Seconds()*1000)
+	if v := in.Variant(); v == pcmax.Plain {
+		fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d max=%d (lower bound %d)\n",
+			in.M, in.N(), in.TotalTime(), in.MaxTime(), in.LowerBound())
+	} else {
+		fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d max=%d variant=%s (lower bound %d)\n",
+			in.M, in.N(), in.TotalTime(), in.MaxTime(), v, in.LowerBound())
+	}
+	fmt.Fprintf(stdout, "%s makespan: %d (%.3fms)\n", name, sched.Makespan(in), rep.Elapsed.Seconds()*1000)
 	if *gantt {
 		fmt.Fprint(stdout, sched.Gantt(in))
 	}
 	if *ratio {
-		exactAlg, err := solver.Lookup("exact")
-		if err != nil {
-			return err
-		}
-		_, exRep, err := exactAlg.Solve(ctx, in, opts)
+		refName := referenceAlgorithm(in)
+		_, exRep, err := solver.Solve(ctx, refName, in, opts)
 		if err != nil && !errors.Is(err, solver.ErrCanceled) {
 			return err
 		}
@@ -146,59 +163,74 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if exRep.Exact == nil || !exRep.Exact.Optimal {
 			qual = "best known (limit reached)"
 		}
-		fmt.Fprintf(stdout, "exact makespan: %d (%s), actual ratio %.4f\n",
-			exRep.Exact.Makespan, qual, sched.Ratio(in, exRep.Exact.Makespan))
+		fmt.Fprintf(stdout, "%s makespan: %d (%s), actual ratio %.4f\n",
+			refName, exRep.Exact.Makespan, qual, sched.Ratio(in, exRep.Exact.Makespan))
 	}
 	return nil
 }
 
-// compareAll runs every registered algorithm on the instance and prints one
-// comparison row per algorithm, with ratios against the exact makespan.
-// Algorithms that fail (e.g. sahni beyond its machine budget) or run into
-// the deadline are logged as such instead of aborting the table.
-func compareAll(ctx context.Context, stdout io.Writer, in *pcmax.Instance, opts solver.Options) error {
-	exactAlg, err := solver.Lookup("exact")
-	if err != nil {
-		return err
+// referenceAlgorithm picks the certified-optimal reference for ratio
+// reporting: the branch-and-bound on plain instances, the exhaustive variant
+// solver otherwise (it is the only certified optimum for release/setup/window
+// instances; it caps n, so ratio tables for large variant instances fail with
+// its descriptive error).
+func referenceAlgorithm(in *pcmax.Instance) string {
+	if in.Variant() == pcmax.Plain {
+		return "exact"
 	}
-	exactSched, res, err := exactAlg.Solve(ctx, in, opts)
+	return "brute"
+}
+
+// compareAll runs every registered algorithm on the instance and prints one
+// comparison row per algorithm, with ratios against the reference optimum
+// (the branch-and-bound on plain instances, the exhaustive variant solver
+// otherwise). Algorithms that fail (e.g. sahni beyond its machine budget),
+// don't support the instance's variant, or run into the deadline are logged
+// as such instead of aborting the table.
+func compareAll(ctx context.Context, stdout io.Writer, in *pcmax.Instance, opts solver.Options) error {
+	refName := referenceAlgorithm(in)
+	refSched, res, err := solver.Solve(ctx, refName, in, opts)
 	if err != nil && !errors.Is(err, solver.ErrCanceled) {
 		return err
 	}
-	if exactSched == nil {
-		return fmt.Errorf("exact reference unavailable: %w", err)
+	if refSched == nil {
+		return fmt.Errorf("%s reference unavailable: %w", refName, err)
 	}
 	opt := res.Exact.Makespan
 	qual := "optimal"
 	if !res.Exact.Optimal {
 		qual = "best known (limit reached)"
 	}
-	fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d lower-bound=%d\n", in.M, in.N(), in.TotalTime(), in.LowerBound())
-	fmt.Fprintf(stdout, "reference: exact makespan %d (%s)\n\n", opt, qual)
-	fmt.Fprintf(stdout, "%-10s %-10s %-8s %-12s\n", "algorithm", "makespan", "ratio", "time")
+	if v := in.Variant(); v == pcmax.Plain {
+		fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d lower-bound=%d\n", in.M, in.N(), in.TotalTime(), in.LowerBound())
+	} else {
+		fmt.Fprintf(stdout, "instance: m=%d n=%d sum=%d lower-bound=%d variant=%s\n",
+			in.M, in.N(), in.TotalTime(), in.LowerBound(), v)
+	}
+	fmt.Fprintf(stdout, "reference: %s makespan %d (%s)\n\n", refName, opt, qual)
+	fmt.Fprintf(stdout, "%-11s %-10s %-8s %-12s\n", "algorithm", "makespan", "ratio", "time")
 
 	for _, name := range solver.Names() {
-		alg, err := solver.Lookup(name)
-		if err != nil {
-			return err
-		}
 		var (
 			sched *pcmax.Schedule
 			rep   solver.Report
+			err   error
 		)
-		if name == "exact" {
-			sched, rep = exactSched, res // don't pay the reference solve twice
+		if name == refName {
+			sched, rep = refSched, res // don't pay the reference solve twice
 		} else {
-			sched, rep, err = alg.Solve(ctx, in, opts)
+			sched, rep, err = solver.Solve(ctx, name, in, opts)
 		}
 		switch {
+		case errors.Is(err, solver.ErrUnsupportedVariant):
+			fmt.Fprintf(stdout, "%-11s %-10s %-8s unsupported variant %s\n", name, "-", "-", in.Variant())
 		case err != nil && errors.Is(err, solver.ErrCanceled) && sched != nil:
-			fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s (interrupted, fallback)\n",
+			fmt.Fprintf(stdout, "%-11s %-10d %-8.4f %-12s (interrupted, fallback)\n",
 				name, sched.Makespan(in), sched.Ratio(in, opt), rep.Elapsed.Round(time.Microsecond))
 		case err != nil:
-			fmt.Fprintf(stdout, "%-10s %-10s %-8s %v\n", name, "-", "-", err)
+			fmt.Fprintf(stdout, "%-11s %-10s %-8s %v\n", name, "-", "-", err)
 		default:
-			fmt.Fprintf(stdout, "%-10s %-10d %-8.4f %-12s\n",
+			fmt.Fprintf(stdout, "%-11s %-10d %-8.4f %-12s\n",
 				name, sched.Makespan(in), sched.Ratio(in, opt), rep.Elapsed.Round(time.Microsecond))
 		}
 	}

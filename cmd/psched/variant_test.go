@@ -1,0 +1,80 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A setup+windows instance: two machines, setups 1 and 0, machine 1
+// restricted to [0,20) and [30,90).
+const variantText = "m 2\nvariant sw\ns 1 0\nw 0 0 100\nw 1 0 20 30 90\n5 3 7 2 6\n"
+
+func TestRunVariantAuto(t *testing.T) {
+	path := writeInstance(t, variantText)
+	var out strings.Builder
+	if err := run([]string{"-algo", "auto", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "auto: instance variant setup+windows, selected ptas-tr") {
+		t.Fatalf("missing auto selection line:\n%s", s)
+	}
+	if !strings.Contains(s, "ptas-tr makespan:") {
+		t.Fatalf("missing makespan line:\n%s", s)
+	}
+	if !strings.Contains(s, "ptas-tr: exact mode") {
+		t.Fatalf("missing TR stats line:\n%s", s)
+	}
+}
+
+func TestRunVariantUnsupportedAlgo(t *testing.T) {
+	path := writeInstance(t, variantText)
+	var out strings.Builder
+	err := run([]string{"-algo", "ptas", path}, nil, &out)
+	if err == nil || !strings.Contains(err.Error(), "supports only") {
+		t.Fatalf("want variant error, got %v", err)
+	}
+}
+
+func TestRunVariantRatioUsesBrute(t *testing.T) {
+	path := writeInstance(t, variantText)
+	var out strings.Builder
+	if err := run([]string{"-algo", "lpt", "-ratio", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "variant=setup+windows") {
+		t.Fatalf("instance line missing variant:\n%s", s)
+	}
+	if !strings.Contains(s, "ratio") {
+		t.Fatalf("missing ratio line:\n%s", s)
+	}
+}
+
+func TestRunVariantCompareAll(t *testing.T) {
+	path := writeInstance(t, variantText)
+	var out strings.Builder
+	if err := run([]string{"-algo", "all", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "unsupported variant setup+windows") {
+		t.Fatalf("comparison table missing unsupported rows:\n%s", s)
+	}
+	for _, name := range []string{"ls", "lpt", "ptas-tr"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("comparison table missing %s:\n%s", name, s)
+		}
+	}
+}
+
+func TestRunVariantGantt(t *testing.T) {
+	path := writeInstance(t, variantText)
+	var out strings.Builder
+	if err := run([]string{"-algo", "lpt", "-gantt", path}, nil, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "makespan") {
+		t.Fatalf("missing gantt output:\n%s", out.String())
+	}
+}

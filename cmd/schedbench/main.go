@@ -57,7 +57,7 @@ func run(args []string) error {
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|dp|all}")
+		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|dp|variants|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -185,6 +185,12 @@ func run(args []string) error {
 		})
 	case "hard":
 		res, err := cfg.RunHard(ctx, nil, 0)
+		if err != nil {
+			return err
+		}
+		return res.Render(cfg)
+	case "variants":
+		res, err := cfg.RunVariants(ctx, 3, 10)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,288 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/cancel"
+	"repro/internal/listsched"
+	"repro/pcmax"
+)
+
+// Brute-force optima for the variant instance model. The branch-and-bound
+// solvers in this package assume plain P||Cmax semantics (a machine's
+// completion is its load); under release times, setup times or availability
+// windows that no longer holds, so variant instances get a small exhaustive
+// solver instead: depth-first search over job-to-machine assignments, with
+// the per-machine minimal completion time computed by a subset dynamic
+// program that is exact for every variant combination.
+//
+// The subset DP rests on the observation that a machine's minimal completion
+// for a job set S only depends on S: C(S) = min over j in S of
+// step(C(S \ {j}), j), where step places j at the machine's earliest
+// feasible start (release, setup and windows included) after the prefix
+// completes. step is monotone in its first argument, so the recurrence is
+// exact; memoizing it over (machine, subset) makes every assignment's
+// evaluation incremental.
+//
+// This is deliberately a small-instance tool: it exists to certify optima in
+// guarantee tests for the variant solvers, the way the plain branch-and-bound
+// certifies the PTAS. BruteForceMaxJobs bounds n.
+
+// BruteForceMaxJobs bounds the exhaustive variant solver; the subset DP
+// holds m*2^n states.
+const BruteForceMaxJobs = 16
+
+// ErrTooLarge reports an instance beyond the brute-force budget.
+var ErrTooLarge = errors.New("exact: instance too large for the brute-force variant solver")
+
+// ErrInfeasibleInstance reports that no assignment of some job can ever
+// complete under the instance's availability windows.
+var ErrInfeasibleInstance = errors.New("exact: no feasible schedule exists for the instance")
+
+// BruteForceVariant computes a certified-optimal schedule for any instance variant
+// (plain, release times, setup times, availability windows, or any
+// combination) by exhaustive search over assignments with memoized
+// per-machine completion DPs. It errors beyond BruteForceMaxJobs jobs. The
+// returned schedule carries an explicit Order realizing the optimal
+// per-machine sequences.
+func BruteForceVariant(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, Result, error) {
+	var res Result
+	if err := in.Validate(); err != nil {
+		return nil, res, err
+	}
+	n := in.N()
+	if n > BruteForceMaxJobs {
+		return nil, res, fmt.Errorf("%w (n=%d, limit %d)", ErrTooLarge, n, BruteForceMaxJobs)
+	}
+	if err := cancel.Check(ctx); err != nil {
+		return nil, res, err
+	}
+
+	// Memoized per-machine completion DP over job subsets. comp[mi] maps a
+	// subset mask to the machine's minimal completion time (Infeasible when
+	// some job fits no window).
+	comp := make([]map[uint32]pcmax.Time, in.M)
+	for mi := range comp {
+		comp[mi] = map[uint32]pcmax.Time{0: 0}
+	}
+	var minDone func(mi int, mask uint32) pcmax.Time
+	minDone = func(mi int, mask uint32) pcmax.Time {
+		if c, ok := comp[mi][mask]; ok {
+			return c
+		}
+		best := pcmax.Infeasible
+		setup := in.SetupTime(mi)
+		for j := 0; j < n; j++ {
+			bit := uint32(1) << j
+			if mask&bit == 0 {
+				continue
+			}
+			prev := minDone(mi, mask&^bit)
+			if prev == pcmax.Infeasible {
+				continue
+			}
+			est := prev
+			if r := in.ReleaseTime(j); r > est {
+				est = r
+			}
+			dur := setup + in.Times[j]
+			start, ok := in.EarliestStart(mi, est, dur)
+			if !ok {
+				continue
+			}
+			if done := start + dur; done < best {
+				best = done
+			}
+		}
+		comp[mi][mask] = best
+		return best
+	}
+
+	// Upper bound from the generalized greedy when it succeeds.
+	incumbent := pcmax.Infeasible
+	if lpt, err := listsched.LPTGeneral(in); err == nil {
+		if ms := lpt.Makespan(in); ms < incumbent {
+			incumbent = ms
+		}
+	}
+
+	// DFS over jobs in non-increasing size order (big jobs prune earlier).
+	order := in.SortedIndex()
+	assign := make([]int, n)
+	bestAssign := make([]int, n)
+	masks := make([]uint32, in.M)
+	found := false
+	bestMS := incumbent
+	var nodes int64
+	var dfs func(k int, curMax pcmax.Time) error
+	dfs = func(k int, curMax pcmax.Time) error {
+		nodes++
+		if nodes&1023 == 0 {
+			if err := cancel.Check(ctx); err != nil {
+				return err
+			}
+		}
+		if curMax >= bestMS {
+			return nil // a completed machine already matches the incumbent
+		}
+		if k == n {
+			bestMS = curMax
+			copy(bestAssign, assign)
+			found = true
+			return nil
+		}
+		j := order[k]
+		for mi := 0; mi < in.M; mi++ {
+			if masks[mi] == 0 {
+				// Empty machines with the same setup and windows are
+				// interchangeable; open only the lowest-indexed one of each
+				// signature.
+				interchangeable := false
+				for i := 0; i < mi; i++ {
+					if masks[i] == 0 && sameMachine(in, i, mi) {
+						interchangeable = true
+						break
+					}
+				}
+				if interchangeable {
+					continue
+				}
+			}
+			bit := uint32(1) << j
+			masks[mi] |= bit
+			done := minDone(mi, masks[mi])
+			assign[j] = mi
+			next := curMax
+			if done > next {
+				next = done
+			}
+			if done != pcmax.Infeasible {
+				if err := dfs(k+1, next); err != nil {
+					return err
+				}
+			}
+			masks[mi] &^= bit
+		}
+		return nil
+	}
+	if err := dfs(0, 0); err != nil {
+		return nil, res, err
+	}
+	if !found && incumbent == pcmax.Infeasible {
+		return nil, res, ErrInfeasibleInstance
+	}
+
+	sched := pcmax.NewSchedule(in.M, n)
+	if found {
+		copy(sched.Assignment, bestAssign)
+	} else {
+		// The DFS could not beat the greedy incumbent; re-derive it.
+		lpt, err := listsched.LPTGeneral(in)
+		if err != nil {
+			return nil, res, ErrInfeasibleInstance
+		}
+		sched = lpt
+	}
+	sched.Order = optimalOrder(in, sched, minDone)
+	res.Makespan = sched.Makespan(in)
+	res.Optimal = true
+	res.Nodes = nodes
+	res.LowerBound = res.Makespan
+	return sched, res, nil
+}
+
+// sameMachine supports the empty-machine symmetry pruning: two machines are
+// interchangeable when they share setup and windows.
+func sameMachine(in *pcmax.Instance, a, b int) bool {
+	if a == b {
+		return true
+	}
+	if in.SetupTime(a) != in.SetupTime(b) {
+		return false
+	}
+	var wa, wb []pcmax.Window
+	if a < len(in.Windows) {
+		wa = in.Windows[a]
+	}
+	if b < len(in.Windows) {
+		wb = in.Windows[b]
+	}
+	if len(wa) != len(wb) {
+		return false
+	}
+	for i := range wa {
+		if wa[i] != wb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// optimalOrder recovers, per machine, a job sequence achieving the memoized
+// minimal completion, and concatenates the sequences machine by machine into
+// a global Order.
+func optimalOrder(in *pcmax.Instance, sched *pcmax.Schedule, minDone func(int, uint32) pcmax.Time) []int {
+	n := len(sched.Assignment)
+	orderOut := make([]int, 0, n)
+	for mi := 0; mi < sched.M; mi++ {
+		var mask uint32
+		for j, a := range sched.Assignment {
+			if a == mi {
+				mask |= uint32(1) << j
+			}
+		}
+		// Peel jobs off the back: j can be last iff completing the rest and
+		// then j reproduces the subset's minimal completion.
+		var rev []int
+		for mask != 0 {
+			target := minDone(mi, mask)
+			setup := in.SetupTime(mi)
+			picked := -1
+			for j := 0; j < n; j++ {
+				bit := uint32(1) << j
+				if mask&bit == 0 {
+					continue
+				}
+				prev := minDone(mi, mask&^bit)
+				if prev == pcmax.Infeasible {
+					continue
+				}
+				est := prev
+				if r := in.ReleaseTime(j); r > est {
+					est = r
+				}
+				start, ok := in.EarliestStart(mi, est, setup+in.Times[j])
+				if ok && start+setup+in.Times[j] == target {
+					picked = j
+					break
+				}
+			}
+			if picked < 0 {
+				// Defensive: fall back to canonical order for this machine.
+				rev = rev[:0]
+				for j := n - 1; j >= 0; j-- {
+					if mask&(uint32(1)<<j) != 0 {
+						rev = append(rev, j)
+					}
+				}
+				sort.SliceStable(rev, func(a, b int) bool {
+					ra, rb := in.ReleaseTime(rev[a]), in.ReleaseTime(rev[b])
+					if ra != rb {
+						return ra > rb
+					}
+					return rev[a] > rev[b]
+				})
+				break
+			}
+			rev = append(rev, picked)
+			mask &^= uint32(1) << picked
+		}
+		for i := len(rev) - 1; i >= 0; i-- {
+			orderOut = append(orderOut, rev[i])
+		}
+	}
+	return orderOut
+}

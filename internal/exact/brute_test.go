@@ -1,0 +1,140 @@
+package exact
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/listsched"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func TestBruteForceVariantMatchesPlainOracle(t *testing.T) {
+	for seed := uint64(1); seed <= 6; seed++ {
+		in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 3, N: 9, Seed: seed})
+		plain, err := BruteForce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, res, err := BruteForceVariant(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := sched.Makespan(in), plain.Makespan(in); got != want {
+			t.Fatalf("seed %d: variant brute %d, plain brute %d", seed, got, want)
+		}
+		if res.Makespan != sched.Makespan(in) || !res.Optimal {
+			t.Fatalf("seed %d: result %+v inconsistent with schedule", seed, res)
+		}
+		if err := sched.Validate(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBruteForceVariantWindowsHandInstance(t *testing.T) {
+	// Two identical machines, each available [0,5) and [10,14). Jobs
+	// 4,4,3,3: no first window holds two jobs (smallest pair 3+3=6 > 5), so
+	// at most two jobs finish by t=5 and the other two must run in the
+	// second window, finishing at 13 or 14. Optimum: each machine runs a 4
+	// in [0,4) and a 3 in [10,13) — makespan 13.
+	ws := []pcmax.Window{{Start: 0, End: 5}, {Start: 10, End: 14}}
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{4, 4, 3, 3},
+		Windows: [][]pcmax.Window{ws, ws}}
+	sched, res, err := BruteForceVariant(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 13 {
+		t.Fatalf("makespan %d, want 13", res.Makespan)
+	}
+	if err := sched.Feasible(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBruteForceVariantReleaseHandInstance(t *testing.T) {
+	// One machine, jobs 5 and 5 released at 0 and 8: optimum 13 no matter
+	// the order the DP picks.
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{5, 5}, Release: []pcmax.Time{0, 8}}
+	_, res, err := BruteForceVariant(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 13 {
+		t.Fatalf("makespan %d, want 13", res.Makespan)
+	}
+}
+
+func TestBruteForceVariantSetupAsymmetry(t *testing.T) {
+	// Machine 0 pays setup 10 per job, machine 1 pays 0: everything should
+	// go to machine 1 (2+3+4 = 9 < 12 = cheapest single job on machine 0).
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{2, 3, 4}, Setup: []pcmax.Time{10, 0}}
+	sched, res, err := BruteForceVariant(context.Background(), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan != 9 {
+		t.Fatalf("makespan %d, want 9", res.Makespan)
+	}
+	for j, mi := range sched.Assignment {
+		if mi != 1 {
+			t.Fatalf("job %d on machine %d, want 1", j, mi)
+		}
+	}
+}
+
+func TestBruteForceVariantNeverWorseThanGreedy(t *testing.T) {
+	for _, v := range []pcmax.Variant{pcmax.SetupTimes, pcmax.TimeRestricted,
+		pcmax.ReleaseTimes | pcmax.SetupTimes | pcmax.TimeRestricted} {
+		for seed := uint64(1); seed <= 4; seed++ {
+			in := workload.MustGenerateVariant(workload.VariantSpec{
+				Spec:    workload.Spec{Family: workload.U1_10, M: 3, N: 8, Seed: seed},
+				Variant: v,
+			})
+			sched, res, err := BruteForceVariant(context.Background(), in)
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", v, seed, err)
+			}
+			if err := sched.Feasible(in); err != nil {
+				t.Fatalf("%v seed %d: optimal schedule infeasible: %v", v, seed, err)
+			}
+			lpt, err := listsched.LPTGeneral(in)
+			if err != nil {
+				t.Fatalf("%v seed %d: greedy failed on feasible-by-construction instance: %v", v, seed, err)
+			}
+			if res.Makespan > lpt.Makespan(in) {
+				t.Fatalf("%v seed %d: brute %d worse than LPT %d", v, seed, res.Makespan, lpt.Makespan(in))
+			}
+		}
+	}
+}
+
+func TestBruteForceVariantInfeasible(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{7},
+		Windows: [][]pcmax.Window{{{Start: 0, End: 5}}}}
+	if _, _, err := BruteForceVariant(context.Background(), in); !errors.Is(err, ErrInfeasibleInstance) {
+		t.Fatalf("want ErrInfeasibleInstance, got %v", err)
+	}
+}
+
+func TestBruteForceVariantTooLarge(t *testing.T) {
+	times := make([]pcmax.Time, BruteForceMaxJobs+1)
+	for j := range times {
+		times[j] = 1
+	}
+	in := &pcmax.Instance{M: 2, Times: times}
+	if _, _, err := BruteForceVariant(context.Background(), in); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("want ErrTooLarge, got %v", err)
+	}
+}
+
+func TestBruteForceVariantCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 4, N: 14, Seed: 1})
+	if _, _, err := BruteForceVariant(ctx, in); err == nil {
+		t.Fatal("want cancellation error")
+	}
+}

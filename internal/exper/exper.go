@@ -100,18 +100,16 @@ func (cfg *Config) algoCtx(ctx context.Context) (context.Context, context.Cancel
 }
 
 // runAlgo dispatches one algorithm through the solver registry under the
-// per-algorithm timeout. A timed-out cell is logged to stderr; the caller
-// still receives the fallback/incumbent schedule (when the algorithm
-// provides one) next to the ErrCanceled-matching error and decides whether
-// the cell is usable.
+// per-algorithm timeout, with variant capability checking (an instance using
+// features the algorithm does not support fails fast with a typed error —
+// see solver.Solve). A timed-out cell is logged to stderr; the caller still
+// receives the fallback/incumbent schedule (when the algorithm provides one)
+// next to the ErrCanceled-matching error and decides whether the cell is
+// usable.
 func (cfg *Config) runAlgo(ctx context.Context, name string, in *pcmax.Instance, opts solver.Options) (*pcmax.Schedule, solver.Report, error) {
-	alg, err := solver.Lookup(name)
-	if err != nil {
-		return nil, solver.Report{}, err
-	}
 	ctx, cancel := cfg.algoCtx(ctx)
 	defer cancel()
-	sched, rep, err := alg.Solve(ctx, in, opts)
+	sched, rep, err := solver.Solve(ctx, name, in, opts)
 	if err != nil && errors.Is(err, solver.ErrCanceled) {
 		fmt.Fprintf(os.Stderr, "exper: %s timed out after %v on m=%d n=%d\n",
 			name, cfg.AlgoTimeout, in.M, in.N())

@@ -1,0 +1,163 @@
+package exper
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+// The variants experiment measures the registry's variant-capable solvers
+// against certified optima on the decorated instance families: for each
+// (variant, family) cell it generates small instances, certifies the optimum
+// with the exhaustive variant solver, and reports each algorithm's mean
+// actual ratio. Algorithms whose capability set does not cover a variant are
+// reported as skipped, demonstrating the typed-dispatch path rather than
+// erroring out.
+
+// VariantAlgos are the algorithms compared by RunVariants; "brute" is the
+// reference and not repeated as a column.
+var VariantAlgos = []string{"ls", "lpt", "ptas-tr", "ptas"}
+
+// VariantGrid lists the variants RunVariants evaluates: each single feature
+// plus the full combination.
+var VariantGrid = []pcmax.Variant{
+	pcmax.ReleaseTimes,
+	pcmax.SetupTimes,
+	pcmax.TimeRestricted,
+	pcmax.ReleaseTimes | pcmax.SetupTimes | pcmax.TimeRestricted,
+}
+
+// VariantCell is one (variant, family) row of the experiment.
+type VariantCell struct {
+	Variant pcmax.Variant
+	Fam     workload.Family
+	M, N    int
+	// MeanOpt is the mean certified-optimal makespan over the repetitions.
+	MeanOpt float64
+	// Ratios maps algorithm name to its mean actual ratio against the
+	// certified optimum; an algorithm skipped for this variant is absent.
+	Ratios map[string]float64
+	// Skipped lists the algorithms whose capability sets exclude the
+	// variant.
+	Skipped []string
+}
+
+// VariantResult aggregates the experiment.
+type VariantResult struct {
+	M, N  int
+	Cells []VariantCell
+}
+
+// variantFamilies is the family subset the experiment decorates; small
+// processing-time scales keep the exhaustive reference fast.
+var variantFamilies = []workload.Family{workload.U1_10, workload.U1_100, workload.Um_2m1}
+
+// RunVariants evaluates the variant-capable algorithms on decorated
+// instances. The shapes are deliberately small (the reference optimum is
+// exhaustive); the experiment is about correctness ratios and dispatch, not
+// scale.
+func (cfg Config) RunVariants(ctx context.Context, m, n int) (*VariantResult, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &VariantResult{M: m, N: n}
+	for _, v := range VariantGrid {
+		for _, fam := range variantFamilies {
+			nn := n
+			if fam == workload.Um_2m1 {
+				nn = 2*m + 1
+			}
+			cell, err := cfg.runVariantCell(ctx, v, fam, m, nn)
+			if err != nil {
+				return nil, err
+			}
+			res.Cells = append(res.Cells, *cell)
+		}
+	}
+	return res, nil
+}
+
+func (cfg Config) runVariantCell(ctx context.Context, v pcmax.Variant, fam workload.Family, m, n int) (*VariantCell, error) {
+	cell := &VariantCell{Variant: v, Fam: fam, M: m, N: n, Ratios: map[string]float64{}}
+	sums := map[string]float64{}
+	counts := map[string]int{}
+	skipped := map[string]bool{}
+	var optSum float64
+
+	for rep := 0; rep < cfg.Reps; rep++ {
+		spec := workload.VariantSpec{Spec: cfg.specFor(fam, m, n, rep), Variant: v}
+		in, err := workload.GenerateVariant(spec)
+		if err != nil {
+			return nil, err
+		}
+		if got := in.Variant(); got&^v != 0 {
+			return nil, fmt.Errorf("exper: generated variant %s outside requested %s", got, v)
+		}
+
+		refSched, _, err := cfg.runAlgo(ctx, "brute", in, solver.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("exper: variant reference failed: %w", err)
+		}
+		opt := refSched.Makespan(in)
+		optSum += float64(opt)
+
+		for _, name := range VariantAlgos {
+			opts := solver.Options{TR: solver.TROptions{Epsilon: cfg.Epsilon}}
+			sched, _, err := cfg.runAlgo(ctx, name, in, opts)
+			if errors.Is(err, solver.ErrUnsupportedVariant) {
+				skipped[name] = true
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("exper: %s on %s %v: %w", name, v, fam, err)
+			}
+			sums[name] += float64(sched.Makespan(in)) / float64(opt)
+			counts[name]++
+		}
+	}
+
+	cell.MeanOpt = optSum / float64(cfg.Reps)
+	for name, s := range sums {
+		cell.Ratios[name] = s / float64(counts[name])
+	}
+	for _, name := range VariantAlgos {
+		if skipped[name] {
+			cell.Skipped = append(cell.Skipped, name)
+		}
+	}
+	return cell, nil
+}
+
+// Render prints the variant comparison table.
+func (r *VariantResult) Render(cfg Config) error {
+	cols := append([]string{"variant", "family", "m", "n", "mean opt"}, VariantAlgos...)
+	tbl := stats.NewTable(
+		fmt.Sprintf("Variant solvers vs certified optima (%d instances per cell, exhaustive reference)", cfg.Reps),
+		cols...)
+	for _, c := range r.Cells {
+		row := []string{
+			c.Variant.Letters(),
+			c.Fam.String(),
+			fmt.Sprintf("%d", c.M),
+			fmt.Sprintf("%d", c.N),
+			stats.FmtFloat(c.MeanOpt, 1),
+		}
+		for _, name := range VariantAlgos {
+			if ratio, ok := c.Ratios[name]; ok {
+				row = append(row, stats.FmtFloat(ratio, 4))
+			} else {
+				row = append(row, "unsupported")
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	if cfg.CSV {
+		return tbl.RenderCSV(cfg.out())
+	}
+	return tbl.Render(cfg.out())
+}

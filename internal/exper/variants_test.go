@@ -1,0 +1,60 @@
+package exper
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/pcmax"
+)
+
+func TestRunVariantsSmall(t *testing.T) {
+	var out bytes.Buffer
+	cfg := tinyConfig(&out)
+	res, err := cfg.RunVariants(context.Background(), 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(VariantGrid)*len(variantFamilies) {
+		t.Fatalf("cell count %d, want %d", len(res.Cells), len(VariantGrid)*len(variantFamilies))
+	}
+	for _, cell := range res.Cells {
+		if cell.MeanOpt <= 0 {
+			t.Fatalf("%v/%v: non-positive mean optimum", cell.Variant, cell.Fam)
+		}
+		for name, ratio := range cell.Ratios {
+			if ratio < 1-1e-9 {
+				t.Fatalf("%v/%v: %s ratio %v below 1 — beat a certified optimum", cell.Variant, cell.Fam, name, ratio)
+			}
+		}
+		// ptas is plain-only, so every decorated cell must skip it.
+		found := false
+		for _, s := range cell.Skipped {
+			if s == "ptas" {
+				found = true
+			}
+			if _, ok := cell.Ratios[s]; ok {
+				t.Fatalf("%v/%v: %s both skipped and scored", cell.Variant, cell.Fam, s)
+			}
+		}
+		if !found {
+			t.Fatalf("%v/%v: ptas not skipped on a decorated variant", cell.Variant, cell.Fam)
+		}
+		// ptas-tr certifies the optimum on its supported variants.
+		if cell.Variant&^(pcmax.SetupTimes|pcmax.TimeRestricted) == 0 {
+			if r, ok := cell.Ratios["ptas-tr"]; !ok || r > 1+1e-9 {
+				t.Fatalf("%v/%v: ptas-tr ratio %v (present %v), want 1.0", cell.Variant, cell.Fam, r, ok)
+			}
+		}
+	}
+	if err := res.Render(cfg); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"variant", "unsupported", "ptas-tr", "lpt"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("render missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package trsched
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/listsched"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+func solveOK(t *testing.T, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Stats) {
+	t.Helper()
+	sched, st, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(in); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if err := sched.Feasible(in); err != nil {
+		t.Fatalf("infeasible schedule: %v", err)
+	}
+	return sched, st
+}
+
+func TestSolveWindowsHandInstance(t *testing.T) {
+	// See the brute-force twin: optimum 13 (one 4 per machine in [0,4), one
+	// 3 per machine in [10,13)). Four distinct-size values, so exact mode.
+	ws := []pcmax.Window{{Start: 0, End: 5}, {Start: 10, End: 14}}
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{4, 4, 3, 3},
+		Windows: [][]pcmax.Window{ws, ws}}
+	sched, st := solveOK(t, in, Options{Epsilon: 0.3})
+	if !st.Exact {
+		t.Fatalf("expected exact mode, got %+v", st)
+	}
+	if ms := sched.Makespan(in); ms != 13 {
+		t.Fatalf("makespan %d, want 13", ms)
+	}
+	if st.FinalT != 13 {
+		t.Fatalf("FinalT %d, want 13", st.FinalT)
+	}
+}
+
+func TestSolvePlainDegeneratesToOptimal(t *testing.T) {
+	// A plain instance is within the capability set; exact mode must
+	// converge to the certified plain optimum.
+	for seed := uint64(1); seed <= 4; seed++ {
+		in := workload.MustGenerate(workload.Spec{Family: workload.U1_10, M: 3, N: 9, Seed: seed})
+		opt, err := exact.BruteForce(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, st := solveOK(t, in, Options{Epsilon: 0.3})
+		if !st.Exact {
+			t.Fatalf("seed %d: expected exact mode (distinct sizes <= 10)", seed)
+		}
+		if got, want := sched.Makespan(in), opt.Makespan(in); got != want {
+			t.Fatalf("seed %d: trsched %d, optimum %d", seed, got, want)
+		}
+	}
+}
+
+func TestSolveExactModeMatchesBruteForce(t *testing.T) {
+	for _, v := range []pcmax.Variant{pcmax.SetupTimes, pcmax.TimeRestricted, pcmax.SetupTimes | pcmax.TimeRestricted} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			in := workload.MustGenerateVariant(workload.VariantSpec{
+				Spec:    workload.Spec{Family: workload.U1_10, M: 3, N: 8, Seed: seed},
+				Variant: v,
+			})
+			opt, _, err := exact.BruteForceVariant(context.Background(), in)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sched, st := solveOK(t, in, Options{Epsilon: 0.3})
+			if !st.Exact {
+				t.Fatalf("%v seed %d: expected exact mode", v, seed)
+			}
+			if got, want := sched.Makespan(in), opt.Makespan(in); got != want {
+				t.Fatalf("%v seed %d: trsched %d, brute optimum %d", v, seed, got, want)
+			}
+		}
+	}
+}
+
+func TestSolveGroupedModeSoundUpperBound(t *testing.T) {
+	// Force grouped mode with MaxDistinctExact=1: the result must stay
+	// feasible, no better than the true optimum, and no worse than the
+	// generalized-LPT incumbent.
+	for seed := uint64(1); seed <= 5; seed++ {
+		in := workload.MustGenerateVariant(workload.VariantSpec{
+			Spec:    workload.Spec{Family: workload.U1_100, M: 3, N: 8, Seed: seed},
+			Variant: pcmax.TimeRestricted,
+		})
+		opt, _, err := exact.BruteForceVariant(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lpt, err := listsched.LPTGeneral(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched, st := solveOK(t, in, Options{Epsilon: 0.3, MaxDistinctExact: 1})
+		if st.Exact {
+			t.Fatalf("seed %d: grouped mode not forced", seed)
+		}
+		ms := sched.Makespan(in)
+		if ms < opt.Makespan(in) {
+			t.Fatalf("seed %d: makespan %d beats the certified optimum %d", seed, ms, opt.Makespan(in))
+		}
+		if ms > lpt.Makespan(in) {
+			t.Fatalf("seed %d: makespan %d worse than the LPT incumbent %d", seed, ms, lpt.Makespan(in))
+		}
+	}
+}
+
+func TestSolveRejectsReleaseTimes(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{3}, Release: []pcmax.Time{2}}
+	if _, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSolveInfeasibleInstance(t *testing.T) {
+	in := &pcmax.Instance{M: 1, Times: []pcmax.Time{7},
+		Windows: [][]pcmax.Window{{{Start: 0, End: 5}}}}
+	if _, _, err := Solve(context.Background(), in, Options{Epsilon: 0.3}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestSolveCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	in := workload.MustGenerateVariant(workload.VariantSpec{
+		Spec:    workload.Spec{Family: workload.U1_100, M: 4, N: 20, Seed: 1},
+		Variant: pcmax.TimeRestricted,
+	})
+	if _, _, err := Solve(ctx, in, Options{Epsilon: 0.3}); err == nil {
+		t.Fatal("want cancellation error")
+	}
+}
+
+func TestSolveSetupOnlyExact(t *testing.T) {
+	// Setup-only instances run through the same machinery with an
+	// unrestricted segment per machine; cross-check a hand case. Machine 0
+	// pays 1 per job, machine 1 pays 5: jobs 6,6 split one per machine is
+	// 6+1=7 vs 6+5=11; both on machine 0 is 14. Optimum 11.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{6, 6}, Setup: []pcmax.Time{1, 5}}
+	sched, st := solveOK(t, in, Options{Epsilon: 0.3})
+	if !st.Exact {
+		t.Fatal("expected exact mode")
+	}
+	if ms := sched.Makespan(in); ms != 11 {
+		t.Fatalf("makespan %d, want 11", ms)
+	}
+}

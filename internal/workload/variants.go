@@ -1,0 +1,177 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+// Variant workload generation: every processing-time family can be decorated
+// with release times, machine-dependent setup times and per-machine
+// availability windows, giving a (family x variant) grid of instance
+// distributions for the variant solvers' experiments and tests. Like
+// Generate, GenerateVariant is a pure function of its spec.
+
+// VariantSpec extends Spec with the optional instance-model features to
+// generate. The zero values of the parameter fields select sensible defaults
+// relative to the processing-time scale, so setting just Variant works.
+type VariantSpec struct {
+	Spec
+	// Variant selects which optional sections to generate.
+	Variant pcmax.Variant
+	// ReleaseSpread stretches the release-time range: releases are drawn
+	// uniformly from [0, ReleaseSpread * sum(t)/m]. 0 selects 0.5, so jobs
+	// keep arriving through roughly the first half of a balanced schedule.
+	ReleaseSpread float64
+	// SetupMax bounds the per-machine setup times, drawn uniformly from
+	// [0, SetupMax]. 0 selects a tenth of the family's upper processing
+	// bound (at least 1).
+	SetupMax int64
+	// WindowCount is the number of availability windows per restricted
+	// machine; 0 selects 2.
+	WindowCount int
+	// WindowDuty is the fraction of the horizon a restricted machine is
+	// available, in (0, 1]; 0 selects 0.75. Lower duty means tighter
+	// windows.
+	WindowDuty float64
+}
+
+// GenerateVariant materializes the variant instance described by the spec.
+// The plain sections match Generate exactly: a VariantSpec with
+// Variant == Plain returns the same instance as its embedded Spec, and the
+// decorated sections are seeded independently per section so e.g. adding
+// windows does not change the release times.
+//
+// Feasibility is guaranteed by construction: every machine's last window is
+// open-ended enough to hold the whole workload (setup included), so every
+// job fits somewhere and greedy solvers cannot strand.
+func GenerateVariant(spec VariantSpec) (*pcmax.Instance, error) {
+	in, err := Generate(spec.Spec)
+	if err != nil {
+		return nil, err
+	}
+	if spec.Variant&^pcmax.AllVariants != 0 {
+		return nil, fmt.Errorf("workload: unknown variant bits in %v", spec.Variant)
+	}
+
+	_, hi, err := spec.Family.Bounds(spec.M, spec.N)
+	if err != nil {
+		return nil, err
+	}
+	var total pcmax.Time
+	for _, t := range in.Times {
+		total += t
+	}
+
+	if spec.Variant.Has(pcmax.SetupTimes) {
+		setupMax := spec.SetupMax
+		if setupMax <= 0 {
+			setupMax = hi / 10
+			if setupMax < 1 {
+				setupMax = 1
+			}
+		}
+		src := rng.New(seedFor(spec.Spec) ^ 0x5e7f_1a2b_3c4d_5e6f)
+		in.Setup = make([]pcmax.Time, spec.M)
+		for i := range in.Setup {
+			in.Setup[i] = pcmax.Time(src.MustUniform(0, setupMax))
+		}
+	}
+
+	if spec.Variant.Has(pcmax.ReleaseTimes) {
+		spread := spec.ReleaseSpread
+		if spread == 0 {
+			spread = 0.5
+		}
+		if spread < 0 {
+			return nil, fmt.Errorf("workload: negative release spread %v", spread)
+		}
+		rmax := int64(spread * float64(total) / float64(spec.M))
+		src := rng.New(seedFor(spec.Spec) ^ 0x9e1e_a5e5_0f0f_b4b4)
+		in.Release = make([]pcmax.Time, spec.N)
+		if rmax > 0 {
+			for j := range in.Release {
+				in.Release[j] = pcmax.Time(src.MustUniform(0, rmax))
+			}
+		}
+	}
+
+	if spec.Variant.Has(pcmax.TimeRestricted) {
+		if err := addWindows(in, spec, total); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid variant instance: %w", err)
+	}
+	return in, nil
+}
+
+// addWindows decorates the instance with per-machine availability windows:
+// WindowCount-1 bounded windows of duty-cycle length spread over the horizon,
+// then one final open-enough window that alone holds the whole workload plus
+// per-job setups — the feasibility guarantee.
+func addWindows(in *pcmax.Instance, spec VariantSpec, total pcmax.Time) error {
+	duty := spec.WindowDuty
+	if duty == 0 {
+		duty = 0.75
+	}
+	if duty <= 0 || duty > 1 {
+		return fmt.Errorf("workload: window duty %v outside (0, 1]", duty)
+	}
+	count := spec.WindowCount
+	if count == 0 {
+		count = 2
+	}
+	if count < 1 {
+		return fmt.Errorf("workload: window count %d < 1", count)
+	}
+
+	// Horizon for the bounded windows: a balanced machine's share of work.
+	horizon := int64(total)/int64(spec.M) + 1
+	// The final window must hold everything even if a greedy puts all jobs
+	// (each paying the machine's setup) on this one machine.
+	var worstSetup pcmax.Time
+	for i := 0; i < spec.M; i++ {
+		if s := in.SetupTime(i); s > worstSetup {
+			worstSetup = s
+		}
+	}
+	slack := int64(total) + int64(worstSetup)*int64(spec.N) + 1
+
+	src := rng.New(seedFor(spec.Spec) ^ 0x0bad_cafe_f00d_d00d)
+	in.Windows = make([][]pcmax.Window, spec.M)
+	for mi := range in.Windows {
+		ws := make([]pcmax.Window, 0, count)
+		cur := int64(0)
+		for k := 0; k < count-1; k++ {
+			span := horizon / int64(count)
+			if span < 2 {
+				span = 2
+			}
+			open := int64(float64(span) * duty)
+			if open < 1 {
+				open = 1
+			}
+			start := cur + src.MustUniform(0, span-open)
+			ws = append(ws, pcmax.Window{Start: pcmax.Time(start), End: pcmax.Time(start + open)})
+			cur = start + span
+		}
+		start := cur + src.MustUniform(0, horizon/int64(count)+1)
+		ws = append(ws, pcmax.Window{Start: pcmax.Time(start), End: pcmax.Time(start + slack)})
+		in.Windows[mi] = ws
+	}
+	return nil
+}
+
+// MustGenerateVariant is GenerateVariant for statically valid specs; it
+// panics on error.
+func MustGenerateVariant(spec VariantSpec) *pcmax.Instance {
+	in, err := GenerateVariant(spec)
+	if err != nil {
+		panic(err)
+	}
+	return in
+}

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/listsched"
+	"repro/pcmax"
+)
+
+func TestGenerateVariantDeterministic(t *testing.T) {
+	spec := VariantSpec{
+		Spec:    Spec{Family: U1_100, M: 3, N: 15, Seed: 7},
+		Variant: pcmax.AllVariants,
+	}
+	a := MustGenerateVariant(spec)
+	b := MustGenerateVariant(spec)
+	if a.Variant() != pcmax.AllVariants {
+		t.Fatalf("variant = %v, want all", a.Variant())
+	}
+	for j := range a.Times {
+		if a.Times[j] != b.Times[j] || a.Release[j] != b.Release[j] {
+			t.Fatalf("job %d differs across identical specs", j)
+		}
+	}
+	for i := range a.Setup {
+		if a.Setup[i] != b.Setup[i] {
+			t.Fatalf("setup %d differs across identical specs", i)
+		}
+	}
+	for i := range a.Windows {
+		for k := range a.Windows[i] {
+			if a.Windows[i][k] != b.Windows[i][k] {
+				t.Fatalf("window %d/%d differs across identical specs", i, k)
+			}
+		}
+	}
+}
+
+func TestGenerateVariantPlainMatchesGenerate(t *testing.T) {
+	spec := Spec{Family: U1_10, M: 4, N: 20, Seed: 3}
+	plain := MustGenerate(spec)
+	variant := MustGenerateVariant(VariantSpec{Spec: spec})
+	if variant.Variant() != pcmax.Plain {
+		t.Fatalf("zero VariantSpec produced %v", variant.Variant())
+	}
+	for j := range plain.Times {
+		if plain.Times[j] != variant.Times[j] {
+			t.Fatalf("times differ at %d", j)
+		}
+	}
+}
+
+func TestGenerateVariantSectionsIndependent(t *testing.T) {
+	// Adding a section must not perturb the others: the setup vector under
+	// "s" alone equals the setup vector under "rsw".
+	spec := Spec{Family: U1_100, M: 3, N: 12, Seed: 11}
+	sOnly := MustGenerateVariant(VariantSpec{Spec: spec, Variant: pcmax.SetupTimes})
+	all := MustGenerateVariant(VariantSpec{Spec: spec, Variant: pcmax.AllVariants})
+	for i := range sOnly.Setup {
+		if sOnly.Setup[i] != all.Setup[i] {
+			t.Fatalf("setup %d changed when other sections were added", i)
+		}
+	}
+	rOnly := MustGenerateVariant(VariantSpec{Spec: spec, Variant: pcmax.ReleaseTimes})
+	for j := range rOnly.Release {
+		if rOnly.Release[j] != all.Release[j] {
+			t.Fatalf("release %d changed when other sections were added", j)
+		}
+	}
+	// Plain part untouched by any decoration.
+	plain := MustGenerate(spec)
+	for j := range plain.Times {
+		if plain.Times[j] != all.Times[j] {
+			t.Fatalf("processing time %d changed by decoration", j)
+		}
+	}
+}
+
+func TestGenerateVariantFeasibleByConstruction(t *testing.T) {
+	for _, fam := range []Family{U1_10, U1_100, U1_2m1, Um_2m1} {
+		for seed := uint64(1); seed <= 5; seed++ {
+			n := 20
+			if fam == Um_2m1 {
+				n = 7 // 2m+1 for m=3
+			}
+			in, err := GenerateVariant(VariantSpec{
+				Spec:    Spec{Family: fam, M: 3, N: n, Seed: seed},
+				Variant: pcmax.AllVariants,
+			})
+			if err != nil {
+				t.Fatalf("%v seed %d: %v", fam, seed, err)
+			}
+			sched, err := listsched.LPTGeneral(in)
+			if err != nil {
+				t.Fatalf("%v seed %d: greedy stranded on feasible-by-construction instance: %v", fam, seed, err)
+			}
+			if err := sched.Feasible(in); err != nil {
+				t.Fatalf("%v seed %d: %v", fam, seed, err)
+			}
+		}
+	}
+}
+
+func TestGenerateVariantParameterValidation(t *testing.T) {
+	base := Spec{Family: U1_10, M: 2, N: 5, Seed: 1}
+	cases := []VariantSpec{
+		{Spec: base, Variant: pcmax.Variant(1 << 7)},
+		{Spec: base, Variant: pcmax.ReleaseTimes, ReleaseSpread: -1},
+		{Spec: base, Variant: pcmax.TimeRestricted, WindowDuty: 1.5},
+		{Spec: base, Variant: pcmax.TimeRestricted, WindowCount: -2},
+	}
+	for i, spec := range cases {
+		if _, err := GenerateVariant(spec); err == nil {
+			t.Errorf("case %d: invalid spec accepted", i)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package pcmax
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadText drives the text parser with arbitrary streams and checks the
+// format's core invariants on every accepted instance:
+//
+//  1. accepted instances validate (the parser never hands out a malformed
+//     Instance), and
+//  2. the write->reparse->write cycle is a fixed point: writing the parsed
+//     instance, reading it back and writing again produces byte-identical
+//     output, so WriteText is a canonical form for everything ReadText
+//     accepts.
+//
+// The seed corpus covers the plain grammar and every optional section
+// (variant declaration, release, setup and window lines, including wrapped
+// multi-line sections).
+func FuzzReadText(f *testing.F) {
+	seeds := []string{
+		"m 2\n5 3 7\n",
+		"m 1\n5\n",
+		"m 3 1 2 3\n",
+		"# comment\nm 2\n\n5 3\n",
+		"m 2\nvariant rs\nr 0 4\ns 1 0\n5 3\n",
+		"m 2\nvariant rsw\nr 0 4\ns 1 0\nw 0 0 40\nw 1 2 10 15 60\n5 3\n",
+		"m 2\nr 0 4\nr 1 2\n5 3 7 2\n",
+		"m 1\nvariant w\nw 0 0 5 10 13\n3 4\n",
+		"m 2\nvariant plain\n5 3\n",
+		"m 0\n\n",
+		"m 2\nw 0 1\n5 3\n",
+		"m 2\nvariant q\n5 3\n",
+		"not an instance",
+		"",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		in, err := ReadText(strings.NewReader(text))
+		if err != nil {
+			return // rejecting is always fine; not crashing is the point
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("ReadText accepted an invalid instance: %v\ninput: %q", verr, text)
+		}
+		var first bytes.Buffer
+		if err := WriteText(&first, in); err != nil {
+			t.Fatalf("WriteText failed on accepted instance: %v\ninput: %q", err, text)
+		}
+		back, err := ReadText(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("ReadText rejected WriteText output: %v\noutput: %q", err, first.String())
+		}
+		var second bytes.Buffer
+		if err := WriteText(&second, back); err != nil {
+			t.Fatalf("WriteText failed on reparsed instance: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("write->reparse->write not a fixed point:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+		}
+		if got, want := back.Variant(), in.Variant(); got != want {
+			t.Fatalf("variant changed across round trip: %v -> %v", want, got)
+		}
+	})
+}

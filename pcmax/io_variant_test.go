@@ -1,0 +1,203 @@
+package pcmax
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func variantInstance() *Instance {
+	return &Instance{
+		M:       2,
+		Times:   []Time{5, 3, 7, 2},
+		Release: []Time{0, 4, 0, 1},
+		Setup:   []Time{1, 0},
+		Windows: [][]Window{{{Start: 0, End: 40}}, {{Start: 2, End: 10}, {Start: 15, End: 60}}},
+	}
+}
+
+func TestTextRoundTripVariant(t *testing.T) {
+	in := variantInstance()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"variant rsw", "r 0 4 0 1", "s 1 0", "w 0 0 40", "w 1 2 10 15 60"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	back, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertInstanceEqual(t, in, back)
+}
+
+func TestWriteTextPlainUnchangedByVariantSupport(t *testing.T) {
+	// A plain instance must render with zero trace of the variant grammar.
+	in := &Instance{M: 2, Times: []Time{5, 3, 7}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := buf.String(), "m 2\n5 3 7\n"; got != want {
+		t.Fatalf("plain output changed: %q, want %q", got, want)
+	}
+}
+
+func TestReadTextSectionsAppend(t *testing.T) {
+	// Long sections split over several lines append in order.
+	text := "m 2\nvariant rs\nr 0 4\nr 0 1\ns 1\ns 0\n5 3\n7 2\n"
+	in, err := ReadText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := &Instance{M: 2, Times: []Time{5, 3, 7, 2}, Release: []Time{0, 4, 0, 1}, Setup: []Time{1, 0}}
+	assertInstanceEqual(t, want, in)
+}
+
+func TestReadTextUndeclaredSectionsAccepted(t *testing.T) {
+	// The variant header is optional: sections alone classify the instance.
+	in, err := ReadText(strings.NewReader("m 1\ns 2\n5 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Variant() != SetupTimes {
+		t.Fatalf("variant = %v, want setup", in.Variant())
+	}
+}
+
+func TestReadTextOverDeclarationAccepted(t *testing.T) {
+	// Declaring more than the sections use is allowed (an all-zero release
+	// vector under "variant r" stays plain).
+	in, err := ReadText(strings.NewReader("m 1\nvariant rs\nr 0 0\n5 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Variant() != Plain {
+		t.Fatalf("variant = %v, want plain", in.Variant())
+	}
+}
+
+func TestReadTextUnderDeclarationRejected(t *testing.T) {
+	// Declaring less than the sections use is a format error.
+	_, err := ReadText(strings.NewReader("m 1\nvariant r\ns 2\n5 3\n"))
+	if !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("want ErrBadFormat, got %v", err)
+	}
+}
+
+func TestReadTextBadSections(t *testing.T) {
+	cases := []string{
+		"m 2\nvariant\n5 3\n",                     // variant without value
+		"m 2\nvariant q\n5 3\n",                   // unknown letter
+		"m 2\nw 0\n5 3\n",                         // window line without bounds
+		"m 2\nw 0 1\n5 3\n",                       // odd bound count
+		"m 2\nw 5 0 10\n5 3\n",                    // machine out of range
+		"m 2\nw x 0 10\n5 3\n",                    // non-numeric machine
+		"m 2\nr 1 x\n5 3\n",                       // non-numeric release
+		"m 2\nr 1\n5 3\n",                         // release count mismatch (1 for 2 jobs)
+		"m 2\ns -1 0\n5 3\n",                      // negative setup
+		"m 2\nw 0 10 5\n5 3\n",                    // inverted window
+		"m 2\nw 0 0 10 5 8\n5 3\n",                // unsorted windows
+		"m 1\nw 0 0 9223372036854775807 1 2\n5\n", // overlap via max end
+	}
+	for _, text := range cases {
+		if _, err := ReadText(strings.NewReader(text)); err == nil {
+			t.Errorf("accepted malformed stream %q", text)
+		}
+	}
+}
+
+func TestJSONRoundTripVariant(t *testing.T) {
+	in := variantInstance()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{`"release"`, `"setup"`, `"windows"`, `"start"`, `"end"`} {
+		if !strings.Contains(string(data), key) {
+			t.Errorf("JSON missing %s: %s", key, data)
+		}
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	assertInstanceEqual(t, in, &back)
+}
+
+func TestJSONPlainOmitsVariantSections(t *testing.T) {
+	in := &Instance{M: 2, Times: []Time{5, 3}}
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), `{"m":2,"times":[5,3]}`; got != want {
+		t.Fatalf("plain JSON changed: %s, want %s", got, want)
+	}
+}
+
+func TestScheduleJSONRoundTripOrder(t *testing.T) {
+	s := &Schedule{M: 2, Assignment: []int{0, 1, 0}, Order: []int{2, 0, 1}}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Schedule
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Order) != 3 || back.Order[0] != 2 {
+		t.Fatalf("order lost: %+v", back)
+	}
+	// A non-permutation order is rejected at decode time.
+	if err := json.Unmarshal([]byte(`{"m":2,"assignment":[0,1],"order":[0,0]}`), &back); err == nil {
+		t.Fatal("accepted duplicate order entries")
+	}
+}
+
+func assertInstanceEqual(t *testing.T, want, got *Instance) {
+	t.Helper()
+	if got.M != want.M || len(got.Times) != len(want.Times) {
+		t.Fatalf("dims differ: got m=%d n=%d, want m=%d n=%d", got.M, got.N(), want.M, want.N())
+	}
+	for j := range want.Times {
+		if got.Times[j] != want.Times[j] {
+			t.Fatalf("times differ at %d: %d vs %d", j, got.Times[j], want.Times[j])
+		}
+	}
+	if len(got.Release) != len(want.Release) || len(got.Setup) != len(want.Setup) {
+		t.Fatalf("section lengths differ: %+v vs %+v", got, want)
+	}
+	for j := range want.Release {
+		if got.Release[j] != want.Release[j] {
+			t.Fatalf("release differs at %d", j)
+		}
+	}
+	for i := range want.Setup {
+		if got.Setup[i] != want.Setup[i] {
+			t.Fatalf("setup differs at %d", i)
+		}
+	}
+	if len(got.Windows) != len(want.Windows) {
+		t.Fatalf("window machine counts differ")
+	}
+	for i := range want.Windows {
+		if len(got.Windows[i]) != len(want.Windows[i]) {
+			t.Fatalf("window counts differ on machine %d", i)
+		}
+		for k := range want.Windows[i] {
+			if got.Windows[i][k] != want.Windows[i][k] {
+				t.Fatalf("window %d/%d differs", i, k)
+			}
+		}
+	}
+}

@@ -17,13 +17,29 @@ import (
 // requires all processing times to be positive integers.
 type Time = int64
 
-// Instance is a P||Cmax problem instance: M identical machines and one
-// processing time per job. Job j is identified by its index in Times.
+// Instance is a scheduling problem instance: M identical machines and one
+// processing time per job. Job j is identified by its index in Times. The
+// zero value of the three optional sections — release times, setup times and
+// availability windows — is classic P||Cmax; see Variant for the classifier
+// over them and variant.go for their makespan semantics.
 type Instance struct {
 	// M is the number of identical machines, m >= 1.
 	M int
 	// Times holds the processing time of each job, all > 0.
 	Times []Time
+
+	// Release optionally holds one release time per job (len 0 or len(Times),
+	// all >= 0): job j may not start before Release[j].
+	Release []Time
+	// Setup optionally holds one machine-dependent setup time per machine
+	// (len 0 or M, all >= 0): machine i spends Setup[i] immediately before
+	// every job it runs.
+	Setup []Time
+	// Windows optionally holds per-machine availability windows (len 0 or M).
+	// A machine with a non-empty list may only run work inside its windows;
+	// a job together with its setup must fit entirely within one window. An
+	// empty inner list leaves that machine unrestricted.
+	Windows [][]Window
 }
 
 // Common validation errors.
@@ -58,7 +74,7 @@ func (in *Instance) Validate() error {
 			return fmt.Errorf("%w (job %d has t=%d)", ErrNonPositiveTime, j, t)
 		}
 	}
-	return nil
+	return in.validateVariant()
 }
 
 // TotalTime returns the sum of all processing times.
@@ -106,9 +122,25 @@ func (in *Instance) UpperBound() Time {
 	return (sum+Time(in.M)-1)/Time(in.M) + in.MaxTime()
 }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance, including the optional variant
+// sections.
 func (in *Instance) Clone() *Instance {
-	return &Instance{M: in.M, Times: append([]Time(nil), in.Times...)}
+	out := &Instance{M: in.M, Times: append([]Time(nil), in.Times...)}
+	if in.Release != nil {
+		out.Release = append([]Time(nil), in.Release...)
+	}
+	if in.Setup != nil {
+		out.Setup = append([]Time(nil), in.Setup...)
+	}
+	if in.Windows != nil {
+		out.Windows = make([][]Window, len(in.Windows))
+		for i, ws := range in.Windows {
+			if ws != nil {
+				out.Windows[i] = append([]Window(nil), ws...)
+			}
+		}
+	}
+	return out
 }
 
 // SortedIndex returns job indices ordered by non-increasing processing time,
@@ -130,9 +162,17 @@ func (in *Instance) SortedIndex() []int {
 
 // Schedule assigns every job of an instance to a machine.
 // Assignment[j] is the machine index (0-based) that runs job j.
+//
+// Order optionally fixes the per-machine processing sequence: when set it
+// must be a permutation of the job indices, and each machine runs its jobs
+// in the order they appear in it. When nil, machines run their jobs in the
+// canonical order (non-decreasing release time, ties by job index). Plain
+// P||Cmax makespans are order-independent, so plain solvers leave Order nil;
+// window-aware solvers set it to pin the packing they constructed.
 type Schedule struct {
 	M          int
 	Assignment []int
+	Order      []int
 }
 
 // NewSchedule returns an empty schedule for m machines and n jobs with every
@@ -171,11 +211,24 @@ func (s *Schedule) Validate(in *Instance) error {
 			return fmt.Errorf("%w (job %d -> machine %d of %d)", ErrBadAssignment, j, mi, s.M)
 		}
 	}
+	if len(s.Order) > 0 {
+		if len(s.Order) != len(s.Assignment) {
+			return fmt.Errorf("%w (order has %d entries for %d jobs)", ErrBadOrder, len(s.Order), len(s.Assignment))
+		}
+		seen := make([]bool, len(s.Assignment))
+		for _, j := range s.Order {
+			if j < 0 || j >= len(seen) || seen[j] {
+				return fmt.Errorf("%w (entry %d)", ErrBadOrder, j)
+			}
+			seen[j] = true
+		}
+	}
 	return nil
 }
 
 // Loads returns the total processing time assigned to each machine.
-// Unassigned jobs (machine -1) are ignored.
+// Unassigned jobs (machine -1) are ignored. Setups and idle gaps are not
+// included; see Completions for the variant-aware completion times.
 func (s *Schedule) Loads(in *Instance) []Time {
 	loads := make([]Time, s.M)
 	for j, mi := range s.Assignment {
@@ -186,8 +239,15 @@ func (s *Schedule) Loads(in *Instance) []Time {
 	return loads
 }
 
-// Makespan returns the maximum machine load of the schedule on in.
+// Makespan returns the maximum machine completion time of the schedule on
+// in. On plain instances that is the maximum machine load; on variant
+// instances completions follow the release/setup/window semantics of
+// Completions, and an infeasible schedule (a job fits no window) reports the
+// Infeasible sentinel.
 func (s *Schedule) Makespan(in *Instance) Time {
+	if in.Variant() != Plain {
+		return s.variantMakespan(in)
+	}
 	var ms Time
 	for _, l := range s.Loads(in) {
 		if l > ms {
@@ -211,7 +271,11 @@ func (s *Schedule) MachineJobs() [][]int {
 
 // Clone returns a deep copy of the schedule.
 func (s *Schedule) Clone() *Schedule {
-	return &Schedule{M: s.M, Assignment: append([]int(nil), s.Assignment...)}
+	out := &Schedule{M: s.M, Assignment: append([]int(nil), s.Assignment...)}
+	if s.Order != nil {
+		out.Order = append([]int(nil), s.Order...)
+	}
+	return out
 }
 
 // Ratio returns the actual approximation ratio of the schedule against a

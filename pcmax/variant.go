@@ -1,0 +1,370 @@
+package pcmax
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// This file holds the variant layer of the instance model: optional per-job
+// release times, machine-dependent setup times and per-machine availability
+// windows (time restrictions), the Variant classifier over them, and the
+// completion-time semantics that extend Makespan to the richer models.
+//
+// Everything is strictly additive: an instance with none of the optional
+// fields set is a plain P||Cmax instance and every plain code path is
+// unchanged bit for bit.
+
+// Variant is a bitmask classifying which optional model features an instance
+// uses. Plain (the zero value) is classic P||Cmax. Solvers advertise the set
+// of feature bits they support; registry dispatch rejects instances whose
+// variant has bits outside an algorithm's capability set.
+type Variant uint8
+
+const (
+	// Plain is P||Cmax: no releases, no setups, no windows.
+	Plain Variant = 0
+	// ReleaseTimes marks per-job release times r_j > 0 (P|r_j|Cmax).
+	ReleaseTimes Variant = 1 << iota
+	// SetupTimes marks machine-dependent setup times s_i > 0: machine i
+	// spends s_i immediately before every job it runs (P|s_i|Cmax).
+	SetupTimes
+	// TimeRestricted marks per-machine availability windows: a restricted
+	// machine may only run jobs inside its windows, and a job (with its
+	// setup) must fit entirely within one window.
+	TimeRestricted
+)
+
+// AllVariants is the capability set of a solver that handles every model
+// feature the instance core can express.
+const AllVariants = ReleaseTimes | SetupTimes | TimeRestricted
+
+// Has reports whether v includes every feature bit of f.
+func (v Variant) Has(f Variant) bool { return v&f == f }
+
+// String renders "plain" or the active feature names joined by "+", e.g.
+// "release+windows".
+func (v Variant) String() string {
+	if v == Plain {
+		return "plain"
+	}
+	var parts []string
+	if v.Has(ReleaseTimes) {
+		parts = append(parts, "release")
+	}
+	if v.Has(SetupTimes) {
+		parts = append(parts, "setup")
+	}
+	if v.Has(TimeRestricted) {
+		parts = append(parts, "windows")
+	}
+	if rest := v &^ AllVariants; rest != 0 {
+		parts = append(parts, fmt.Sprintf("Variant(%#x)", uint8(rest)))
+	}
+	return strings.Join(parts, "+")
+}
+
+// Letters renders the compact letter form used by instance headers and CLI
+// flags: "plain", or a combination of 'r', 's' and 'w'. ParseVariant inverts
+// it.
+func (v Variant) Letters() string {
+	if v == Plain {
+		return "plain"
+	}
+	var b strings.Builder
+	if v.Has(ReleaseTimes) {
+		b.WriteByte('r')
+	}
+	if v.Has(SetupTimes) {
+		b.WriteByte('s')
+	}
+	if v.Has(TimeRestricted) {
+		b.WriteByte('w')
+	}
+	return b.String()
+}
+
+// ParseVariant inverts String. It also accepts the compact letter form used
+// by instance headers and CLI flags: any combination of 'r' (release),
+// 's' (setup) and 'w' (windows), e.g. "rs" or "w"; "plain" and "" are Plain.
+func ParseVariant(s string) (Variant, error) {
+	switch s {
+	case "", "plain", "Plain":
+		return Plain, nil
+	}
+	var v Variant
+	for _, part := range strings.Split(s, "+") {
+		switch part {
+		case "release", "r_j":
+			v |= ReleaseTimes
+		case "setup", "s_i":
+			v |= SetupTimes
+		case "windows", "tr":
+			v |= TimeRestricted
+		default:
+			// Compact letter form: every rune must be one of r/s/w.
+			for _, c := range part {
+				switch c {
+				case 'r':
+					v |= ReleaseTimes
+				case 's':
+					v |= SetupTimes
+				case 'w':
+					v |= TimeRestricted
+				default:
+					return 0, fmt.Errorf("pcmax: unknown variant %q", s)
+				}
+			}
+			if part == "" {
+				return 0, fmt.Errorf("pcmax: unknown variant %q", s)
+			}
+		}
+	}
+	return v, nil
+}
+
+// Window is one availability interval of a machine, closed-open: the machine
+// may run work during [Start, End).
+type Window struct {
+	Start Time `json:"start"`
+	End   Time `json:"end"`
+}
+
+// Len returns the window's capacity End-Start.
+func (w Window) Len() Time { return w.End - w.Start }
+
+// Infeasible is the makespan reported for a schedule that cannot be realized
+// under the instance's variant semantics (a job does not fit into any
+// availability window at its position in the machine sequence). Use
+// Schedule.Feasible or Schedule.Completions for the structured error.
+const Infeasible = Time(math.MaxInt64)
+
+// Variant validation errors.
+var (
+	ErrBadRelease = fmt.Errorf("pcmax: release times must cover every job and be non-negative")
+	ErrBadSetup   = fmt.Errorf("pcmax: setup times must cover every machine and be non-negative")
+	ErrBadWindow  = fmt.Errorf("pcmax: availability windows must be well-formed, sorted and disjoint")
+	ErrBadOrder   = fmt.Errorf("pcmax: schedule order must be a permutation of the job indices")
+	ErrInfeasible = fmt.Errorf("pcmax: schedule is infeasible under the instance's availability windows")
+)
+
+// Variant classifies the instance by the optional features it actually uses:
+// all-zero release or setup sections and empty window lists do not set their
+// bit, so such instances still dispatch to every plain solver.
+func (in *Instance) Variant() Variant {
+	var v Variant
+	for _, r := range in.Release {
+		if r > 0 {
+			v |= ReleaseTimes
+			break
+		}
+	}
+	for _, s := range in.Setup {
+		if s > 0 {
+			v |= SetupTimes
+			break
+		}
+	}
+	for _, ws := range in.Windows {
+		if len(ws) > 0 {
+			v |= TimeRestricted
+			break
+		}
+	}
+	return v
+}
+
+// validateVariant checks the optional sections; it is a no-op on plain
+// instances.
+func (in *Instance) validateVariant() error {
+	if len(in.Release) != 0 && len(in.Release) != len(in.Times) {
+		return fmt.Errorf("%w (have %d values for %d jobs)", ErrBadRelease, len(in.Release), len(in.Times))
+	}
+	for j, r := range in.Release {
+		if r < 0 {
+			return fmt.Errorf("%w (job %d has r=%d)", ErrBadRelease, j, r)
+		}
+	}
+	if len(in.Setup) != 0 && len(in.Setup) != in.M {
+		return fmt.Errorf("%w (have %d values for %d machines)", ErrBadSetup, len(in.Setup), in.M)
+	}
+	for i, s := range in.Setup {
+		if s < 0 {
+			return fmt.Errorf("%w (machine %d has s=%d)", ErrBadSetup, i, s)
+		}
+	}
+	if len(in.Windows) != 0 && len(in.Windows) != in.M {
+		return fmt.Errorf("%w (have %d lists for %d machines)", ErrBadWindow, len(in.Windows), in.M)
+	}
+	for i, ws := range in.Windows {
+		for k, w := range ws {
+			if w.Start < 0 || w.End <= w.Start {
+				return fmt.Errorf("%w (machine %d window %d is [%d,%d))", ErrBadWindow, i, k, w.Start, w.End)
+			}
+			if k > 0 && w.Start < ws[k-1].End {
+				return fmt.Errorf("%w (machine %d windows %d and %d overlap or are unsorted)", ErrBadWindow, i, k-1, k)
+			}
+		}
+	}
+	return nil
+}
+
+// ReleaseTime returns job j's release time (0 when the instance has none).
+func (in *Instance) ReleaseTime(j int) Time {
+	if j < len(in.Release) {
+		return in.Release[j]
+	}
+	return 0
+}
+
+// SetupTime returns machine i's per-job setup time (0 when the instance has
+// none).
+func (in *Instance) SetupTime(i int) Time {
+	if i < len(in.Setup) {
+		return in.Setup[i]
+	}
+	return 0
+}
+
+// Restricted reports whether machine i has availability windows.
+func (in *Instance) Restricted(i int) bool {
+	return i < len(in.Windows) && len(in.Windows[i]) > 0
+}
+
+// EarliestStart returns the earliest start time t >= est at which machine i
+// can run an occupation of length dur without interruption: for an
+// unrestricted machine that is est itself; for a restricted machine, the
+// earliest position where [t, t+dur) fits entirely inside one availability
+// window. ok is false when no window can hold the occupation at or after
+// est. This is the single source of truth for window placement, shared by
+// Schedule.Completions and every variant-capable solver.
+func (in *Instance) EarliestStart(i int, est, dur Time) (start Time, ok bool) {
+	if !in.Restricted(i) {
+		return est, true
+	}
+	for _, w := range in.Windows[i] {
+		t := est
+		if w.Start > t {
+			t = w.Start
+		}
+		if t+dur <= w.End {
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// HorizonHint returns a horizon large enough that feasibility within it
+// implies feasibility at all: the later of the plain upper bound and the last
+// availability window end. Solvers use it to bound bisection searches.
+func (in *Instance) HorizonHint() Time {
+	h := in.UpperBound()
+	for _, r := range in.Release {
+		if r+in.UpperBound() > h {
+			h = r + in.UpperBound()
+		}
+	}
+	for _, ws := range in.Windows {
+		if len(ws) > 0 && ws[len(ws)-1].End > h {
+			h = ws[len(ws)-1].End
+		}
+	}
+	return h
+}
+
+// sequences returns the per-machine processing sequences of the schedule:
+// the schedule's explicit Order when set, otherwise the canonical order
+// (non-decreasing release time, ties by job index — the single-machine
+// Cmax-optimal order for the release+setup variants). Unassigned jobs are
+// skipped.
+func (s *Schedule) sequences(in *Instance) [][]int {
+	seq := make([][]int, s.M)
+	if len(s.Order) > 0 {
+		for _, j := range s.Order {
+			if j < 0 || j >= len(s.Assignment) {
+				continue
+			}
+			if mi := s.Assignment[j]; mi >= 0 && mi < s.M {
+				seq[mi] = append(seq[mi], j)
+			}
+		}
+		return seq
+	}
+	for j, mi := range s.Assignment {
+		if mi >= 0 && mi < s.M {
+			seq[mi] = append(seq[mi], j)
+		}
+	}
+	if len(in.Release) > 0 {
+		for mi := range seq {
+			jobs := seq[mi]
+			sort.SliceStable(jobs, func(a, b int) bool {
+				ra, rb := in.ReleaseTime(jobs[a]), in.ReleaseTime(jobs[b])
+				if ra != rb {
+					return ra < rb
+				}
+				return jobs[a] < jobs[b]
+			})
+		}
+	}
+	return seq
+}
+
+// Completions returns the per-machine completion times of the schedule under
+// the variant semantics: each machine runs its sequence (see Order) back to
+// back, a job starting no earlier than its release time and, on a restricted
+// machine, occupying setup+processing entirely inside one availability
+// window. For plain instances this equals Loads. The error (matching
+// ErrInfeasible) identifies the first job that fits no window.
+func (s *Schedule) Completions(in *Instance) ([]Time, error) {
+	if in.Variant() == Plain && len(s.Order) == 0 {
+		return s.Loads(in), nil
+	}
+	done := make([]Time, s.M)
+	for mi, jobs := range s.sequences(in) {
+		setup := in.SetupTime(mi)
+		var cur Time
+		for _, j := range jobs {
+			if j >= len(in.Times) {
+				continue
+			}
+			est := cur
+			if r := in.ReleaseTime(j); r > est {
+				est = r
+			}
+			start, ok := in.EarliestStart(mi, est, setup+in.Times[j])
+			if !ok {
+				return nil, fmt.Errorf("%w (job %d, len %d+%d, on machine %d after t=%d)",
+					ErrInfeasible, j, setup, in.Times[j], mi, est)
+			}
+			cur = start + setup + in.Times[j]
+		}
+		done[mi] = cur
+	}
+	return done, nil
+}
+
+// Feasible reports whether every assigned job can be realized under the
+// variant semantics; the error matches ErrInfeasible when not. Plain
+// schedules are always feasible.
+func (s *Schedule) Feasible(in *Instance) error {
+	_, err := s.Completions(in)
+	return err
+}
+
+// variantMakespan is the non-plain arm of Makespan: the maximum machine
+// completion time, or the Infeasible sentinel when a job fits no window.
+func (s *Schedule) variantMakespan(in *Instance) Time {
+	done, err := s.Completions(in)
+	if err != nil {
+		return Infeasible
+	}
+	var ms Time
+	for _, c := range done {
+		if c > ms {
+			ms = c
+		}
+	}
+	return ms
+}

@@ -1,0 +1,286 @@
+package pcmax
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestVariantClassifier(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Instance
+		want Variant
+	}{
+		{"plain", Instance{M: 2, Times: []Time{3, 4}}, Plain},
+		{"zero sections stay plain", Instance{M: 2, Times: []Time{3, 4},
+			Release: []Time{0, 0}, Setup: []Time{0, 0}, Windows: [][]Window{nil, nil}}, Plain},
+		{"release", Instance{M: 2, Times: []Time{3, 4}, Release: []Time{0, 1}}, ReleaseTimes},
+		{"setup", Instance{M: 2, Times: []Time{3, 4}, Setup: []Time{1, 0}}, SetupTimes},
+		{"windows", Instance{M: 2, Times: []Time{3, 4},
+			Windows: [][]Window{{{Start: 0, End: 10}}, nil}}, TimeRestricted},
+		{"all", Instance{M: 1, Times: []Time{3}, Release: []Time{2}, Setup: []Time{1},
+			Windows: [][]Window{{{Start: 0, End: 100}}}}, ReleaseTimes | SetupTimes | TimeRestricted},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.in.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.in.Variant(); got != tc.want {
+				t.Fatalf("Variant() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestVariantStringAndLetters(t *testing.T) {
+	cases := []struct {
+		v       Variant
+		str     string
+		letters string
+	}{
+		{Plain, "plain", "plain"},
+		{ReleaseTimes, "release", "r"},
+		{SetupTimes, "setup", "s"},
+		{TimeRestricted, "windows", "w"},
+		{ReleaseTimes | SetupTimes, "release+setup", "rs"},
+		{AllVariants, "release+setup+windows", "rsw"},
+	}
+	for _, tc := range cases {
+		if got := tc.v.String(); got != tc.str {
+			t.Errorf("%v.String() = %q, want %q", uint8(tc.v), got, tc.str)
+		}
+		if got := tc.v.Letters(); got != tc.letters {
+			t.Errorf("Letters() = %q, want %q", got, tc.letters)
+		}
+		parsed, err := ParseVariant(tc.letters)
+		if err != nil || parsed != tc.v {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", tc.letters, parsed, err, tc.v)
+		}
+		parsed, err = ParseVariant(tc.str)
+		if err != nil || parsed != tc.v {
+			t.Errorf("ParseVariant(%q) = %v, %v; want %v", tc.str, parsed, err, tc.v)
+		}
+	}
+	if _, err := ParseVariant("bogus"); err == nil {
+		t.Error("ParseVariant accepted bogus")
+	}
+}
+
+func TestValidateVariantSections(t *testing.T) {
+	base := func() *Instance { return &Instance{M: 2, Times: []Time{3, 4, 5}} }
+
+	in := base()
+	in.Release = []Time{1, 2} // 2 values for 3 jobs
+	if err := in.Validate(); !errors.Is(err, ErrBadRelease) {
+		t.Errorf("short release vector: got %v", err)
+	}
+	in = base()
+	in.Release = []Time{1, -1, 0}
+	if err := in.Validate(); !errors.Is(err, ErrBadRelease) {
+		t.Errorf("negative release: got %v", err)
+	}
+	in = base()
+	in.Setup = []Time{1} // 1 value for 2 machines
+	if err := in.Validate(); !errors.Is(err, ErrBadSetup) {
+		t.Errorf("short setup vector: got %v", err)
+	}
+	in = base()
+	in.Windows = [][]Window{{{Start: 5, End: 5}}, nil}
+	if err := in.Validate(); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("empty window: got %v", err)
+	}
+	in = base()
+	in.Windows = [][]Window{{{Start: 0, End: 10}, {Start: 5, End: 20}}, nil}
+	if err := in.Validate(); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("overlapping windows: got %v", err)
+	}
+	in = base()
+	in.Windows = [][]Window{{{Start: 0, End: 10}}} // 1 list for 2 machines
+	if err := in.Validate(); !errors.Is(err, ErrBadWindow) {
+		t.Errorf("short window list: got %v", err)
+	}
+}
+
+func TestEarliestStart(t *testing.T) {
+	in := &Instance{M: 2, Times: []Time{1},
+		Windows: [][]Window{{{Start: 2, End: 6}, {Start: 10, End: 13}}, nil}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		mi       int
+		est, dur Time
+		start    Time
+		ok       bool
+	}{
+		{0, 0, 3, 2, true},   // pulled forward to the first window
+		{0, 3, 3, 3, true},   // fits at est inside the first window
+		{0, 4, 3, 10, true},  // too late for window one, jumps to window two
+		{0, 0, 5, 10, false}, // fits nowhere: w1 holds 4, w2 holds 3
+		{0, 11, 3, 0, false}, // est past the last viable start
+		{1, 7, 99, 7, true},  // unrestricted machine: est verbatim
+	}
+	for i, tc := range cases {
+		start, ok := in.EarliestStart(tc.mi, tc.est, tc.dur)
+		if ok != tc.ok || (ok && start != tc.start) {
+			t.Errorf("case %d: EarliestStart(%d, %d, %d) = (%d, %v), want (%d, %v)",
+				i, tc.mi, tc.est, tc.dur, start, ok, tc.start, tc.ok)
+		}
+	}
+	// Degenerate: dur 5 does fit window two? 10+5=15 > 13, and window one
+	// 2+5=7 > 6 — the table's ok=false case above is what we assert.
+	if _, ok := in.EarliestStart(0, 0, 4); !ok {
+		t.Error("dur 4 must fit window one")
+	}
+}
+
+func TestCompletionsReleaseAndSetup(t *testing.T) {
+	// One machine, setup 2, jobs released at 0 and 10.
+	in := &Instance{M: 1, Times: []Time{3, 3}, Release: []Time{0, 10}, Setup: []Time{2}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{M: 1, Assignment: []int{0, 0}}
+	done, err := s.Completions(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 0: starts 0, setup+t = 5. Job 1: released 10, done 15.
+	if done[0] != 15 {
+		t.Fatalf("done = %v, want [15]", done)
+	}
+	if ms := s.Makespan(in); ms != 15 {
+		t.Fatalf("makespan %d, want 15", ms)
+	}
+	// Loads exclude setups and release gaps.
+	if l := s.Loads(in)[0]; l != 6 {
+		t.Fatalf("load %d, want 6", l)
+	}
+}
+
+func TestCompletionsOrderMatters(t *testing.T) {
+	// Windows [0,5) and [10,13): running job 1 (t=4) first leaves [4,5) and
+	// the second window for job 0 (t=3) — feasible, done 13. Running job 0
+	// first fills [0,3) and job 1 then fits neither [3,5) nor the 3-long
+	// second window: the same assignment is infeasible in that order.
+	in := &Instance{M: 1, Times: []Time{3, 4},
+		Windows: [][]Window{{{Start: 0, End: 5}, {Start: 10, End: 13}}}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{M: 1, Assignment: []int{0, 0}, Order: []int{1, 0}} // 4 first
+	done, err := s.Completions(in)
+	if err != nil || done[0] != 13 {
+		t.Fatalf("order 4,3: done=%v err=%v, want [13]", done, err)
+	}
+	if ms := s.Makespan(in); ms != 13 {
+		t.Fatalf("makespan with order = %d, want 13", ms)
+	}
+	s2 := &Schedule{M: 1, Assignment: []int{0, 0}, Order: []int{0, 1}} // 3 first
+	if _, err := s2.Completions(in); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("order 3,4: want ErrInfeasible, got %v", err)
+	}
+}
+
+func TestCompletionsInfeasible(t *testing.T) {
+	in := &Instance{M: 1, Times: []Time{7},
+		Windows: [][]Window{{{Start: 0, End: 5}}}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{M: 1, Assignment: []int{0}}
+	if _, err := s.Completions(in); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("want ErrInfeasible, got %v", err)
+	}
+	if err := s.Feasible(in); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("Feasible: want ErrInfeasible, got %v", err)
+	}
+	if ms := s.Makespan(in); ms != Infeasible {
+		t.Fatalf("makespan = %d, want the Infeasible sentinel", ms)
+	}
+}
+
+func TestCanonicalSequenceSortsByRelease(t *testing.T) {
+	// Without an explicit Order, jobs on a machine run in release order.
+	in := &Instance{M: 1, Times: []Time{5, 5}, Release: []Time{10, 0}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{M: 1, Assignment: []int{0, 0}}
+	done, err := s.Completions(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Job 1 (r=0) first: done 5; job 0 (r=10) next: done 15. Index order
+	// would idle until 10 and finish at 20.
+	if done[0] != 15 {
+		t.Fatalf("done = %v, want [15]", done)
+	}
+}
+
+func TestScheduleValidateOrderPermutation(t *testing.T) {
+	in := &Instance{M: 1, Times: []Time{1, 2}}
+	s := &Schedule{M: 1, Assignment: []int{0, 0}, Order: []int{0, 0}}
+	if err := s.Validate(in); !errors.Is(err, ErrBadOrder) {
+		t.Fatalf("duplicate order entry: got %v", err)
+	}
+	s.Order = []int{1}
+	if err := s.Validate(in); !errors.Is(err, ErrBadOrder) {
+		t.Fatalf("short order: got %v", err)
+	}
+	s.Order = []int{1, 0}
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("valid order rejected: %v", err)
+	}
+	s.Order = nil
+	if err := s.Validate(in); err != nil {
+		t.Fatalf("nil order rejected: %v", err)
+	}
+}
+
+func TestCloneCopiesVariantSections(t *testing.T) {
+	in := &Instance{M: 2, Times: []Time{3, 4}, Release: []Time{1, 0}, Setup: []Time{0, 2},
+		Windows: [][]Window{{{Start: 0, End: 50}}, {{Start: 5, End: 60}}}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cl := in.Clone()
+	cl.Release[0] = 99
+	cl.Setup[1] = 99
+	cl.Windows[0][0].End = 99
+	if in.Release[0] != 1 || in.Setup[1] != 2 || in.Windows[0][0].End != 50 {
+		t.Fatal("Clone shares variant section backing arrays")
+	}
+	s := &Schedule{M: 2, Assignment: []int{0, 1}, Order: []int{1, 0}}
+	sc := s.Clone()
+	sc.Order[0] = 0
+	sc.Order[1] = 1
+	if s.Order[0] != 1 {
+		t.Fatal("Schedule.Clone shares Order")
+	}
+}
+
+func TestHorizonHintCoversWindows(t *testing.T) {
+	in := &Instance{M: 1, Times: []Time{2},
+		Windows: [][]Window{{{Start: 1000, End: 2000}}}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if h := in.HorizonHint(); h < 2000 {
+		t.Fatalf("horizon %d does not reach the last window end", h)
+	}
+}
+
+func TestGanttVariantListsCompletions(t *testing.T) {
+	in := &Instance{M: 1, Times: []Time{3}, Setup: []Time{2}}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := &Schedule{M: 1, Assignment: []int{0}}
+	g := s.Gantt(in)
+	if !strings.Contains(g, "done") || !strings.Contains(g, "makespan 5") {
+		t.Fatalf("variant gantt missing done column or makespan:\n%s", g)
+	}
+}

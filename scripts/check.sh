@@ -29,9 +29,18 @@ go vet ./cmd/...
 go run ./cmd/schedlint ./...
 
 go test -shuffle=on -timeout 10m ./...
+
+# Fuzz smoke over the instance text parser: five seconds of random streams
+# against the accept->validate->round-trip invariants of pcmax.FuzzReadText.
+# Catches format-grammar regressions the fixed test corpus misses.
+go test -timeout 5m -run '^$' -fuzz 'FuzzReadText' -fuzztime 5s ./pcmax
+
 # internal/lint rides along in the race pass: its loader and runner fan out
 # over the worker pool and must stay clean under the detector.
-go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./internal/lint ./solver
+# internal/trsched joins it: the variant solver shares the configuration
+# enumeration with the concurrent fill paths, and ./solver's race run now
+# also covers the variant dispatch layer in front of them.
+go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./internal/lint ./internal/trsched ./solver
 
 # Dedicated stress pass over the barrier pool: its park/wake, panic and
 # cancellation handoffs are the trickiest lock-free code in the tree, so run

@@ -136,7 +136,7 @@ func TestPTASTimeLimitShim(t *testing.T) {
 }
 
 func TestRegistryCoversAllAlgorithms(t *testing.T) {
-	want := []string{"exact", "ip", "lpt", "ls", "multifit", "ptas", "ptas-sparse", "sahni"}
+	want := []string{"brute", "exact", "ip", "lpt", "ls", "multifit", "ptas", "ptas-sparse", "ptas-tr", "sahni"}
 	got := solver.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

@@ -18,6 +18,7 @@ type Options struct {
 	PTAS  PTASOptions
 	Exact ExactOptions
 	Sahni SahniOptions
+	TR    TROptions
 }
 
 // Report is the uniform outcome record every registered algorithm returns:
@@ -38,8 +39,11 @@ type Report struct {
 
 	// PTAS carries the PTAS run statistics ("ptas" only).
 	PTAS *PTASStats
-	// Exact carries the branch-and-bound outcome ("exact" and "ip" only).
+	// Exact carries the branch-and-bound outcome ("exact", "ip" and "brute"
+	// only).
 	Exact *ExactResult
+	// TR carries the time-restricted bisection statistics ("ptas-tr" only).
+	TR *TRStats
 }
 
 // Algorithm is the uniform interface every scheduling algorithm in the
@@ -51,10 +55,13 @@ type Algorithm interface {
 	Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Report, error)
 }
 
-// Registry maps algorithm names to implementations. All eight algorithms
-// are registered at init: "ls", "lpt", "multifit", "ptas", "ptas-sparse",
-// "exact", "ip" and "sahni". Callers may add their own algorithms under
-// fresh names.
+// Registry maps algorithm names to implementations. All ten algorithms are
+// registered at init: "ls", "lpt", "multifit", "ptas", "ptas-sparse",
+// "exact", "ip", "sahni", "ptas-tr" and "brute". Callers may add their own
+// algorithms under fresh names; an algorithm that also implements
+// VariantCapable declares support for instance-model features beyond plain
+// P||Cmax (see variants.go), and the Solve helper enforces those capability
+// sets on dispatch.
 var Registry = map[string]Algorithm{}
 
 // Register adds an algorithm to Registry; it panics on a duplicate name,
@@ -87,16 +94,24 @@ func Names() []string {
 }
 
 // algo adapts a plain solve function to the Algorithm interface, stamping
-// the uniform Report fields (name, makespan, elapsed, interruption).
+// the uniform Report fields (name, makespan, elapsed, interruption) and
+// enforcing the declared variant capability set.
 type algo struct {
 	name string
+	caps pcmax.Variant
 	fn   func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error)
 }
 
 func (a algo) Name() string { return a.name }
 
+// Capabilities implements VariantCapable.
+func (a algo) Capabilities() pcmax.Variant { return a.caps }
+
 func (a algo) Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedule, Report, error) {
 	rep := Report{Algorithm: a.name}
+	if err := checkVariant(a, in); err != nil {
+		return nil, rep, err
+	}
 	t0 := time.Now()
 	sched, err := a.fn(ctx, in, opts, &rep)
 	rep.Elapsed = time.Since(t0)
@@ -138,44 +153,52 @@ func exactInterruption(ctx context.Context, res ExactResult) error {
 }
 
 func init() {
-	Register(algo{"ls", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
-		return LS(ctx, in)
-	}})
-	Register(algo{"lpt", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
-		return LPT(ctx, in)
-	}})
-	Register(algo{"multifit", func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
-		return MultiFit(ctx, in)
-	}})
-	Register(algo{"ptas", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
-		sched, st, err := PTAS(ctx, in, ptasOptions(opts))
-		rep.PTAS = st
-		return sched, err
-	}})
-	Register(algo{"ptas-sparse", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
-		popts := ptasOptions(opts)
-		popts.Sparsify = true
-		sched, st, err := PTAS(ctx, in, popts)
-		rep.PTAS = st
-		return sched, err
-	}})
-	Register(algo{"exact", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
-		sched, res, err := Exact(ctx, in, opts.Exact)
-		if err != nil {
-			return nil, err
-		}
-		rep.Exact = &res
-		return sched, exactInterruption(ctx, res)
-	}})
-	Register(algo{"ip", func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
-		sched, res, err := ExactIP(ctx, in, opts.Exact)
-		if err != nil {
-			return nil, err
-		}
-		rep.Exact = &res
-		return sched, exactInterruption(ctx, res)
-	}})
-	Register(algo{"sahni", func(ctx context.Context, in *pcmax.Instance, opts Options, _ *Report) (*pcmax.Schedule, error) {
-		return Sahni(ctx, in, opts.Sahni)
-	}})
+	Register(algo{name: "ls", caps: pcmax.AllVariants,
+		fn: func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+			return LS(ctx, in)
+		}})
+	Register(algo{name: "lpt", caps: pcmax.AllVariants,
+		fn: func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+			return LPT(ctx, in)
+		}})
+	Register(algo{name: "multifit",
+		fn: func(ctx context.Context, in *pcmax.Instance, _ Options, _ *Report) (*pcmax.Schedule, error) {
+			return MultiFit(ctx, in)
+		}})
+	Register(algo{name: "ptas",
+		fn: func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+			sched, st, err := PTAS(ctx, in, ptasOptions(opts))
+			rep.PTAS = st
+			return sched, err
+		}})
+	Register(algo{name: "ptas-sparse",
+		fn: func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+			popts := ptasOptions(opts)
+			popts.Sparsify = true
+			sched, st, err := PTAS(ctx, in, popts)
+			rep.PTAS = st
+			return sched, err
+		}})
+	Register(algo{name: "exact",
+		fn: func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+			sched, res, err := Exact(ctx, in, opts.Exact)
+			if err != nil {
+				return nil, err
+			}
+			rep.Exact = &res
+			return sched, exactInterruption(ctx, res)
+		}})
+	Register(algo{name: "ip",
+		fn: func(ctx context.Context, in *pcmax.Instance, opts Options, rep *Report) (*pcmax.Schedule, error) {
+			sched, res, err := ExactIP(ctx, in, opts.Exact)
+			if err != nil {
+				return nil, err
+			}
+			rep.Exact = &res
+			return sched, exactInterruption(ctx, res)
+		}})
+	Register(algo{name: "sahni",
+		fn: func(ctx context.Context, in *pcmax.Instance, opts Options, _ *Report) (*pcmax.Schedule, error) {
+			return Sahni(ctx, in, opts.Sahni)
+		}})
 }

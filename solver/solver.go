@@ -59,7 +59,12 @@ var (
 // DP entries filled) an interrupted PTAS had made.
 type Interruption = cancel.Error
 
-// LS runs Graham's list scheduling in job input order.
+// LS runs Graham's list scheduling in job input order. It accepts every
+// instance variant: on non-plain instances the priority list is unchanged and
+// each job goes to the machine completing it earliest under release, setup
+// and window semantics (see internal/listsched). Plain instances take the
+// classic code path and schedules are bit-identical to before the variant
+// model existed.
 func LS(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -67,10 +72,13 @@ func LS(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := cancel.Check(ctx); err != nil {
 		return nil, err
 	}
-	return listsched.LS(in), nil
+	return listsched.LSGeneral(in)
 }
 
-// LPT runs Graham's longest-processing-time algorithm.
+// LPT runs Graham's longest-processing-time algorithm. Like LS it accepts
+// every instance variant, choosing the earliest-completion machine for each
+// job of the LPT priority list; plain instances take the classic code path
+// unchanged.
 func LPT(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -78,7 +86,7 @@ func LPT(ctx context.Context, in *pcmax.Instance) (*pcmax.Schedule, error) {
 	if err := cancel.Check(ctx); err != nil {
 		return nil, err
 	}
-	return listsched.LPT(in), nil
+	return listsched.LPTGeneral(in)
 }
 
 // MultiFit runs the MF algorithm with the capacity search at full

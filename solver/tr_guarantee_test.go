@@ -1,0 +1,111 @@
+package solver_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+// TestTRGuaranteeAgainstExactOptima is the differential anchor of the
+// ptas-tr registry algorithm: across setup/window variants, shapes and eps
+// values, the time-restricted solver is cross-checked against brute-force
+// optima. Exact mode (few distinct sizes) must hit the optimum exactly;
+// grouped mode must stay sound (never below the optimum, never above its own
+// certified bound).
+func TestTRGuaranteeAgainstExactOptima(t *testing.T) {
+	variants := []pcmax.Variant{
+		pcmax.SetupTimes,
+		pcmax.TimeRestricted,
+		pcmax.SetupTimes | pcmax.TimeRestricted,
+	}
+	shapes := []struct{ m, n int }{{2, 8}, {3, 10}}
+	for _, eps := range []float64{0.5, 0.3, 0.1} {
+		for _, v := range variants {
+			for _, sh := range shapes {
+				for seed := uint64(1); seed <= 3; seed++ {
+					in := workload.MustGenerateVariant(workload.VariantSpec{
+						Spec:    workload.Spec{Family: workload.U1_10, M: sh.m, N: sh.n, Seed: seed},
+						Variant: v,
+					})
+
+					exactS, res, err := solver.BruteForceVariant(context.Background(), in)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !res.Optimal {
+						t.Fatalf("%v m=%d n=%d: brute did not certify", v, sh.m, sh.n)
+					}
+					opt := exactS.Makespan(in)
+
+					opts := solver.Options{TR: solver.TROptions{Epsilon: eps}}
+					sched, rep, err := solver.Solve(context.Background(), "ptas-tr", in, opts)
+					if err != nil {
+						t.Fatalf("%v m=%d n=%d eps=%v seed=%d: %v", v, sh.m, sh.n, eps, seed, err)
+					}
+					if err := sched.Feasible(in); err != nil {
+						t.Fatalf("%v m=%d n=%d eps=%v seed=%d: infeasible: %v", v, sh.m, sh.n, eps, seed, err)
+					}
+					if rep.TR == nil {
+						t.Fatalf("%v m=%d n=%d: no TR stats", v, sh.m, sh.n)
+					}
+					ms := sched.Makespan(in)
+					if ms < opt {
+						t.Fatalf("%v m=%d n=%d eps=%v seed=%d: makespan %d below optimum %d",
+							v, sh.m, sh.n, eps, seed, ms, opt)
+					}
+					// U(1,10) sizes give at most 10 distinct values, within
+					// the exact-mode threshold: the result must be the
+					// certified optimum, not just within a ratio band.
+					if !rep.TR.Exact {
+						t.Fatalf("%v m=%d n=%d eps=%v seed=%d: expected exact mode (stats %+v)",
+							v, sh.m, sh.n, eps, seed, rep.TR)
+					}
+					if ms != opt {
+						t.Fatalf("%v m=%d n=%d eps=%v seed=%d: exact mode returned %d, optimum %d",
+							v, sh.m, sh.n, eps, seed, ms, opt)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTRGuaranteeGroupedMode forces configuration grouping (the approximate
+// path) and checks soundness: the schedule stays feasible and its makespan
+// sits between the brute-force optimum and the solver's own reported upper
+// bound.
+func TestTRGuaranteeGroupedMode(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		in := workload.MustGenerateVariant(workload.VariantSpec{
+			Spec:    workload.Spec{Family: workload.U1_100, M: 3, N: 9, Seed: seed},
+			Variant: pcmax.SetupTimes | pcmax.TimeRestricted,
+		})
+		exactS, res, err := solver.BruteForceVariant(context.Background(), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Optimal {
+			t.Fatal("brute did not certify")
+		}
+		opt := exactS.Makespan(in)
+
+		opts := solver.Options{TR: solver.TROptions{Epsilon: 0.3, MaxDistinctExact: 1}}
+		sched, rep, err := solver.Solve(context.Background(), "ptas-tr", in, opts)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.TR.Exact {
+			t.Fatalf("seed %d: grouped mode not forced", seed)
+		}
+		ms := sched.Makespan(in)
+		if ms < opt {
+			t.Fatalf("seed %d: grouped makespan %d below optimum %d", seed, ms, opt)
+		}
+		if ms > rep.TR.UB {
+			t.Fatalf("seed %d: makespan %d above the reported bound %d", seed, ms, rep.TR.UB)
+		}
+	}
+}

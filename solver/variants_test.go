@@ -1,0 +1,131 @@
+package solver_test
+
+import (
+	"context"
+	"errors"
+	"sort"
+	"testing"
+
+	"repro/internal/trsched"
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+func TestCapabilities(t *testing.T) {
+	cases := []struct {
+		name string
+		want pcmax.Variant
+	}{
+		{"ls", pcmax.AllVariants},
+		{"lpt", pcmax.AllVariants},
+		{"brute", pcmax.AllVariants},
+		{"ptas-tr", trsched.Capabilities},
+		{"ptas", pcmax.Plain},
+		{"ptas-sparse", pcmax.Plain},
+		{"exact", pcmax.Plain},
+	}
+	for _, tc := range cases {
+		got, err := solver.Capabilities(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("Capabilities(%q) = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	if _, err := solver.Capabilities("no-such-algo"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestSolveRejectsUnsupportedVariant(t *testing.T) {
+	in := workload.MustGenerateVariant(workload.VariantSpec{
+		Spec:    workload.Spec{Family: workload.U1_10, M: 2, N: 6, Seed: 1},
+		Variant: pcmax.ReleaseTimes,
+	})
+	_, _, err := solver.Solve(context.Background(), "ptas", in, solver.Options{PTAS: solver.PTASOptions{Epsilon: 0.5}})
+	if !errors.Is(err, solver.ErrUnsupportedVariant) {
+		t.Fatalf("want ErrUnsupportedVariant, got %v", err)
+	}
+	var verr *solver.VariantError
+	if !errors.As(err, &verr) {
+		t.Fatalf("error is not a *VariantError: %v", err)
+	}
+	if verr.Algorithm != "ptas" || verr.Variant != pcmax.ReleaseTimes || verr.Supported != pcmax.Plain {
+		t.Fatalf("VariantError fields wrong: %+v", verr)
+	}
+
+	// The check also guards direct registry use, not just solver.Solve.
+	algo, err := solver.Lookup("ptas")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := algo.Solve(context.Background(), in, solver.Options{PTAS: solver.PTASOptions{Epsilon: 0.5}}); !errors.Is(err, solver.ErrUnsupportedVariant) {
+		t.Fatalf("direct Lookup().Solve bypassed the variant check: %v", err)
+	}
+}
+
+func TestSolveDispatchesCapableAlgorithms(t *testing.T) {
+	in := workload.MustGenerateVariant(workload.VariantSpec{
+		Spec:    workload.Spec{Family: workload.U1_10, M: 2, N: 8, Seed: 2},
+		Variant: pcmax.SetupTimes | pcmax.TimeRestricted,
+	})
+	for _, name := range []string{"ls", "lpt", "ptas-tr", "brute"} {
+		sched, rep, err := solver.Solve(context.Background(), name, in, solver.Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := sched.Feasible(in); err != nil {
+			t.Fatalf("%s: infeasible: %v", name, err)
+		}
+		switch name {
+		case "ptas-tr":
+			if rep.TR == nil {
+				t.Fatal("ptas-tr returned no TR stats")
+			}
+		case "brute":
+			if rep.Exact == nil || !rep.Exact.Optimal {
+				t.Fatalf("brute returned no certified exact result: %+v", rep.Exact)
+			}
+		}
+	}
+}
+
+func TestCapableNames(t *testing.T) {
+	names := solver.CapableNames(pcmax.ReleaseTimes)
+	want := []string{"brute", "lpt", "ls"}
+	if len(names) != len(want) {
+		t.Fatalf("CapableNames(release) = %v, want %v", names, want)
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Fatalf("CapableNames not sorted: %v", names)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("CapableNames(release) = %v, want %v", names, want)
+		}
+	}
+	if plain := solver.CapableNames(pcmax.Plain); len(plain) < 8 {
+		t.Fatalf("CapableNames(plain) lists only %v", plain)
+	}
+}
+
+func TestDefaultAlgorithm(t *testing.T) {
+	cases := []struct {
+		v    pcmax.Variant
+		want string
+	}{
+		{pcmax.Plain, "ptas"},
+		{pcmax.SetupTimes, "ptas-tr"},
+		{pcmax.TimeRestricted, "ptas-tr"},
+		{pcmax.SetupTimes | pcmax.TimeRestricted, "ptas-tr"},
+		{pcmax.ReleaseTimes, "lpt"},
+		{pcmax.AllVariants, "lpt"},
+	}
+	for _, tc := range cases {
+		if got := solver.DefaultAlgorithm(tc.v); got != tc.want {
+			t.Errorf("DefaultAlgorithm(%v) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+}
