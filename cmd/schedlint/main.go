@@ -1,25 +1,30 @@
-// Command schedlint runs the repository's static-analysis suite: eleven
-// analyzers (see internal/lint and ALGORITHM.md §9/§11) that machine-check
-// the concurrency and determinism invariants the scheduler depends on —
-// deterministic RNG only through internal/rng, context threaded through
-// every blocking solver entry point, no unjoined goroutines, no map
-// iteration order leaking into results, no undocumented library panics, no
-// by-value copies of the parallel substrate's lock-bearing types, no mixing
-// of atomic and plain access to one word, a consistent mutex acquisition
-// order, no unterminatable goroutines reachable from exported functions,
-// WaitGroup accounting balanced on every path, and allocation-free
-// //lint:hotpath kernels.
+// Command schedlint runs the repository's static-analysis suite: fourteen
+// analyzers (see internal/lint and ALGORITHM.md §9/§11/§14) that
+// machine-check the concurrency, determinism and value-flow invariants the
+// scheduler depends on — deterministic RNG only through internal/rng,
+// context threaded through every blocking solver entry point, no unjoined
+// goroutines, no map iteration order leaking into results, no undocumented
+// library panics, no by-value copies of the parallel substrate's
+// lock-bearing types, no mixing of atomic and plain access to one word, a
+// consistent mutex acquisition order, no unterminatable goroutines
+// reachable from exported functions, WaitGroup accounting balanced on every
+// path, non-escaping allocation in //lint:hotpath kernels (escape, with
+// hotalloc covering append and interface boxing), provably in-bounds
+// indexing in those kernels (boundsproof), and provably overflow-free
+// arithmetic reachable from the //lint:parseroot readers (intoverflow).
 //
 // Usage:
 //
-//	schedlint [-json] [-out file] [-only check] [-parallel N] [-v] [packages]
+//	schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v] [packages]
 //
 // schedlint always analyzes the whole module containing the working
 // directory; package arguments (./...) are accepted for command-line
 // familiarity but do not narrow the run — the invariants are module-wide.
-// Findings print as file:line:col: check: message (or a JSON array with
-// -json) and any finding makes the exit status 1. Suppress an individual
-// finding with a trailing or preceding comment:
+// -only takes one check name or a comma-separated list and narrows the
+// report (not the run) to those checks. Findings print as
+// file:line:col: check: message (or a JSON array with -json) and any
+// finding makes the exit status 1. Suppress an individual finding with a
+// trailing or preceding comment:
 //
 //	//lint:ignore <check> <reason>
 //
@@ -60,12 +65,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var cfg config
 	fs.BoolVar(&cfg.jsonOut, "json", false, "emit findings as a JSON array")
 	fs.StringVar(&cfg.outFile, "out", "", "also write the report to this file (implies the same format as stdout)")
-	fs.StringVar(&cfg.only, "only", "", "report only findings of this check (others still run; the suite is module-wide)")
+	fs.StringVar(&cfg.only, "only", "", "report only findings of these comma-separated checks (others still run; the suite is module-wide)")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS)")
-	fs.BoolVar(&cfg.verbose, "v", false, "print per-analyzer wall time to stderr")
+	fs.BoolVar(&cfg.verbose, "v", false, "print load and per-analyzer wall time to stderr")
 	listChecks := fs.Bool("checks", false, "list the analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: schedlint [-json] [-out file] [-only check] [-parallel N] [-v] [packages]\n")
+		fmt.Fprintf(stderr, "usage: schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,17 +84,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if cfg.only != "" && cfg.only != lint.DirectiveCheck {
-		known := false
-		for _, a := range analyzers {
-			if a.Name == cfg.only {
-				known = true
-				break
+	only := map[string]bool{}
+	if cfg.only != "" {
+		for _, name := range strings.Split(cfg.only, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
 			}
-		}
-		if !known {
-			fmt.Fprintf(stderr, "schedlint: -only %s: unknown check (see -checks)\n", cfg.only)
-			return 2
+			known := name == lint.DirectiveCheck
+			for _, a := range analyzers {
+				if a.Name == name {
+					known = true
+					break
+				}
+			}
+			if !known {
+				fmt.Fprintf(stderr, "schedlint: -only %s: unknown check (see -checks)\n", name)
+				return 2
+			}
+			only[name] = true
 		}
 	}
 
@@ -112,10 +125,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "schedlint: %-12s %8.1fms\n", t.Name, millis(t.Elapsed))
 		}
 	}
-	if cfg.only != "" {
+	if len(only) > 0 {
 		kept := diags[:0]
 		for _, d := range diags {
-			if d.Check == cfg.only {
+			if only[d.Check] {
 				kept = append(kept, d)
 			}
 		}

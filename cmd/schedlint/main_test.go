@@ -52,6 +52,7 @@ func TestJSONSchema(t *testing.T) {
 	if len(findings) == 0 {
 		t.Fatalf("demo module should produce findings")
 	}
+	seen := map[string]bool{}
 	for i, f := range findings {
 		if len(f) != 5 {
 			t.Errorf("finding %d has %d fields, want 5: %v", i, len(f), f)
@@ -66,6 +67,37 @@ func TestJSONSchema(t *testing.T) {
 				t.Errorf("finding %d: %q should be a number: %v", i, key, f[key])
 			}
 		}
+		if check, ok := f["check"].(string); ok {
+			seen[check] = true
+		}
+	}
+	// The value-flow analyzers' diagnostics go through the same schema.
+	for _, check := range []string{"boundsproof", "intoverflow", "escape"} {
+		if !seen[check] {
+			t.Errorf("demo module should produce a %s finding", check)
+		}
+	}
+}
+
+// TestOnlyList: -only takes a comma-separated list — the shape the CI gate
+// uses to name the value-flow analyzers — and keeps exactly those checks'
+// findings.
+func TestOnlyList(t *testing.T) {
+	code, out, errb := runDemo(t, "-json", "-only", "intoverflow,boundsproof,escape")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errb)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f["check"].(string)] = counts[f["check"].(string)] + 1
+	}
+	want := map[string]int{"intoverflow": 1, "boundsproof": 1, "escape": 1}
+	if len(findings) != 3 || counts["intoverflow"] != 1 || counts["boundsproof"] != 1 || counts["escape"] != 1 {
+		t.Errorf("got %d findings with counts %v, want exactly %v", len(findings), counts, want)
 	}
 }
 

@@ -95,6 +95,9 @@ func (s SparseStats) Reduction() float64 {
 //
 //lint:hotpath dominance test runs once per enumerated configuration
 func dominated(cur []int32, sizes []pcmax.Time, counts []int, w, T pcmax.Time) bool {
+	if len(cur) < len(sizes) || len(counts) < len(sizes) {
+		return false // never taken: the parallel slices share length d
+	}
 	for i, s := range sizes {
 		if int(cur[i]) < counts[i] && w+s <= T {
 			return true

@@ -359,9 +359,13 @@ func sumDigits(v []int32) int32 {
 //
 //lint:hotpath odometer advancement runs once per table entry
 func (t *Table) advance(v []int32, delta int64) int32 {
+	counts := t.Counts
+	if len(counts) < len(v) {
+		return 0 // never taken: Counts and every digit vector share length d
+	}
 	var dl int32
 	for i := len(v) - 1; i >= 0 && delta > 0; i-- {
-		radix := int64(t.Counts[i]) + 1
+		radix := int64(counts[i]) + 1
 		digit := delta % radix
 		delta /= radix
 		nv := int64(v[i]) + digit
@@ -381,9 +385,13 @@ func (t *Table) advance(v []int32, delta int64) int32 {
 //
 //lint:hotpath odometer increment runs once per table entry
 func (t *Table) advanceOne(v []int32) int32 {
+	counts := t.Counts
+	if len(counts) < len(v) {
+		return 0 // never taken: Counts and every digit vector share length d
+	}
 	var dl int32
 	for i := len(v) - 1; i >= 0; i-- {
-		if int(v[i]) < t.Counts[i] {
+		if int(v[i]) < counts[i] {
 			v[i]++
 			return dl + 1
 		}
@@ -441,16 +449,23 @@ func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 		return
 	}
 	best := int32(math.MaxInt32)
+	opt := t.Opt
+	if idx < 0 || idx >= int64(len(opt)) {
+		return // never taken: the fill loops keep idx inside [0, Sigma)
+	}
 	if t.LegacyFill {
-		for ci := range t.Configs {
-			c := &t.Configs[ci]
+		cfgs := t.Configs
+		for ci := range cfgs {
+			c := &cfgs[ci]
 			if conf.Fits(c.Counts, v) {
-				if o := t.Opt[idx-c.Offset]; o < best {
-					best = o
+				if o := idx - c.Offset; o >= 0 && o < int64(len(opt)) {
+					if e := opt[o]; e < best {
+						best = e
+					}
 				}
 			}
 		}
-		t.Opt[idx] = best + 1
+		opt[idx] = best + 1
 		return
 	}
 	if t.packed != nil {
@@ -459,29 +474,43 @@ func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 	}
 	s := t.set
 	d := s.D
+	if d < 0 || d > len(v) {
+		return // never taken: rows and digit vectors share the class dimension
+	}
 	// Level-aware pruning: a configuration with Jobs > level cannot satisfy
 	// s <= v because its digit sum exceeds v's. The prefix holds exactly the
 	// candidates.
 	bound := int(s.Bounds.Upto(level))
-	counts := s.Counts
 	offsets := s.Offsets
-	base := 0
+	n := len(offsets)
+	if bound < n {
+		n = bound
+	}
+	// The flat row matrix is walked with a moving-cursor reslice instead of a
+	// base index: the length guard both proves the next row exists and lets
+	// the compiler elide the bounds checks on it.
+	rest := s.Counts
 scan:
-	for ci := 0; ci < bound; ci++ {
-		row := counts[base : base+d]
-		base += d
+	for ci := 0; ci < n; ci++ {
+		if len(rest) < d {
+			break // never taken: Counts holds one d-row per configuration
+		}
+		row := rest[:d]
+		rest = rest[d:]
 		for j, sv := range row {
 			if sv > v[j] {
 				continue scan
 			}
 		}
-		if o := t.Opt[idx-offsets[ci]]; o < best {
-			best = o
+		if o := idx - offsets[ci]; o >= 0 && o < int64(len(opt)) {
+			if e := opt[o]; e < best {
+				best = e
+			}
 		}
 	}
 	// A non-zero entry always admits at least one singleton configuration
 	// (every size is <= T), so best is a real value here.
-	t.Opt[idx] = best + 1
+	opt[idx] = best + 1
 }
 
 // swarHigh masks the sign bit of every byte lane.
@@ -502,8 +531,16 @@ const swarHigh = uint64(0x8080808080808080)
 //lint:hotpath SWAR kernel, the tightest loop in the repository
 func (t *Table) computeEntryPacked(idx int64, v []int32, level int32) {
 	s := t.set
+	opt := t.Opt
+	if idx < 0 || idx >= int64(len(opt)) {
+		return // never taken: the fill loops keep idx inside [0, Sigma)
+	}
 	bound := int(s.Bounds.Upto(level))
 	offsets := s.Offsets
+	n := len(offsets)
+	if bound < n {
+		n = bound
+	}
 	best := int32(math.MaxInt32)
 	var v0, v1 uint64
 	for j, x := range v {
@@ -516,24 +553,37 @@ func (t *Table) computeEntryPacked(idx int64, v []int32, level int32) {
 	x0 := v0 | swarHigh
 	packed := t.packed
 	if t.packW == 1 {
-		for ci := 0; ci < bound; ci++ {
-			if (x0-packed[ci])&swarHigh == swarHigh {
-				if o := t.Opt[idx-offsets[ci]]; o < best {
-					best = o
+		for ci, p := range packed {
+			if ci >= n {
+				break
+			}
+			if (x0-p)&swarHigh == swarHigh {
+				if o := idx - offsets[ci]; o >= 0 && o < int64(len(opt)) {
+					if e := opt[o]; e < best {
+						best = e
+					}
 				}
 			}
 		}
 	} else {
 		x1 := v1 | swarHigh
-		for ci := 0; ci < bound; ci++ {
-			if (x0-packed[2*ci])&swarHigh == swarHigh && (x1-packed[2*ci+1])&swarHigh == swarHigh {
-				if o := t.Opt[idx-offsets[ci]]; o < best {
-					best = o
+		rest := packed
+		for ci := 0; ci < n; ci++ {
+			if len(rest) < 2 {
+				break // never taken: two packed words per configuration
+			}
+			p0, p1 := rest[0], rest[1]
+			rest = rest[2:]
+			if (x0-p0)&swarHigh == swarHigh && (x1-p1)&swarHigh == swarHigh {
+				if o := idx - offsets[ci]; o >= 0 && o < int64(len(opt)) {
+					if e := opt[o]; e < best {
+						best = e
+					}
 				}
 			}
 		}
 	}
-	t.Opt[idx] = best + 1
+	opt[idx] = best + 1
 }
 
 // computeEntryPerEnum evaluates the recurrence by regenerating the entry's

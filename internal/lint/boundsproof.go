@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// BoundsProof certifies the DP kernels' indexing: inside every
+// //lint:hotpath function, each slice, array or string index — and every
+// slice expression — must be provably in bounds from the interval facts the
+// value-flow engine derives (dominating guards, loop bounds, length
+// equalities). Anything unprovable is reported with its witness interval,
+// so the fix is always visible: either add the dominating guard the proof
+// needs or bind the untracked length to a local. The hot kernels run
+// without bounds-check elimination surprises once this passes — every index
+// the analyzer accepts is one the compiler's BCE can in principle drop too.
+var BoundsProof = &Analyzer{
+	Name: "boundsproof",
+	Doc:  "every index in a //lint:hotpath function must be provably in bounds from dominating guards",
+	Run:  runBoundsProof,
+}
+
+func runBoundsProof(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		fns, _ := directiveFuncs(f, isHotpathDirective)
+		for _, fd := range fns {
+			if fd.Body == nil {
+				continue
+			}
+			vf := buildValueFlow(pass.Pkg, fd)
+			checkBounds(pass, vf)
+		}
+	}
+}
+
+func checkBounds(pass *Pass, vf *valueFlow) {
+	vf.walk(func(_ *Block, n ast.Node, env intervalFact) {
+		inspectShallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.IndexExpr:
+				vf.checkIndex(pass, m, env)
+			case *ast.SliceExpr:
+				vf.checkSlice(pass, m, env)
+			}
+			return true
+		})
+		if ds, ok := n.(*ast.DeferStmt); ok {
+			ast.Inspect(ds.Call, func(m ast.Node) bool {
+				if ie, ok := m.(*ast.IndexExpr); ok {
+					vf.checkIndex(pass, ie, env)
+				}
+				return true
+			})
+		}
+	})
+}
+
+// indexLimit returns the inclusive upper limit term for indexing the base
+// expression (len−1 for slices and strings, N−1 for arrays), with ok=false
+// when the base kind needs no check (maps) and trackable=false when the
+// length cannot be named (untracked slice base).
+func (vf *valueFlow) indexLimit(env intervalFact, base ast.Expr) (limit ibound, trackable, ok bool) {
+	tv, found := vf.pkg.Info.Types[base]
+	if !found || tv.Type == nil || tv.IsType() {
+		return ibound{}, false, false
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		if lt, tok := vf.lenTermOf(env, base); tok {
+			return lt.add(-1), true, true
+		}
+		return ibound{}, false, true
+	case *types.Basic:
+		if t.Info()&types.IsString == 0 {
+			return ibound{}, false, false
+		}
+		if lt, tok := vf.lenTermOf(env, base); tok {
+			return lt.add(-1), true, true
+		}
+		return ibound{}, false, true
+	case *types.Array:
+		return constBound(t.Len() - 1), true, true
+	case *types.Pointer:
+		if arr, aok := t.Elem().Underlying().(*types.Array); aok {
+			return constBound(arr.Len() - 1), true, true
+		}
+	}
+	return ibound{}, false, false
+}
+
+func (vf *valueFlow) checkIndex(pass *Pass, e *ast.IndexExpr, env intervalFact) {
+	limit, trackable, ok := vf.indexLimit(env, e.X)
+	if !ok {
+		return
+	}
+	fname := vf.fd.Name.Name
+	if !trackable {
+		pass.Reportf(e.Pos(), "hot path %s indexes a value whose length the prover cannot track; bind the slice to a local first", fname)
+		return
+	}
+	iv := vf.evalExpr(env, e.Index)
+	loOK := vf.cmpLE(env, constBound(0), iv.Lo)
+	hiOK := vf.cmpLE(env, iv.Hi, limit)
+	if loOK && hiOK {
+		return
+	}
+	pass.Reportf(e.Pos(), "hot path %s: cannot prove index in bounds: value in %s, need [0, %s]",
+		fname, vf.renderIval(iv), vf.render(limit))
+}
+
+func (vf *valueFlow) checkSlice(pass *Pass, e *ast.SliceExpr, env intervalFact) {
+	limit, trackable, ok := vf.indexLimit(env, e.X)
+	if !ok {
+		return
+	}
+	fname := vf.fd.Name.Name
+	if !trackable {
+		pass.Reportf(e.Pos(), "hot path %s slices a value whose length the prover cannot track; bind the slice to a local first", fname)
+		return
+	}
+	// Slicing may go one past the last element.
+	lenTerm := limit.add(1)
+	lowIv := degenerate(constBound(0))
+	if e.Low != nil {
+		lowIv = vf.evalExpr(env, e.Low)
+	}
+	if !vf.cmpLE(env, constBound(0), lowIv.Lo) {
+		pass.Reportf(e.Pos(), "hot path %s: cannot prove slice lower bound non-negative: value in %s",
+			fname, vf.renderIval(lowIv))
+		return
+	}
+	// Each upper expression must stay within len (≤ cap, so this is
+	// conservative but sound); the lower bound must not pass the smallest
+	// present upper expression.
+	uppers := []ast.Expr{e.High, e.Max}
+	lowChecked := false
+	for _, u := range uppers {
+		if u == nil {
+			continue
+		}
+		uIv := vf.evalExpr(env, u)
+		if !vf.cmpLE(env, uIv.Hi, lenTerm) {
+			pass.Reportf(e.Pos(), "hot path %s: cannot prove slice bound within len: value in %s, need at most %s",
+				fname, vf.renderIval(uIv), vf.render(lenTerm))
+			return
+		}
+		if !lowChecked {
+			lowChecked = true
+			if !vf.cmpLE(env, lowIv.Hi, uIv.Lo) {
+				pass.Reportf(e.Pos(), "hot path %s: cannot prove slice bounds ordered: low in %s, high in %s",
+					fname, vf.renderIval(lowIv), vf.renderIval(uIv))
+				return
+			}
+		}
+	}
+	if !lowChecked && !vf.cmpLE(env, lowIv.Hi, lenTerm) {
+		pass.Reportf(e.Pos(), "hot path %s: cannot prove slice lower bound within len: value in %s, need at most %s",
+			fname, vf.renderIval(lowIv), vf.render(lenTerm))
+	}
+}

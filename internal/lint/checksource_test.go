@@ -1,0 +1,45 @@
+package lint
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/types"
+	"testing"
+)
+
+// checkSource type-checks one file of source and returns a minimal Package
+// for driving the per-function engines (CFG, SSA, value flow) in tests.
+func checkSource(t *testing.T, src string) *Package {
+	t.Helper()
+	f, err := parser.ParseFile(sharedFset, t.Name()+".go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("probe", sharedFset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return &Package{Path: "probe", Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+// funcNamed finds a function declaration by name in the package's sole file.
+func funcNamed(t *testing.T, pkg *Package, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, decl := range pkg.Files[0].Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no function %q in probe source", name)
+	return nil
+}

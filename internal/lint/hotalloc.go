@@ -9,47 +9,32 @@ import (
 // HotAlloc keeps the DP inner loops allocation-free. Functions whose doc
 // comment carries a //lint:hotpath directive (the layer-fill entry
 // computation, the SWAR kernel, the odometer decoders) run millions of
-// times per bisection probe; a single composite literal, growing append,
-// closure, or interface boxing in one of them shows up directly in the
-// benchmarks the CI gate watches. The directive makes the contract
-// machine-checked instead of a comment nobody re-verifies.
+// times per bisection probe; a growing append or an interface boxing in
+// one of them shows up directly in the benchmarks the CI gate watches.
+// Allocation sites that only allocate when they escape — composite
+// literals, make, new, closures — are the escape analyzer's job; hotalloc
+// keeps the two checks value-flow cannot improve on: append may grow its
+// backing array regardless of escaping, and interface boxing allocates at
+// the conversion itself. Both checks skip cold error-bail-out blocks: an
+// allocation on the `return fmt.Errorf(...)` path costs nothing per hot
+// iteration.
 var HotAlloc = &Analyzer{
 	Name: "hotalloc",
-	Doc:  "//lint:hotpath functions must not allocate: no composite literals, make, append, closures, or interface boxing",
+	Doc:  "//lint:hotpath functions must not call append or box into interfaces on the hot path",
 	Run:  runHotAlloc,
 }
 
 const hotpathPrefix = "//lint:hotpath"
 
 func runHotAlloc(pass *Pass) {
-	pkg := pass.Pkg
-	for _, f := range pkg.Files {
-		// Directives attached to function declarations mark hot paths;
-		// any other placement is dead weight and flagged as such.
-		attached := map[*ast.Comment]bool{}
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Doc == nil {
-				continue
-			}
-			hot := false
-			for _, c := range fd.Doc.List {
-				if isHotpathDirective(c.Text) {
-					attached[c] = true
-					hot = true
-				}
-			}
-			if hot && fd.Body != nil {
+	for _, f := range pass.Pkg.Files {
+		fns, attached := directiveFuncs(f, isHotpathDirective)
+		for _, fd := range fns {
+			if fd.Body != nil {
 				checkHotBody(pass, fd)
 			}
 		}
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if isHotpathDirective(c.Text) && !attached[c] {
-					pass.Reportf(c.Pos(), "stray //lint:hotpath: the directive must be part of a function declaration's doc comment")
-				}
-			}
-		}
+		reportStray(pass, f, isHotpathDirective, attached, "//lint:hotpath")
 	}
 }
 
@@ -61,32 +46,43 @@ func isHotpathDirective(text string) bool {
 	return rest == "" || rest[0] == ' ' || rest[0] == '\t'
 }
 
+// checkHotBody scans the function's warm blocks (everything except the
+// cold error bail-outs) for allocating calls.
 func checkHotBody(pass *Pass, fd *ast.FuncDecl) {
-	pkg := pass.Pkg
+	cfg := BuildCFG(fd.Body)
+	dom := BuildDom(cfg)
+	cold := coldBlocks(pass.Pkg.Info, fd, cfg, dom)
 	name := fd.Name.Name
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.FuncLit:
-			pass.Reportf(n.Pos(), "hot path %s builds a closure, which allocates; hoist it out of the hot function", name)
-			return false // its body is not on the hot path contract
-		case *ast.CompositeLit:
-			pass.Reportf(n.Pos(), "hot path %s builds a composite literal, which allocates; reuse a caller-provided buffer", name)
-		case *ast.CallExpr:
-			checkHotCall(pass, pkg, name, n)
+	scan := func(n ast.Node) {
+		inspectShallow(n, func(m ast.Node) bool {
+			if call, ok := m.(*ast.CallExpr); ok {
+				checkHotCall(pass, pass.Pkg, name, call)
+			}
+			return true
+		})
+	}
+	for _, b := range dom.rpo {
+		if cold[b] {
+			continue
 		}
-		return true
-	})
+		for _, n := range b.Nodes {
+			scan(n)
+			if ds, ok := n.(*ast.DeferStmt); ok {
+				// Deferred arguments evaluate (and box) at the defer
+				// statement, on the hot path.
+				scan(ds.Call)
+			}
+		}
+	}
 }
 
 func checkHotCall(pass *Pass, pkg *Package, name string, call *ast.CallExpr) {
-	// Builtins that allocate.
+	// Builtins: append may grow the backing array even when nothing
+	// escapes.
 	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
 		if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
-			switch id.Name {
-			case "append":
+			if id.Name == "append" {
 				pass.Reportf(call.Pos(), "hot path %s calls append, which may grow the backing array; size the slice up front", name)
-			case "make", "new":
-				pass.Reportf(call.Pos(), "hot path %s calls %s, which allocates; hoist the allocation to the caller", name, id.Name)
 			}
 			return
 		}

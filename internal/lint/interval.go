@@ -1,0 +1,1319 @@
+package lint
+
+// The interval/constant lattice over SSA values and its fixpoint
+// propagation — the "value" half of the value-flow engine (ALGORITHM.md
+// §14). Facts are symbolic intervals: each bound is either a constant or
+// "value of SSA value B, plus a constant offset". Because SSA values are
+// immutable at runtime, a symbolic bound like i ≤ len(v)−1 keeps meaning
+// the same thing everywhere it flows, which is exactly what the bounds
+// prover needs to certify v[i] without knowing len(v).
+//
+// Propagation is sparse conditional range propagation on the existing
+// dataflow worklist: the transfer function evaluates each block's
+// definitions in order, the edge transfer refines ranges from branch
+// conditions (<, <=, ==, and their negations, through &&/||/!), and phi
+// values are resolved per incoming edge after refinement. A threshold
+// widening (to the constants appearing in the function's comparisons, then
+// to infinity) bounds the iteration on counting loops.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+)
+
+// maxSliceLen is the a-priori bound on any slice length: 2^48 elements is
+// beyond addressable memory on every supported platform, so using it as the
+// default upper bound of a len() value is sound in practice and keeps
+// len-derived arithmetic out of the overflow reports.
+const maxSliceLen = int64(1) << 48
+
+// ibound is one interval bound: the value of SSA value Base plus Off, or a
+// plain constant when Base is 0, or an infinity when Inf is ±1.
+type ibound struct {
+	Base VID
+	Off  int64
+	Inf  int8 // -1: -inf, +1: +inf, 0: finite
+}
+
+var (
+	negInf = ibound{Inf: -1}
+	posInf = ibound{Inf: +1}
+)
+
+func constBound(c int64) ibound { return ibound{Off: c} }
+func (b ibound) isConst() bool  { return b.Inf == 0 && b.Base == 0 }
+func (b ibound) eq(o ibound) bool {
+	return b.Base == o.Base && b.Off == o.Off && b.Inf == o.Inf
+}
+
+// add shifts a finite bound by a constant, saturating to infinity on
+// overflow (the bound stays sound, just less precise).
+func (b ibound) add(c int64) ibound {
+	if b.Inf != 0 {
+		return b
+	}
+	s, ok := addInt64(b.Off, c)
+	if !ok {
+		if c > 0 {
+			return posInf
+		}
+		return negInf
+	}
+	b.Off = s
+	return b
+}
+
+func addInt64(a, b int64) (int64, bool) {
+	s := a + b
+	if (a > 0 && b > 0 && s < 0) || (a < 0 && b < 0 && s >= 0) {
+		return 0, false
+	}
+	return s, true
+}
+
+func subInt64(a, b int64) (int64, bool) {
+	if b == math.MinInt64 {
+		return 0, false
+	}
+	return addInt64(a, -b)
+}
+
+// ival is one interval fact: lo ≤ value ≤ hi.
+type ival struct{ Lo, Hi ibound }
+
+var topIval = ival{Lo: negInf, Hi: posInf}
+
+func (v ival) isTop() bool { return v.Lo.Inf < 0 && v.Hi.Inf > 0 }
+
+// degenerate reports a bound-to-bound equality interval [b, b].
+func degenerate(b ibound) ival { return ival{Lo: b, Hi: b} }
+
+// intervalFact is the dataflow fact: known intervals per SSA value. Values
+// absent from the map are at their type default (see typeDefault).
+type intervalFact map[VID]ival
+
+// EqualFact implements Fact by structural equality.
+func (f intervalFact) EqualFact(o Fact) bool {
+	g, ok := o.(intervalFact)
+	if !ok || len(f) != len(g) {
+		return false
+	}
+	for k, v := range f {
+		w, ok := g[k]
+		if !ok || v != w {
+			return false
+		}
+	}
+	return true
+}
+
+func (f intervalFact) clone() intervalFact {
+	g := make(intervalFact, len(f)+4)
+	for k, v := range f {
+		g[k] = v
+	}
+	return g
+}
+
+// valueFlow is the per-function value-flow engine: SSA plus the interval
+// fixpoint, ready for the analyzers to query.
+type valueFlow struct {
+	pkg *Package
+	fd  *ast.FuncDecl
+	ssa *SSAFunc
+	res *FlowResult
+	// thresholds are the widening targets: every integer constant compared
+	// against in the body, plus {-1, 0, 1}, sorted.
+	thresholds []int64
+}
+
+// intWidth returns the bit width of the platform's int type.
+func intWidth() int64 {
+	if s := checkerSizes(); s != nil {
+		return 8 * s.Sizeof(types.Typ[types.Int])
+	}
+	return 64
+}
+
+// buildValueFlow runs the engine on one declared function; nil when the
+// function has no body.
+func buildValueFlow(pkg *Package, fd *ast.FuncDecl) *valueFlow {
+	if fd.Body == nil {
+		return nil
+	}
+	vf := &valueFlow{pkg: pkg, fd: fd, ssa: BuildSSA(pkg.Info, fd)}
+	vf.collectThresholds()
+	problem := FlowProblem{
+		Entry:        vf.entryFact(),
+		Join:         vf.join,
+		Transfer:     vf.transfer,
+		EdgeTransfer: vf.edgeTransfer,
+		Widen:        vf.widen,
+	}
+	vf.res = vf.ssa.Cfg.Forward(problem)
+	return vf
+}
+
+// collectThresholds gathers the widening targets from the body's comparison
+// and shift constants. maxSliceLen is always a threshold: loop counters
+// bounded by a slice length join to it, and widening them all the way to
+// +inf would needlessly unprove their increment arithmetic.
+func (vf *valueFlow) collectThresholds() {
+	set := map[int64]bool{-1: true, 0: true, 1: true, maxSliceLen: true}
+	addExpr := func(e ast.Expr) {
+		if tv, ok := vf.pkg.Info.Types[e]; ok && tv.Value != nil {
+			if c, ok := constInt64(tv.Value); ok {
+				set[c] = true
+			}
+		}
+	}
+	ast.Inspect(vf.fd.Body, func(n ast.Node) bool {
+		if be, ok := n.(*ast.BinaryExpr); ok {
+			switch be.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+				addExpr(be.X)
+				addExpr(be.Y)
+			}
+		}
+		return true
+	})
+	for c := range set {
+		vf.thresholds = append(vf.thresholds, c)
+	}
+	sort.Slice(vf.thresholds, func(i, j int) bool { return vf.thresholds[i] < vf.thresholds[j] })
+}
+
+func constInt64(v constant.Value) (int64, bool) {
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(v)
+}
+
+// entryFact seeds the parameters with their type defaults (so the map side
+// of the lattice starts non-empty only where it says something).
+func (vf *valueFlow) entryFact() Fact {
+	f := intervalFact{}
+	for _, vid := range vf.ssa.EntryVals {
+		if iv, ok := vf.typeDefaultOf(vid); ok && !iv.isTop() {
+			f[vid] = iv
+		}
+	}
+	return f
+}
+
+// typeDefaultOf is the interval implied by an SSA value's static type.
+func (vf *valueFlow) typeDefaultOf(vid VID) (ival, bool) {
+	v := &vf.ssa.Vals[vid]
+	if v.Kind == vLen {
+		return ival{Lo: constBound(0), Hi: constBound(maxSliceLen)}, true
+	}
+	if v.Obj == nil {
+		return topIval, false
+	}
+	return typeDefault(v.Obj.Type())
+}
+
+// typeDefault maps an integer type to the interval of its representable
+// values; ok is false for non-integer types. 64-bit ranges come back as
+// ±inf: representable-range endpoints are useless for overflow checking, so
+// the lattice treats them as unknown.
+func typeDefault(t types.Type) (ival, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return topIval, false
+	}
+	w, signed := intKindWidth(b.Kind())
+	if w == 0 {
+		return topIval, true
+	}
+	if signed {
+		if w >= 64 {
+			return topIval, true
+		}
+		m := int64(1) << (w - 1)
+		return ival{Lo: constBound(-m), Hi: constBound(m - 1)}, true
+	}
+	if w >= 64 {
+		return ival{Lo: constBound(0), Hi: posInf}, true
+	}
+	return ival{Lo: constBound(0), Hi: constBound(int64(1)<<w - 1)}, true
+}
+
+// intKindWidth returns an integer basic kind's bit width and signedness
+// (0 width for non-integer kinds).
+func intKindWidth(k types.BasicKind) (int64, bool) {
+	switch k {
+	case types.Int, types.UntypedInt:
+		return intWidth(), true
+	case types.Int8:
+		return 8, true
+	case types.Int16:
+		return 16, true
+	case types.Int32:
+		return 32, true
+	case types.Int64:
+		return 64, true
+	case types.Uint, types.Uintptr:
+		return intWidth(), false
+	case types.Uint8:
+		return 8, false
+	case types.Uint16:
+		return 16, false
+	case types.Uint32:
+		return 32, false
+	case types.Uint64:
+		return 64, false
+	}
+	return 0, true
+}
+
+// lookup returns the interval of an SSA value under env, falling back to
+// the type default.
+func (vf *valueFlow) lookup(env intervalFact, vid VID) ival {
+	if vid == 0 {
+		return topIval
+	}
+	if iv, ok := env[vid]; ok {
+		return iv
+	}
+	iv, _ := vf.typeDefaultOf(vid)
+	return iv
+}
+
+// join is the lattice join: keep a key only when both sides constrain it.
+// Per bound, structurally equal forms survive as-is; otherwise each side's
+// bound chain (successive sound substitutions through env) is searched for
+// a common base and the weaker offset wins — this is what keeps `i` bounded
+// by len(v)−1 across a decrement loop's back edge, where the two incoming
+// bounds are different SSA values of the same count-down. With no common
+// base the bound falls to the concrete hull, then to infinity.
+func (vf *valueFlow) join(a, b Fact) Fact {
+	fa, fb := a.(intervalFact), b.(intervalFact)
+	out := make(intervalFact, len(fa))
+	for k, va := range fa {
+		vb, ok := fb[k]
+		if !ok {
+			continue
+		}
+		iv := ival{
+			Lo: vf.joinLo(fa, va.Lo, fb, vb.Lo),
+			Hi: vf.joinHi(fa, va.Hi, fb, vb.Hi),
+		}
+		if !iv.isTop() {
+			out[k] = iv
+		}
+	}
+	return out
+}
+
+func (vf *valueFlow) joinLo(fa intervalFact, a ibound, fb intervalFact, b ibound) ibound {
+	if a.eq(b) {
+		return a
+	}
+	if a.Inf < 0 || b.Inf < 0 {
+		return negInf
+	}
+	for _, x := range vf.chainMin(fa, a) {
+		for _, y := range vf.chainMin(fb, b) {
+			if x.Base == y.Base {
+				if y.Off < x.Off {
+					return y
+				}
+				return x
+			}
+		}
+	}
+	return negInf
+}
+
+func (vf *valueFlow) joinHi(fa intervalFact, a ibound, fb intervalFact, b ibound) ibound {
+	if a.eq(b) {
+		return a
+	}
+	if a.Inf > 0 || b.Inf > 0 {
+		return posInf
+	}
+	for _, x := range vf.chainMax(fa, a) {
+		for _, y := range vf.chainMax(fb, b) {
+			if x.Base == y.Base {
+				if y.Off > x.Off {
+					return y
+				}
+				return x
+			}
+		}
+	}
+	return posInf
+}
+
+// chainMax lists successive sound upper bounds of a term: the term itself,
+// then the result of substituting its base's stored upper bound, and so on
+// until a constant, an infinity, or the depth cap. Constants end a chain
+// (they have Base 0, so a const–const pair in the caller compares hulls).
+func (vf *valueFlow) chainMax(env intervalFact, b ibound) []ibound {
+	var out []ibound
+	for depth := 0; depth < 8 && b.Inf == 0; depth++ {
+		out = append(out, b)
+		if b.Base == 0 {
+			break
+		}
+		hi := vf.lookup(env, b.Base).Hi
+		if hi.Inf != 0 {
+			break
+		}
+		nb := hi.add(b.Off)
+		if nb.Inf != 0 || nb.eq(b) {
+			break
+		}
+		b = nb
+	}
+	return out
+}
+
+// chainMin mirrors chainMax through stored lower bounds.
+func (vf *valueFlow) chainMin(env intervalFact, b ibound) []ibound {
+	var out []ibound
+	for depth := 0; depth < 8 && b.Inf == 0; depth++ {
+		out = append(out, b)
+		if b.Base == 0 {
+			break
+		}
+		lo := vf.lookup(env, b.Base).Lo
+		if lo.Inf != 0 {
+			break
+		}
+		nb := lo.add(b.Off)
+		if nb.Inf != 0 || nb.eq(b) {
+			break
+		}
+		b = nb
+	}
+	return out
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// widen accelerates convergence: any bound still moving after WidenAfter
+// merges jumps to the nearest enclosing comparison threshold, then to
+// infinity. Bounds that agree with the previous fact stay untouched, so
+// stable symbolic facts survive loops unscathed.
+func (vf *valueFlow) widen(_ *Block, old, merged Fact) Fact {
+	fo, fm := old.(intervalFact), merged.(intervalFact)
+	out := make(intervalFact, len(fm))
+	for k, vm := range fm {
+		vo, ok := fo[k]
+		if ok && vo == vm {
+			out[k] = vm
+			continue
+		}
+		lo, hi := vm.Lo, vm.Hi
+		if !ok || !vo.Lo.eq(vm.Lo) {
+			lo = vf.widenLo(fm, vm.Lo)
+		}
+		if !ok || !vo.Hi.eq(vm.Hi) {
+			hi = vf.widenHi(fm, vm.Hi)
+		}
+		iv := ival{Lo: lo, Hi: hi}
+		if !iv.isTop() {
+			out[k] = iv
+		}
+	}
+	return out
+}
+
+func (vf *valueFlow) widenLo(env intervalFact, b ibound) ibound {
+	c, ok := vf.resolveMin(env, b, 0)
+	if !ok {
+		return negInf
+	}
+	for i := len(vf.thresholds) - 1; i >= 0; i-- {
+		if vf.thresholds[i] <= c {
+			return constBound(vf.thresholds[i])
+		}
+	}
+	return negInf
+}
+
+func (vf *valueFlow) widenHi(env intervalFact, b ibound) ibound {
+	c, ok := vf.resolveMax(env, b, 0)
+	if !ok {
+		return posInf
+	}
+	for _, t := range vf.thresholds {
+		if t >= c {
+			return constBound(t)
+		}
+	}
+	return posInf
+}
+
+// transfer applies one block's definitions in order.
+func (vf *valueFlow) transfer(b *Block, in Fact) Fact {
+	env := in.(intervalFact).clone()
+	for _, n := range b.Nodes {
+		vf.applyNode(n, env)
+	}
+	return env
+}
+
+// applyNode records the intervals of the SSA values a node defines. Phi and
+// range values are handled on edges and loop heads respectively.
+func (vf *valueFlow) applyNode(n ast.Node, env intervalFact) {
+	for id, vid := range vf.defsOf(n) {
+		_ = id
+		v := &vf.ssa.Vals[vid]
+		var iv ival
+		switch v.Kind {
+		case vZero:
+			iv = degenerate(constBound(0))
+		case vExpr:
+			if v.Rhs != nil {
+				iv = vf.evalExpr(env, v.Rhs)
+			} else {
+				iv, _ = vf.typeDefaultOf(vid)
+			}
+			vf.bindLen(env, vid, v.Rhs)
+		case vCompound:
+			prev := vf.lookup(env, v.Prev)
+			var operand ival
+			if v.Rhs != nil {
+				operand = vf.evalExpr(env, v.Rhs)
+			} else {
+				operand = degenerate(constBound(1))
+			}
+			iv = vf.evalBinary(env, v.Op, prev, operand)
+		case vRangeKey:
+			iv = vf.rangeKeyIval(env, v.Range)
+		case vRangeVal:
+			iv, _ = vf.typeDefaultOf(vid)
+		default:
+			iv, _ = vf.typeDefaultOf(vid)
+		}
+		if def, ok := vf.typeDefaultOf(vid); ok {
+			iv = vf.clip(env, iv, def)
+		}
+		if iv.isTop() {
+			delete(env, vid)
+		} else {
+			env[vid] = iv
+		}
+	}
+}
+
+// defsOf maps each defining ident of the node to its SSA value. A range
+// statement's key and value idents are defined at its X expression (the
+// loop-head node) even though they are not syntactic children of it.
+func (vf *valueFlow) defsOf(n ast.Node) map[*ast.Ident]VID {
+	out := map[*ast.Ident]VID{}
+	if rng, ok := vf.ssa.RangeOf(n); ok {
+		for _, e := range []ast.Expr{rng.Key, rng.Value} {
+			if id, iok := identOrNil(e); iok {
+				if vid, dok := vf.ssa.Def[id]; dok {
+					out[id] = vid
+				}
+			}
+		}
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok {
+			if vid, ok := vf.ssa.Def[id]; ok {
+				out[id] = vid
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// clip intersects a computed interval with the value's type default so
+// conversions and narrow types keep their representable range.
+func (vf *valueFlow) clip(env intervalFact, iv, def ival) ival {
+	if def.Lo.isConst() && !vf.cmpLE(env, def.Lo, iv.Lo) {
+		iv.Lo = def.Lo
+	}
+	if def.Hi.isConst() && !vf.cmpLE(env, iv.Hi, def.Hi) {
+		iv.Hi = def.Hi
+	}
+	if def.Lo.isConst() && iv.Lo.Inf < 0 {
+		iv.Lo = def.Lo
+	}
+	if def.Hi.isConst() && iv.Hi.Inf > 0 {
+		iv.Hi = def.Hi
+	}
+	return iv
+}
+
+// bindLen derives the length of a slice produced by a slice expression:
+// s[lo:hi] has len hi−lo, representable when the difference reduces to a
+// single term — hi = lo + e with both lo occurrences the same value (the
+// kernels' sliding-cursor form), or lo a constant and hi a term.
+func (vf *valueFlow) bindLen(env intervalFact, vid VID, rhs ast.Expr) {
+	se, ok := ast.Unparen(rhs).(*ast.SliceExpr)
+	if !ok || se.Slice3 || se.High == nil {
+		return
+	}
+	lo, lok := vf.termOf(env, se.Low) // nil Low is the constant 0
+	if !lok {
+		return
+	}
+	var lenB ibound
+	found := false
+	if be, ok := ast.Unparen(se.High).(*ast.BinaryExpr); ok && be.Op == token.ADD {
+		// s[x : x+e] (either operand order): the length is e.
+		if hx, ok := vf.termOf(env, be.X); ok && hx.eq(lo) {
+			if e, ok := vf.termOf(env, be.Y); ok {
+				lenB, found = e, true
+			}
+		}
+		if !found {
+			if hy, ok := vf.termOf(env, be.Y); ok && hy.eq(lo) {
+				if e, ok := vf.termOf(env, be.X); ok {
+					lenB, found = e, true
+				}
+			}
+		}
+	}
+	if !found && lo.isConst() {
+		if h, ok := vf.termOf(env, se.High); ok {
+			lenB, found = h.add(-lo.Off), true
+		}
+	}
+	if !found {
+		return
+	}
+	env[vf.ssa.LenVal(vid)] = degenerate(lenB)
+}
+
+// rangeKeyIval is the key interval of a range loop: [0, len(X)−1] for
+// slices and arrays, [0, X−1] for go1.22 range-over-int.
+func (vf *valueFlow) rangeKeyIval(env intervalFact, rng *ast.RangeStmt) ival {
+	tv, ok := vf.pkg.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return topIval
+	}
+	switch t := tv.Type.Underlying().(type) {
+	case *types.Slice:
+		if lenT, ok := vf.lenTermOf(env, rng.X); ok {
+			return ival{Lo: constBound(0), Hi: lenT.add(-1)}
+		}
+		return ival{Lo: constBound(0), Hi: constBound(maxSliceLen - 1)}
+	case *types.Array:
+		return ival{Lo: constBound(0), Hi: constBound(t.Len() - 1)}
+	case *types.Basic:
+		if t.Info()&types.IsInteger != 0 {
+			if n, ok := vf.termOf(env, rng.X); ok {
+				return ival{Lo: constBound(0), Hi: n.add(-1)}
+			}
+		}
+	case *types.Map, *types.Chan:
+		return topIval
+	}
+	return topIval
+}
+
+// lenTermOf returns the symbolic length of a slice-typed expression: the
+// vLen pseudo-value for a tracked ident, or a constant for arrays.
+func (vf *valueFlow) lenTermOf(env intervalFact, e ast.Expr) (ibound, bool) {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		if vid, ok := vf.ssa.Use[id]; ok && vid != 0 {
+			lv := vf.ssa.LenVal(vid)
+			// A degenerate length binding (from a guard or a slice expr)
+			// normalizes further; otherwise the pseudo-value itself is the
+			// term.
+			return ibound{Base: lv}, true
+		}
+	}
+	if tv, ok := vf.pkg.Info.Types[e]; ok && tv.Type != nil {
+		if arr, ok := tv.Type.Underlying().(*types.Array); ok {
+			return constBound(arr.Len()), true
+		}
+	}
+	return ibound{}, false
+}
+
+// termOf reduces an expression to a single symbolic term (SSA value plus
+// constant): constants, tracked ident uses, len(tracked slice), any of
+// those ± a constant, and value-preserving integer conversions thereof.
+func (vf *valueFlow) termOf(env intervalFact, e ast.Expr) (ibound, bool) {
+	if e == nil {
+		return constBound(0), true
+	}
+	e = ast.Unparen(e)
+	if tv, ok := vf.pkg.Info.Types[e]; ok && tv.Value != nil {
+		if c, ok := constInt64(tv.Value); ok {
+			return constBound(c), true
+		}
+		return ibound{}, false
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if vid, ok := vf.ssa.Use[e]; ok && vid != 0 {
+			return ibound{Base: vid}, true
+		}
+	case *ast.CallExpr:
+		if vf.isLenCall(e) {
+			return vf.lenTermOf(env, e.Args[0])
+		}
+		if conv, ok := vf.valuePreservingConv(e); ok {
+			return vf.termOf(env, conv)
+		}
+	case *ast.BinaryExpr:
+		if e.Op != token.ADD && e.Op != token.SUB {
+			break
+		}
+		x, xok := vf.termOf(env, e.X)
+		y, yok := vf.termOf(env, e.Y)
+		if !xok || !yok {
+			break
+		}
+		switch {
+		case y.isConst():
+			c := y.Off
+			if e.Op == token.SUB {
+				c = -c
+			}
+			return x.add(c), true
+		case x.isConst() && e.Op == token.ADD:
+			return y.add(x.Off), true
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.ADD {
+			return vf.termOf(env, e.X)
+		}
+	}
+	return ibound{}, false
+}
+
+// isLenCall reports a call of the len builtin.
+func (vf *valueFlow) isLenCall(call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "len" || len(call.Args) != 1 {
+		return false
+	}
+	_, isBuiltin := vf.pkg.Info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// valuePreservingConv unwraps T(x) when the conversion cannot change the
+// value: integer-to-integer with the target able to represent every source
+// value.
+func (vf *valueFlow) valuePreservingConv(call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := vf.pkg.Info.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	dst, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok {
+		return nil, false
+	}
+	at, ok := vf.pkg.Info.Types[call.Args[0]]
+	if !ok || at.Type == nil {
+		return nil, false
+	}
+	src, ok := at.Type.Underlying().(*types.Basic)
+	if !ok {
+		return nil, false
+	}
+	dw, dsigned := intKindWidth(dst.Kind())
+	sw, ssigned := intKindWidth(src.Kind())
+	if dw == 0 || sw == 0 {
+		return nil, false
+	}
+	switch {
+	case dsigned == ssigned && dw >= sw:
+		return call.Args[0], true
+	case dsigned && !ssigned && dw > sw:
+		return call.Args[0], true
+	}
+	return nil, false
+}
+
+// evalExpr computes the interval of an arbitrary expression under env.
+func (vf *valueFlow) evalExpr(env intervalFact, e ast.Expr) ival {
+	e = ast.Unparen(e)
+	if t, ok := vf.termOf(env, e); ok {
+		if t.isConst() {
+			return degenerate(t)
+		}
+		// A term's value lies inside its base's interval shifted by the
+		// offset — but the term itself is also an exact bound.
+		return degenerate(t)
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		x := vf.evalExpr(env, e.X)
+		y := vf.evalExpr(env, e.Y)
+		return vf.evalBinary(env, e.Op, x, y)
+	case *ast.UnaryExpr:
+		if e.Op == token.SUB {
+			x := vf.evalExpr(env, e.X)
+			return ival{Lo: vf.negBound(env, x.Hi), Hi: vf.negBound(env, x.Lo)}
+		}
+	case *ast.CallExpr:
+		if vf.isLenCall(e) {
+			if t, ok := vf.lenTermOf(env, e.Args[0]); ok {
+				return degenerate(t)
+			}
+			return ival{Lo: constBound(0), Hi: constBound(maxSliceLen)}
+		}
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.Ident, *ast.StarExpr:
+		// Untracked loads fall through to the type default below.
+	}
+	if tv, ok := vf.pkg.Info.Types[e]; ok && tv.Type != nil {
+		iv, _ := typeDefault(tv.Type)
+		return iv
+	}
+	return topIval
+}
+
+// negBound negates a bound: constants negate exactly, symbolic bounds
+// resolve to their concrete extreme first.
+func (vf *valueFlow) negBound(env intervalFact, b ibound) ibound {
+	switch {
+	case b.Inf > 0:
+		return negInf
+	case b.Inf < 0:
+		return posInf
+	case b.Base == 0:
+		if b.Off == math.MinInt64 {
+			return posInf
+		}
+		return constBound(-b.Off)
+	}
+	// Resolve: negating flips which extreme matters; the caller passes the
+	// appropriate one.
+	if c, ok := vf.resolveMax(env, b, 0); ok && c != math.MinInt64 {
+		return constBound(-c)
+	}
+	if c, ok := vf.resolveMin(env, b, 0); ok && c != math.MinInt64 {
+		return constBound(-c)
+	}
+	if b.Off > 0 {
+		return negInf
+	}
+	return posInf
+}
+
+// evalBinary combines two intervals through an arithmetic operator,
+// conservatively (symbolic bounds survive only through ± with a constant
+// side).
+func (vf *valueFlow) evalBinary(env intervalFact, op token.Token, x, y ival) ival {
+	switch op {
+	case token.ADD:
+		return ival{Lo: vf.addBounds(env, x.Lo, y.Lo, false), Hi: vf.addBounds(env, x.Hi, y.Hi, true)}
+	case token.SUB:
+		nl := vf.negBound(env, y.Hi)
+		nh := vf.negBound(env, y.Lo)
+		return ival{Lo: vf.addBounds(env, x.Lo, nl, false), Hi: vf.addBounds(env, x.Hi, nh, true)}
+	case token.MUL:
+		return vf.mulIval(env, x, y)
+	case token.QUO, token.REM, token.SHR, token.AND:
+		// Division, remainder, right shift and masking shrink magnitude;
+		// returning top keeps it simple and sound for the provers' needs.
+		return topIval
+	}
+	return topIval
+}
+
+// addBounds adds two like-direction bounds (hi+hi or lo+lo). A symbolic
+// bound tolerates a constant partner; two symbolic bounds collapse to the
+// concrete sum or infinity.
+func (vf *valueFlow) addBounds(env intervalFact, a, b ibound, upper bool) ibound {
+	inf := negInf
+	if upper {
+		inf = posInf
+	}
+	if a.Inf != 0 {
+		return a
+	}
+	if b.Inf != 0 {
+		return b
+	}
+	switch {
+	case a.Base == 0 && b.Base == 0:
+		s, ok := addInt64(a.Off, b.Off)
+		if !ok {
+			return inf
+		}
+		return constBound(s)
+	case b.Base == 0:
+		return a.add(b.Off)
+	case a.Base == 0:
+		return b.add(a.Off)
+	}
+	// Both symbolic: resolve to concrete.
+	resolve := vf.resolveMax
+	if !upper {
+		resolve = vf.resolveMin
+	}
+	ca, aok := resolve(env, a, 0)
+	cb, bok := resolve(env, b, 0)
+	if aok && bok {
+		if s, ok := addInt64(ca, cb); ok {
+			return constBound(s)
+		}
+	}
+	return inf
+}
+
+// mulIval multiplies two intervals via their concrete corner products.
+func (vf *valueFlow) mulIval(env intervalFact, x, y ival) ival {
+	xl, xlok := vf.resolveMin(env, x.Lo, 0)
+	xh, xhok := vf.resolveMax(env, x.Hi, 0)
+	yl, ylok := vf.resolveMin(env, y.Lo, 0)
+	yh, yhok := vf.resolveMax(env, y.Hi, 0)
+	if !xlok || !xhok || !ylok || !yhok {
+		return topIval
+	}
+	lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+	sat := false
+	for _, a := range [2]int64{xl, xh} {
+		for _, b := range [2]int64{yl, yh} {
+			p, ok := mulInt64(a, b)
+			if !ok {
+				sat = true
+				continue
+			}
+			lo, hi = min64(lo, p), max64(hi, p)
+		}
+	}
+	if sat {
+		return topIval
+	}
+	return ival{Lo: constBound(lo), Hi: constBound(hi)}
+}
+
+// mulInt64 multiplies with overflow detection.
+func mulInt64(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) || (b == math.MinInt64 && a == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+// resolveMin resolves a lower bound to a concrete value: constants are
+// themselves; a symbolic bound follows its base's lower bound through env
+// (depth-capped against degenerate-chain cycles).
+func (vf *valueFlow) resolveMin(env intervalFact, b ibound, depth int) (int64, bool) {
+	if b.Inf != 0 {
+		return 0, false
+	}
+	if b.Base == 0 {
+		return b.Off, true
+	}
+	if depth > 8 {
+		return 0, false
+	}
+	base := vf.lookup(env, b.Base)
+	c, ok := vf.resolveMin(env, base.Lo, depth+1)
+	if !ok {
+		return 0, false
+	}
+	s, ok := addInt64(c, b.Off)
+	return s, ok
+}
+
+// resolveMax is resolveMin for upper bounds.
+func (vf *valueFlow) resolveMax(env intervalFact, b ibound, depth int) (int64, bool) {
+	if b.Inf != 0 {
+		return 0, false
+	}
+	if b.Base == 0 {
+		return b.Off, true
+	}
+	if depth > 8 {
+		return 0, false
+	}
+	base := vf.lookup(env, b.Base)
+	c, ok := vf.resolveMax(env, base.Hi, depth+1)
+	if !ok {
+		return 0, false
+	}
+	s, ok := addInt64(c, b.Off)
+	return s, ok
+}
+
+// normalize follows degenerate equality chains: while the bound's base has
+// a structurally degenerate interval (lo == hi), substitute it. This is how
+// "i := len(v)-1" makes i provably below len(v).
+func (vf *valueFlow) normalize(env intervalFact, b ibound, depth int) ibound {
+	for b.Inf == 0 && b.Base != 0 && depth < 8 {
+		base, ok := env[b.Base]
+		if !ok || !base.Lo.eq(base.Hi) || base.Lo.Inf != 0 {
+			return b
+		}
+		nb := base.Lo.add(b.Off)
+		if nb.eq(b) {
+			return b
+		}
+		b = nb
+		depth++
+	}
+	return b
+}
+
+// cmpLE proves a ≤ b from the environment: same-base offset comparison,
+// normalization through degenerate chains, transitivity through the stored
+// bound chains of both endpoints, inverse bounds stored on other values,
+// and finally the concrete hull.
+func (vf *valueFlow) cmpLE(env intervalFact, a, b ibound) bool {
+	return vf.cmpLEDepth(env, a, b, 0)
+}
+
+func (vf *valueFlow) cmpLEDepth(env intervalFact, a, b ibound, depth int) bool {
+	if a.Inf < 0 || b.Inf > 0 {
+		return true
+	}
+	if a.Inf > 0 || b.Inf < 0 {
+		return false
+	}
+	a = vf.normalize(env, a, 0)
+	b = vf.normalize(env, b, 0)
+	if a.Base == b.Base {
+		return a.Off <= b.Off
+	}
+	// Transitivity through the bound chains: every x in chainMax is a sound
+	// upper bound of a and every y in chainMin a sound lower bound of b, so
+	// any same-base pair with x ≤ y proves a ≤ x ≤ y ≤ b. This is what lets
+	// a clamped loop bound (n ≤ m ≤ len(s)) certify s[i] in two hops.
+	ys := vf.chainMin(env, b)
+	for _, x := range vf.chainMax(env, a) {
+		for _, y := range ys {
+			if x.Base == y.Base && x.Off <= y.Off {
+				return true
+			}
+		}
+	}
+	ca, aok := vf.resolveMax(env, a, 0)
+	cb, bok := vf.resolveMin(env, b, 0)
+	if aok && bok && ca <= cb {
+		return true
+	}
+	// Inverse bounds: a guard's refinement may live on the other operand.
+	// Lo(w) = a.Base+c means w ≥ a.Base+c, so a ≤ w + (a.Off−c); Hi(w) =
+	// b.Base+c means b ≥ w + (b.Off−c). One hop each side is enough for the
+	// loop-head joins, which keep "n ≥ ci+1" but drop "ci ≤ n−1".
+	if depth < 2 {
+		for w, ivw := range env {
+			if a.Base != 0 && ivw.Lo.Inf == 0 && ivw.Lo.Base == a.Base {
+				if off, ok := subInt64(a.Off, ivw.Lo.Off); ok &&
+					vf.cmpLEDepth(env, ibound{Base: w, Off: off}, b, depth+1) {
+					return true
+				}
+			}
+			if b.Base != 0 && ivw.Hi.Inf == 0 && ivw.Hi.Base == b.Base {
+				if off, ok := subInt64(b.Off, ivw.Hi.Off); ok &&
+					vf.cmpLEDepth(env, a, ibound{Base: w, Off: off}, depth+1) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// edgeTransfer refines the outgoing fact along one CFG edge: apply the
+// branch condition when the edge is one arm of a two-way conditional, then
+// resolve the target block's phis for this predecessor.
+func (vf *valueFlow) edgeTransfer(from, to *Block, out Fact) Fact {
+	env := out.(intervalFact).clone()
+	if cond, truth, ok := branchCond(from, to); ok {
+		vf.refineCond(env, cond, truth)
+	}
+	for _, phiVID := range vf.ssa.Phis[to] {
+		phi := &vf.ssa.Vals[phiVID]
+		for _, arg := range phi.Args {
+			if arg.Pred != from {
+				continue
+			}
+			iv := vf.lookup(env, arg.Val)
+			// Prefer the exact symbolic identity when the argument is a
+			// real value: phi ≥ arg's interval, but phi == arg on this edge.
+			if arg.Val != 0 {
+				iv = vf.meetIval(env, iv, degenerate(ibound{Base: arg.Val}))
+			}
+			if iv.isTop() {
+				delete(env, phiVID)
+			} else {
+				env[phiVID] = iv
+			}
+			break
+		}
+	}
+	return env
+}
+
+// meetIval tightens a with the constraints of b under the replacement
+// policy (see tightenLo/tightenHi).
+func (vf *valueFlow) meetIval(env intervalFact, a, b ival) ival {
+	a.Lo = vf.tightenLo(env, a.Lo, b.Lo)
+	a.Hi = vf.tightenHi(env, a.Hi, b.Hi)
+	return a
+}
+
+// branchCond recognizes a conditional edge: the from-block ends in a bare
+// boolean expression and has exactly two distinct successors; the first is
+// the true edge (cfg.go appends then/body first, else/exit second).
+func branchCond(from, to *Block) (ast.Expr, bool, bool) {
+	if len(from.Succs) != 2 || from.Succs[0] == from.Succs[1] {
+		return nil, false, false
+	}
+	if len(from.Nodes) == 0 {
+		return nil, false, false
+	}
+	cond, ok := from.Nodes[len(from.Nodes)-1].(ast.Expr)
+	if !ok {
+		return nil, false, false
+	}
+	switch from.Succs[0] {
+	case to:
+		return cond, true, true
+	}
+	if from.Succs[1] == to {
+		return cond, false, true
+	}
+	return nil, false, false
+}
+
+// refineCond narrows env under "cond is truth": comparisons refine their
+// operands' intervals; &&, || and ! distribute when the truth value forces
+// both operands.
+func (vf *valueFlow) refineCond(env intervalFact, cond ast.Expr, truth bool) {
+	cond = ast.Unparen(cond)
+	switch e := cond.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			vf.refineCond(env, e.X, !truth)
+		}
+		return
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if truth {
+				vf.refineCond(env, e.X, true)
+				vf.refineCond(env, e.Y, true)
+			}
+			return
+		case token.LOR:
+			if !truth {
+				vf.refineCond(env, e.X, false)
+				vf.refineCond(env, e.Y, false)
+			}
+			return
+		}
+		op := e.Op
+		if !truth {
+			op = negateCmp(op)
+			if op == token.ILLEGAL {
+				return
+			}
+		}
+		tx, xok := vf.termOf(env, e.X)
+		ty, yok := vf.termOf(env, e.Y)
+		if !xok || !yok {
+			return
+		}
+		switch op {
+		case token.LSS: // x < y  ⇔  x+1 ≤ y
+			vf.refineLE(env, tx.add(1), ty)
+		case token.LEQ:
+			vf.refineLE(env, tx, ty)
+		case token.GTR: // x > y  ⇔  y+1 ≤ x
+			vf.refineLE(env, ty.add(1), tx)
+		case token.GEQ:
+			vf.refineLE(env, ty, tx)
+		case token.EQL:
+			vf.refineEq(env, tx, ty)
+		}
+	}
+}
+
+// negateCmp returns the comparison that holds when op is false.
+func negateCmp(op token.Token) token.Token {
+	switch op {
+	case token.LSS:
+		return token.GEQ
+	case token.LEQ:
+		return token.GTR
+	case token.GTR:
+		return token.LEQ
+	case token.GEQ:
+		return token.LSS
+	case token.EQL:
+		return token.NEQ
+	case token.NEQ:
+		return token.EQL
+	}
+	return token.ILLEGAL
+}
+
+// refineLE records tx ≤ ty into both operands' intervals.
+func (vf *valueFlow) refineLE(env intervalFact, tx, ty ibound) {
+	if tx.Inf != 0 || ty.Inf != 0 {
+		return
+	}
+	if tx.Base != 0 && tx.Base != ty.Base {
+		// value(tx.Base) ≤ value(ty.Base) + ty.Off − tx.Off
+		nb := ibound{Base: ty.Base, Off: ty.Off}.add(-tx.Off)
+		iv := vf.lookup(env, tx.Base)
+		iv.Hi = vf.tightenHi(env, iv.Hi, nb)
+		vf.store(env, tx.Base, iv)
+	}
+	if ty.Base != 0 && ty.Base != tx.Base {
+		nb := ibound{Base: tx.Base, Off: tx.Off}.add(-ty.Off)
+		iv := vf.lookup(env, ty.Base)
+		iv.Lo = vf.tightenLo(env, iv.Lo, nb)
+		vf.store(env, ty.Base, iv)
+	}
+}
+
+// refineEq records tx == ty: the refinable side becomes degenerate in terms
+// of the other (replacement is sound: on this edge the equality is exact).
+func (vf *valueFlow) refineEq(env intervalFact, tx, ty ibound) {
+	if tx.Inf != 0 || ty.Inf != 0 || tx.Base == ty.Base {
+		return
+	}
+	switch {
+	case tx.Base != 0:
+		vf.store(env, tx.Base, degenerate(ibound{Base: ty.Base, Off: ty.Off}.add(-tx.Off)))
+	case ty.Base != 0:
+		vf.store(env, ty.Base, degenerate(ibound{Base: tx.Base, Off: tx.Off}.add(-ty.Off)))
+	}
+}
+
+func (vf *valueFlow) store(env intervalFact, vid VID, iv ival) {
+	if iv.isTop() {
+		delete(env, vid)
+	} else {
+		env[vid] = iv
+	}
+}
+
+// tightenHi picks the better of two valid upper bounds. The policy, in
+// order: infinities lose; same base compares offsets; a constant and a
+// symbolic bound prefer the incoming one (guards are written to be the
+// operative constraint); two symbolic bounds with different bases keep the
+// current one — the complementary refinement on the other operand retains
+// the new relation.
+func (vf *valueFlow) tightenHi(env intervalFact, cur, nb ibound) ibound {
+	switch {
+	case nb.Inf > 0:
+		return cur
+	case cur.Inf > 0:
+		return nb
+	case cur.Inf < 0:
+		return cur
+	case nb.Inf < 0:
+		return nb
+	case cur.Base == nb.Base:
+		if nb.Off < cur.Off {
+			return nb
+		}
+		return cur
+	case nb.Base == 0 || cur.Base == 0:
+		return nb
+	}
+	if vf.cmpLE(env, nb, cur) {
+		return nb
+	}
+	return cur
+}
+
+// tightenLo mirrors tightenHi for lower bounds.
+func (vf *valueFlow) tightenLo(env intervalFact, cur, nb ibound) ibound {
+	switch {
+	case nb.Inf < 0:
+		return cur
+	case cur.Inf < 0:
+		return nb
+	case cur.Inf > 0:
+		return cur
+	case nb.Inf > 0:
+		return nb
+	case cur.Base == nb.Base:
+		if nb.Off > cur.Off {
+			return nb
+		}
+		return cur
+	case nb.Base == 0 || cur.Base == 0:
+		return nb
+	}
+	if vf.cmpLE(env, cur, nb) {
+		return nb
+	}
+	return cur
+}
+
+// walk replays the fixpoint facts: for every reachable block, the hook sees
+// each node with the environment in force just before the node executes.
+func (vf *valueFlow) walk(hook func(b *Block, n ast.Node, env intervalFact)) {
+	for _, b := range vf.ssa.Dom.rpo {
+		in, ok := vf.res.In[b]
+		if !ok {
+			continue
+		}
+		env := in.(intervalFact).clone()
+		for _, n := range b.Nodes {
+			hook(b, n, env)
+			vf.applyNode(n, env)
+		}
+	}
+}
+
+// render formats a bound for a witness message.
+func (vf *valueFlow) render(b ibound) string {
+	switch {
+	case b.Inf < 0:
+		return "-inf"
+	case b.Inf > 0:
+		return "+inf"
+	case b.Base == 0:
+		return fmt.Sprintf("%d", b.Off)
+	}
+	v := &vf.ssa.Vals[b.Base]
+	name := "?"
+	if v.Obj != nil {
+		name = v.Obj.Name()
+	}
+	if v.Kind == vLen {
+		name = "len(" + name + ")"
+	}
+	switch {
+	case b.Off > 0:
+		return fmt.Sprintf("%s+%d", name, b.Off)
+	case b.Off < 0:
+		return fmt.Sprintf("%s-%d", name, -b.Off)
+	}
+	return name
+}
+
+// renderIval formats an interval witness like "[0, len(v)-1]".
+func (vf *valueFlow) renderIval(iv ival) string {
+	return "[" + vf.render(iv.Lo) + ", " + vf.render(iv.Hi) + "]"
+}

@@ -1,0 +1,283 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"math"
+	"sort"
+)
+
+// IntOverflow guards the parse boundary: functions reachable from a
+// //lint:parseroot declaration (the text and JSON readers) compute with
+// attacker-controlled integers, so every `+`, `*` and `<<` on a signed
+// 64-bit quantity must be provably within int64 range under the value-flow
+// intervals. Parse results start unbounded; a dominating validation guard
+// (`if t > MaxTimeValue { return err }`) is what narrows them — the
+// analyzer is the mechanism that forces pcmax.Validate's caps to actually
+// dominate the arithmetic instead of living in a comment.
+var IntOverflow = &Analyzer{
+	Name:      "intoverflow",
+	Doc:       "arithmetic reachable from a //lint:parseroot function must be provably free of int64 overflow",
+	RunModule: runIntOverflow,
+}
+
+func runIntOverflow(p *ModulePass) {
+	g := BuildCallGraph(p.Mod)
+	var roots []*types.Func
+	for _, pkg := range p.Mod.Packages {
+		for _, f := range pkg.Files {
+			fns, attached := directiveFuncs(f, isParserootDirective)
+			for _, fd := range fns {
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					roots = append(roots, fn)
+				}
+			}
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if isParserootDirective(c.Text) && !attached[c] {
+						p.Reportf(c.Pos(), "stray //lint:parseroot: the directive must be part of a function declaration's doc comment")
+					}
+				}
+			}
+		}
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Pos() < roots[j].Pos() })
+	reach := g.Reachable(roots)
+	for _, node := range g.SortedNodes() {
+		root, ok := reach[node.Fn]
+		if !ok || node.Decl.Body == nil {
+			continue
+		}
+		vf := buildValueFlow(node.Pkg, node.Decl)
+		vf.checkOverflow(p, root)
+	}
+}
+
+// checkOverflow walks one reachable function with its interval facts and
+// reports every +, * or << (including the op-assign and ++ forms) on a
+// signed 64-bit value that the engine cannot prove within range.
+func (vf *valueFlow) checkOverflow(p *ModulePass, root *types.Func) {
+	scan := func(n ast.Node, env intervalFact) {
+		inspectShallow(n, func(m ast.Node) bool {
+			if be, ok := m.(*ast.BinaryExpr); ok {
+				vf.checkBinaryOverflow(p, root, env, be)
+			}
+			return true
+		})
+	}
+	vf.walk(func(_ *Block, n ast.Node, env intervalFact) {
+		scan(n, env)
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			vf.checkOpAssign(p, root, env, s)
+		case *ast.IncDecStmt:
+			vf.checkIncDec(p, root, env, s)
+		case *ast.DeferStmt:
+			ast.Inspect(s.Call, func(m ast.Node) bool {
+				if be, ok := m.(*ast.BinaryExpr); ok {
+					vf.checkBinaryOverflow(p, root, env, be)
+				}
+				return true
+			})
+		}
+	})
+}
+
+func (vf *valueFlow) checkBinaryOverflow(p *ModulePass, root *types.Func, env intervalFact, be *ast.BinaryExpr) {
+	switch be.Op {
+	case token.ADD, token.MUL, token.SHL:
+	default:
+		return
+	}
+	tv, ok := vf.pkg.Info.Types[be]
+	if !ok || tv.Value != nil || !isSigned64(tv.Type) {
+		return
+	}
+	x := vf.evalExpr(env, be.X)
+	y := vf.evalExpr(env, be.Y)
+	if vf.binOpSafe(env, be.Op, x, y) {
+		return
+	}
+	p.Reportf(be.Pos(), "%s in %s (reachable from parse root %s): operands in %s %s %s; guard the inputs against a documented cap first",
+		overflowVerb(be.Op), vf.fd.Name.Name, root.Name(), vf.renderIval(x), be.Op, vf.renderIval(y))
+}
+
+func (vf *valueFlow) checkOpAssign(p *ModulePass, root *types.Func, env intervalFact, s *ast.AssignStmt) {
+	var op token.Token
+	switch s.Tok {
+	case token.ADD_ASSIGN:
+		op = token.ADD
+	case token.MUL_ASSIGN:
+		op = token.MUL
+	case token.SHL_ASSIGN:
+		op = token.SHL
+	default:
+		return
+	}
+	if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+		return
+	}
+	tv, ok := vf.pkg.Info.Types[s.Lhs[0]]
+	if !ok || !isSigned64(tv.Type) {
+		return
+	}
+	x := vf.evalExpr(env, s.Lhs[0])
+	y := vf.evalExpr(env, s.Rhs[0])
+	if vf.binOpSafe(env, op, x, y) {
+		return
+	}
+	p.Reportf(s.Pos(), "%s in %s (reachable from parse root %s): operands in %s %s %s; guard the inputs against a documented cap first",
+		overflowVerb(op), vf.fd.Name.Name, root.Name(), vf.renderIval(x), op, vf.renderIval(y))
+}
+
+func (vf *valueFlow) checkIncDec(p *ModulePass, root *types.Func, env intervalFact, s *ast.IncDecStmt) {
+	if s.Tok != token.INC {
+		return
+	}
+	tv, ok := vf.pkg.Info.Types[s.X]
+	if !ok || !isSigned64(tv.Type) {
+		return
+	}
+	x := vf.evalExpr(env, s.X)
+	one := degenerate(constBound(1))
+	if vf.binOpSafe(env, token.ADD, x, one) {
+		return
+	}
+	p.Reportf(s.Pos(), "possible int64 overflow in %s (reachable from parse root %s): increment of value in %s; guard the counter against a documented cap first",
+		vf.fd.Name.Name, root.Name(), vf.renderIval(x))
+}
+
+func overflowVerb(op token.Token) string {
+	switch op {
+	case token.MUL:
+		return "possible int64 overflow in multiplication"
+	case token.SHL:
+		return "possible int64 overflow in left shift"
+	}
+	return "possible int64 overflow in addition"
+}
+
+// isSigned64 reports a signed integer type of at least 64 bits (int, int64
+// and their named forms) — the only widths whose representable range the
+// lattice cannot carry, so overflow must be proven, not assumed.
+func isSigned64(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	w, signed := intKindWidth(b.Kind())
+	return signed && w >= 64
+}
+
+// binOpSafe proves that op applied to values in x and y stays within int64.
+func (vf *valueFlow) binOpSafe(env intervalFact, op token.Token, x, y ival) bool {
+	switch op {
+	case token.ADD:
+		return vf.addFitsHi(env, x.Hi, y.Hi) && vf.addFitsLo(env, x.Lo, y.Lo)
+	case token.MUL:
+		return vf.mulFits(env, x, y)
+	case token.SHL:
+		return vf.shlFits(env, x, y)
+	}
+	return false
+}
+
+// addFitsHi proves value(a)+value(b) ≤ MaxInt64 for two upper bounds. The
+// symbolic-slack rule does the heavy lifting: when exactly one bound is a
+// term (base+off) and the offsets sum to ≤ 0, the sum is bounded by the
+// base value itself, which is at most MaxInt64 by representability — this
+// is what certifies `i+1` under `i ≤ len(v)-1` without knowing len(v).
+func (vf *valueFlow) addFitsHi(env intervalFact, a, b ibound) bool {
+	a = vf.normalize(env, a, 0)
+	b = vf.normalize(env, b, 0)
+	if a.Inf > 0 || b.Inf > 0 {
+		return false
+	}
+	if a.Inf < 0 || b.Inf < 0 {
+		return true
+	}
+	if a.Base == 0 && b.Base == 0 {
+		_, ok := addInt64(a.Off, b.Off)
+		return ok
+	}
+	if (a.Base == 0) != (b.Base == 0) {
+		if s, ok := addInt64(a.Off, b.Off); ok && s <= 0 {
+			return true
+		}
+	}
+	ca, aok := vf.resolveMax(env, a, 0)
+	cb, bok := vf.resolveMax(env, b, 0)
+	if !aok || !bok {
+		return false
+	}
+	_, ok := addInt64(ca, cb)
+	return ok
+}
+
+// addFitsLo mirrors addFitsHi against MinInt64 for the lower bounds.
+func (vf *valueFlow) addFitsLo(env intervalFact, a, b ibound) bool {
+	a = vf.normalize(env, a, 0)
+	b = vf.normalize(env, b, 0)
+	if a.Inf < 0 || b.Inf < 0 {
+		return false
+	}
+	if a.Inf > 0 || b.Inf > 0 {
+		return true
+	}
+	if a.Base == 0 && b.Base == 0 {
+		_, ok := addInt64(a.Off, b.Off)
+		return ok
+	}
+	if (a.Base == 0) != (b.Base == 0) {
+		if s, ok := addInt64(a.Off, b.Off); ok && s >= 0 {
+			return true
+		}
+	}
+	ca, aok := vf.resolveMin(env, a, 0)
+	cb, bok := vf.resolveMin(env, b, 0)
+	if !aok || !bok {
+		return false
+	}
+	_, ok := addInt64(ca, cb)
+	return ok
+}
+
+// mulFits proves the product within int64 via the four concrete corner
+// products; symbolic bounds must resolve to concrete extremes first.
+func (vf *valueFlow) mulFits(env intervalFact, x, y ival) bool {
+	xl, ok1 := vf.resolveMin(env, x.Lo, 0)
+	xh, ok2 := vf.resolveMax(env, x.Hi, 0)
+	yl, ok3 := vf.resolveMin(env, y.Lo, 0)
+	yh, ok4 := vf.resolveMax(env, y.Hi, 0)
+	if !ok1 || !ok2 || !ok3 || !ok4 {
+		return false
+	}
+	for _, a := range [2]int64{xl, xh} {
+		for _, b := range [2]int64{yl, yh} {
+			if _, ok := mulInt64(a, b); !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// shlFits proves x << k within int64: the shift amount must be concretely
+// in [0, 62] and both extremes of x must survive the shift.
+func (vf *valueFlow) shlFits(env intervalFact, x, k ival) bool {
+	kl, ok1 := vf.resolveMin(env, k.Lo, 0)
+	kh, ok2 := vf.resolveMax(env, k.Hi, 0)
+	if !ok1 || !ok2 || kl < 0 || kh > 62 {
+		return false
+	}
+	xl, ok3 := vf.resolveMin(env, x.Lo, 0)
+	xh, ok4 := vf.resolveMax(env, x.Hi, 0)
+	if !ok3 || !ok4 {
+		return false
+	}
+	return xh <= math.MaxInt64>>uint(kh) && xl >= math.MinInt64>>uint(kh)
+}

@@ -309,5 +309,8 @@ func All() []*Analyzer {
 		LeakyGo,
 		WaitBalance,
 		HotAlloc,
+		IntOverflow,
+		BoundsProof,
+		Escape,
 	}
 }

@@ -1,0 +1,824 @@
+package lint
+
+// Pruned SSA form on top of cfg.go's per-function CFGs (ALGORITHM.md §14).
+//
+// The value-flow analyzers (boundsproof, intoverflow, escape) need to know,
+// at every use of a local variable, which definition produced the value —
+// the classic use-def question SSA answers by construction. BuildSSA renames
+// the function's trackable locals into static single assignment form:
+//
+//   - DomInfo computes the dominator tree with the Cooper–Harvey–Kennedy
+//     iterative algorithm over a reverse postorder numbering (simple, and on
+//     the small CFGs of hand-written functions effectively linear), plus
+//     dominance frontiers for phi placement.
+//   - Phi nodes are pruned: a phi for variable v lands in join block B only
+//     if B is in the iterated dominance frontier of v's definition blocks
+//     AND v is live-in at B (a backward liveness pass filters the rest), so
+//     the interval propagation never carries facts for dead names.
+//   - Renaming walks the dominator tree with the standard stack discipline
+//     and records, for every identifier occurrence, the SSA value it reads
+//     (Use) or writes (Def).
+//
+// Only unaliased locals are tracked: parameters, named results and
+// block-scoped variables whose address is never taken and which no nested
+// function literal touches. Everything else — package globals, struct
+// fields, captured or address-taken locals — maps to value 0, the designated
+// "unknown", and the analyses fall back to type-derived bounds for it. That
+// keeps the construction sound without a points-to analysis.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DomInfo holds the dominator tree and dominance frontiers of one CFG,
+// restricted to the blocks reachable from the entry.
+type DomInfo struct {
+	cfg *CFG
+	// rpo lists the reachable blocks in reverse postorder (entry first).
+	rpo []*Block
+	// num is each reachable block's reverse-postorder number.
+	num map[*Block]int
+	// idom maps each reachable block to its immediate dominator
+	// (nil for the entry).
+	idom map[*Block]*Block
+	// children is the dominator tree: idom[c] == b  ⇔  c ∈ children[b].
+	children map[*Block][]*Block
+	// depth is each block's depth in the dominator tree (entry 0).
+	depth map[*Block]int
+	// preds lists each reachable block's reachable predecessors.
+	preds map[*Block][]*Block
+	// frontier is the dominance frontier of each reachable block.
+	frontier map[*Block][]*Block
+}
+
+// BuildDom computes dominators, the dominator tree and dominance frontiers
+// for the CFG's reachable blocks.
+func BuildDom(c *CFG) *DomInfo {
+	d := &DomInfo{
+		cfg:      c,
+		num:      map[*Block]int{},
+		idom:     map[*Block]*Block{},
+		children: map[*Block][]*Block{},
+		depth:    map[*Block]int{},
+		preds:    map[*Block][]*Block{},
+		frontier: map[*Block][]*Block{},
+	}
+	// Iterative postorder DFS from the entry, then reverse.
+	type frame struct {
+		b *Block
+		i int
+	}
+	seen := map[*Block]bool{c.Entry: true}
+	var post []*Block
+	stack := []frame{{c.Entry, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.i < len(f.b.Succs) {
+			s := f.b.Succs[f.i]
+			f.i++
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, frame{s, 0})
+			}
+			continue
+		}
+		post = append(post, f.b)
+		stack = stack[:len(stack)-1]
+	}
+	d.rpo = make([]*Block, len(post))
+	for i, b := range post {
+		d.rpo[len(post)-1-i] = b
+	}
+	for i, b := range d.rpo {
+		d.num[b] = i
+	}
+	for _, b := range d.rpo {
+		for _, s := range b.Succs {
+			if seen[s] {
+				d.preds[s] = append(d.preds[s], b)
+			}
+		}
+	}
+
+	// Cooper–Harvey–Kennedy: iterate idom to a fixed point in RPO, meeting
+	// predecessors by walking up the current tree with RPO numbers.
+	d.idom[c.Entry] = c.Entry // sentinel during iteration, cleared below
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for d.num[a] > d.num[b] {
+				a = d.idom[a]
+			}
+			for d.num[b] > d.num[a] {
+				b = d.idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo[1:] {
+			var newIdom *Block
+			for _, p := range d.preds[b] {
+				if d.idom[p] == nil {
+					continue
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && d.idom[b] != newIdom {
+				d.idom[b] = newIdom
+				changed = true
+			}
+		}
+	}
+	d.idom[c.Entry] = nil
+	for _, b := range d.rpo[1:] {
+		p := d.idom[b]
+		d.children[p] = append(d.children[p], b)
+		d.depth[b] = d.depth[p] + 1
+	}
+
+	// Dominance frontiers (Cooper–Harvey–Kennedy's "runner" formulation).
+	infront := map[*Block]map[*Block]bool{}
+	for _, b := range d.rpo {
+		if len(d.preds[b]) < 2 {
+			continue
+		}
+		for _, p := range d.preds[b] {
+			for runner := p; runner != nil && runner != d.idom[b]; runner = d.idom[runner] {
+				if infront[runner] == nil {
+					infront[runner] = map[*Block]bool{}
+				}
+				if !infront[runner][b] {
+					infront[runner][b] = true
+					d.frontier[runner] = append(d.frontier[runner], b)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// Reachable reports whether b is reachable from the entry.
+func (d *DomInfo) Reachable(b *Block) bool { _, ok := d.num[b]; return ok }
+
+// Idom returns b's immediate dominator (nil for the entry and for
+// unreachable blocks).
+func (d *DomInfo) Idom(b *Block) *Block { return d.idom[b] }
+
+// Dominates reports whether a dominates b (reflexively). Unreachable blocks
+// dominate nothing and are dominated by nothing.
+func (d *DomInfo) Dominates(a, b *Block) bool {
+	if !d.Reachable(a) || !d.Reachable(b) {
+		return false
+	}
+	for d.depth[b] > d.depth[a] {
+		b = d.idom[b]
+	}
+	return a == b
+}
+
+// VID names one SSA value of a function; index into SSAFunc.Vals. Value 0
+// is the shared "unknown": everything the construction cannot track.
+type VID int
+
+// vkind classifies how an SSA value came to be.
+type vkind uint8
+
+const (
+	vUnknown  vkind = iota // value 0: untracked, top
+	vParam                 // parameter or receiver, defined at entry
+	vZero                  // var declaration without initializer
+	vExpr                  // x := e, x = e, or one position of a tuple assign
+	vCompound              // x op= e or x++/x--
+	vPhi                   // join of per-predecessor values
+	vRangeKey              // key variable of a range statement
+	vRangeVal              // value variable of a range statement
+	vLen                   // pseudo-value: len of a slice-typed value
+)
+
+// ssaValue is one SSA value.
+type ssaValue struct {
+	Kind vkind
+	// Obj is the source variable the value binds (nil for vUnknown; the
+	// owning slice's variable for vLen).
+	Obj *types.Var
+	// Block is the defining block (nil for vUnknown, vParam, vLen).
+	Block *Block
+	// Rhs is the defining expression for vExpr (nil when the value comes
+	// from a multi-result call or another untracked source) and the operand
+	// for vCompound (nil for ++/--, meaning the constant 1).
+	Rhs ast.Expr
+	// Op is the arithmetic token for vCompound (ADD for both x += e and
+	// x++).
+	Op token.Token
+	// Prev is the value the variable held before a vCompound def.
+	Prev VID
+	// Range is the enclosing range statement for vRangeKey/vRangeVal.
+	Range *ast.RangeStmt
+	// Args are a phi's incoming values, one per reachable predecessor.
+	Args []PhiArg
+	// Of is the slice value a vLen pseudo-value measures.
+	Of VID
+}
+
+// PhiArg is one incoming edge of a phi.
+type PhiArg struct {
+	Pred *Block
+	Val  VID
+}
+
+// SSAFunc is the SSA form of one function body.
+type SSAFunc struct {
+	Cfg *CFG
+	Dom *DomInfo
+	// Vals is the value table; Vals[0] is the unknown value.
+	Vals []ssaValue
+	// Use maps every read occurrence of a tracked variable to the value it
+	// observes; Def maps every write occurrence to the value it creates.
+	Use map[*ast.Ident]VID
+	Def map[*ast.Ident]VID
+	// Phis lists each block's phi values (entries in Vals of kind vPhi).
+	Phis map[*Block][]VID
+	// EntryVals maps each tracked parameter/receiver/result object to its
+	// entry value.
+	EntryVals map[*types.Var]VID
+	// rangeX maps a range statement's X expression (a block head node) to
+	// its statement, so analyses recognize the per-iteration defs.
+	rangeX map[ast.Node]*ast.RangeStmt
+	// lenOf lazily allocates vLen pseudo-values.
+	lenOf map[VID]VID
+	info  *types.Info
+}
+
+// Info exposes the type information of the package the function lives in.
+func (s *SSAFunc) Info() *types.Info { return s.info }
+
+// LenVal returns the pseudo-value measuring len(v), allocating on first use.
+func (s *SSAFunc) LenVal(v VID) VID {
+	if v == 0 {
+		return 0
+	}
+	if l, ok := s.lenOf[v]; ok {
+		return l
+	}
+	l := VID(len(s.Vals))
+	s.Vals = append(s.Vals, ssaValue{Kind: vLen, Obj: s.Vals[v].Obj, Of: v})
+	s.lenOf[v] = l
+	return l
+}
+
+// RangeOf reports whether node n is the X expression of a range statement
+// (the per-iteration head of the loop) and returns the statement.
+func (s *SSAFunc) RangeOf(n ast.Node) (*ast.RangeStmt, bool) {
+	r, ok := s.rangeX[n]
+	return r, ok
+}
+
+// ssaBuilder carries the construction state.
+type ssaBuilder struct {
+	fn   *SSAFunc
+	info *types.Info
+	// tracked maps each SSA-renamed variable to its dense index.
+	tracked map[*types.Var]int
+	vars    []*types.Var
+	// stacks is the renaming stack per tracked variable.
+	stacks [][]VID
+	// phiAt lists the phis placed in each block, by variable index.
+	phiAt map[*Block][]phiRecord
+}
+
+// defSite is one write occurrence inside a node, in evaluation order.
+type defSite struct {
+	id   *ast.Ident // nil for an untracked or blank position
+	obj  *types.Var
+	kind vkind
+	rhs  ast.Expr
+	op   token.Token
+	rng  *ast.RangeStmt
+}
+
+// BuildSSA constructs pruned SSA for one declared function. decl.Body must
+// be non-nil. The CFG and dominator tree are built internally and exposed
+// on the result.
+func BuildSSA(info *types.Info, decl *ast.FuncDecl) *SSAFunc {
+	cfg := BuildCFG(decl.Body)
+	dom := BuildDom(cfg)
+	fn := &SSAFunc{
+		Cfg:       cfg,
+		Dom:       dom,
+		Vals:      make([]ssaValue, 1), // Vals[0] = unknown
+		Use:       map[*ast.Ident]VID{},
+		Def:       map[*ast.Ident]VID{},
+		Phis:      map[*Block][]VID{},
+		EntryVals: map[*types.Var]VID{},
+		rangeX:    map[ast.Node]*ast.RangeStmt{},
+		lenOf:     map[VID]VID{},
+		info:      info,
+	}
+	b := &ssaBuilder{fn: fn, info: info, tracked: map[*types.Var]int{}}
+
+	// Index the range statements' X expressions: cfg.go lowers a range loop
+	// to a head block whose first node is X, and the key/value definitions
+	// happen there on every iteration.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.RangeStmt); ok {
+			fn.rangeX[r.X] = r
+		}
+		return true
+	})
+
+	b.collectTracked(decl)
+	if len(b.vars) == 0 {
+		return fn
+	}
+	defs := b.collectDefBlocks(decl)
+	live := b.liveness(decl)
+	b.placePhis(defs, live)
+	b.rename(decl)
+	return fn
+}
+
+// collectTracked gathers the variables the construction renames: parameters,
+// receiver, named results and block-scoped locals, minus anything
+// address-taken or referenced from a nested function literal.
+func (b *ssaBuilder) collectTracked(decl *ast.FuncDecl) {
+	banned := map[*types.Var]bool{}
+	ban := func(id *ast.Ident) {
+		if v, ok := b.info.Uses[id].(*types.Var); ok {
+			banned[v] = true
+		}
+		if v, ok := b.info.Defs[id].(*types.Var); ok {
+			banned[v] = true
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+					ban(id)
+				}
+			}
+		case *ast.SelectorExpr:
+			// A method call through a pointer receiver implicitly takes the
+			// operand's address and may mutate it.
+			if sel, ok := b.info.Selections[n]; ok && sel.Kind() == types.MethodVal {
+				if f, ok := sel.Obj().(*types.Func); ok {
+					if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+						if _, ptr := sig.Recv().Type().(*types.Pointer); ptr {
+							if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+								ban(id)
+							}
+						}
+					}
+				}
+			}
+		case *ast.FuncLit:
+			// Every variable a nested literal touches lives on a different
+			// activation path; ban all of them.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					ban(id)
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	track := func(v *types.Var) {
+		if v == nil || banned[v] || v.Name() == "_" {
+			return
+		}
+		if _, ok := b.tracked[v]; ok {
+			return
+		}
+		b.tracked[v] = len(b.vars)
+		b.vars = append(b.vars, v)
+	}
+	sigVar := func(field *ast.Field) {
+		for _, name := range field.Names {
+			if v, ok := b.info.Defs[name].(*types.Var); ok {
+				track(v)
+			}
+		}
+	}
+	if decl.Recv != nil {
+		for _, f := range decl.Recv.List {
+			sigVar(f)
+		}
+	}
+	if decl.Type.Params != nil {
+		for _, f := range decl.Type.Params.List {
+			sigVar(f)
+		}
+	}
+	if decl.Type.Results != nil {
+		for _, f := range decl.Type.Results.List {
+			sigVar(f)
+		}
+	}
+	// Locals: every ident the body defines as a variable.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := b.info.Defs[id].(*types.Var); ok {
+				track(v)
+			}
+		}
+		return true
+	})
+}
+
+// nodeDefs returns the write occurrences a node performs, in evaluation
+// order (all after the node's reads: Go evaluates every right-hand side
+// before assigning).
+func (b *ssaBuilder) nodeDefs(n ast.Node) []defSite {
+	var out []defSite
+	add := func(id *ast.Ident, kind vkind, rhs ast.Expr, op token.Token, rng *ast.RangeStmt) {
+		if id == nil || id.Name == "_" {
+			out = append(out, defSite{})
+			return
+		}
+		var obj *types.Var
+		if v, ok := b.info.Defs[id].(*types.Var); ok {
+			obj = v
+		} else if v, ok := b.info.Uses[id].(*types.Var); ok {
+			obj = v
+		}
+		if obj == nil {
+			out = append(out, defSite{})
+			return
+		}
+		if _, ok := b.tracked[obj]; !ok {
+			out = append(out, defSite{})
+			return
+		}
+		out = append(out, defSite{id: id, obj: obj, kind: kind, rhs: rhs, op: op, rng: rng})
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		switch n.Tok {
+		case token.ASSIGN, token.DEFINE:
+			single := len(n.Lhs) == len(n.Rhs)
+			for i, lhs := range n.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue // store through a selector/index: not a rebind
+				}
+				var rhs ast.Expr
+				if single {
+					rhs = n.Rhs[i]
+				}
+				add(id, vExpr, rhs, token.ILLEGAL, nil)
+			}
+		default: // op-assign: x += e and friends
+			if id, ok := ast.Unparen(n.Lhs[0]).(*ast.Ident); ok {
+				op := n.Tok + (token.ADD - token.ADD_ASSIGN)
+				add(id, vCompound, n.Rhs[0], op, nil)
+			}
+		}
+	case *ast.IncDecStmt:
+		if id, ok := ast.Unparen(n.X).(*ast.Ident); ok {
+			op := token.ADD
+			if n.Tok == token.DEC {
+				op = token.SUB
+			}
+			add(id, vCompound, nil, op, nil)
+		}
+	case *ast.DeclStmt:
+		gd, ok := n.Decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			break
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				switch {
+				case len(vs.Values) == len(vs.Names):
+					add(name, vExpr, vs.Values[i], token.ILLEGAL, nil)
+				case len(vs.Values) == 0:
+					add(name, vZero, nil, token.ILLEGAL, nil)
+				default: // var a, b = f()
+					add(name, vExpr, nil, token.ILLEGAL, nil)
+				}
+			}
+		}
+	case ast.Expr:
+		if rng, ok := b.fn.rangeX[ast.Node(n)]; ok {
+			if id, ok := identOrNil(rng.Key); ok {
+				add(id, vRangeKey, nil, token.ILLEGAL, rng)
+			}
+			if id, ok := identOrNil(rng.Value); ok {
+				add(id, vRangeVal, nil, token.ILLEGAL, rng)
+			}
+		}
+	}
+	return out
+}
+
+// identOrNil unwraps e to a bare identifier; ok is false for nil and
+// non-ident expressions.
+func identOrNil(e ast.Expr) (*ast.Ident, bool) {
+	if e == nil {
+		return nil, false
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return id, ok
+}
+
+// nodeUses calls use(id, obj) for every read occurrence of a tracked
+// variable inside the node, skipping the write positions nodeDefs covers
+// and nested function literals.
+func (b *ssaBuilder) nodeUses(n ast.Node, use func(*ast.Ident, *types.Var)) {
+	isDef := map[*ast.Ident]bool{}
+	for _, d := range b.nodeDefs(n) {
+		if d.id != nil && d.kind != vCompound {
+			// A compound assign reads the old value too; keep it a use.
+			isDef[d.id] = true
+		}
+	}
+	inspectShallow(n, func(m ast.Node) bool {
+		id, ok := m.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if isDef[id] {
+			return true
+		}
+		if v, ok := b.info.Uses[id].(*types.Var); ok {
+			if _, tracked := b.tracked[v]; tracked {
+				use(id, v)
+			}
+		}
+		return true
+	})
+	// Deferred calls evaluate their function and arguments immediately even
+	// though the call itself runs at exit; inspectShallow prunes them, so
+	// walk the call expression explicitly.
+	if ds, ok := n.(*ast.DeferStmt); ok {
+		b.nodeUses(ds.Call, use)
+	}
+}
+
+// collectDefBlocks returns, per tracked variable index, the set of blocks
+// containing a definition (parameters count as defined in the entry).
+func (b *ssaBuilder) collectDefBlocks(decl *ast.FuncDecl) []map[*Block]bool {
+	defs := make([]map[*Block]bool, len(b.vars))
+	for i := range defs {
+		defs[i] = map[*Block]bool{}
+	}
+	for _, blk := range b.fn.Cfg.Blocks {
+		if !b.fn.Dom.Reachable(blk) {
+			continue
+		}
+		for _, n := range blk.Nodes {
+			for _, d := range b.nodeDefs(n) {
+				if d.obj != nil {
+					defs[b.tracked[d.obj]][blk] = true
+				}
+			}
+		}
+	}
+	entry := b.fn.Cfg.Entry
+	for v, i := range b.tracked {
+		if isSigVar(decl, b.info, v) {
+			defs[i][entry] = true
+		}
+	}
+	return defs
+}
+
+// isSigVar reports whether v is a parameter, receiver or named result of
+// the declaration.
+func isSigVar(decl *ast.FuncDecl, info *types.Info, v *types.Var) bool {
+	check := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == v {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return check(decl.Recv) || check(decl.Type.Params) || check(decl.Type.Results)
+}
+
+// liveness computes, per block, the set of tracked variables live at block
+// entry (backward may-analysis; used to prune dead phis).
+func (b *ssaBuilder) liveness(decl *ast.FuncDecl) []map[*Block]bool {
+	n := len(b.vars)
+	use := map[*Block][]bool{}  // used before any def in the block
+	defd := map[*Block][]bool{} // defined in the block
+	blocks := b.fn.Dom.rpo
+	for _, blk := range blocks {
+		u, d := make([]bool, n), make([]bool, n)
+		for _, node := range blk.Nodes {
+			b.nodeUses(node, func(_ *ast.Ident, v *types.Var) {
+				i := b.tracked[v]
+				if !d[i] {
+					u[i] = true
+				}
+			})
+			for _, ds := range b.nodeDefs(node) {
+				if ds.obj != nil {
+					d[b.tracked[ds.obj]] = true
+				}
+			}
+		}
+		use[blk], defd[blk] = u, d
+	}
+	// Named results are read by the implicit return at exit.
+	if decl.Type.Results != nil {
+		exitUse := make([]bool, n)
+		for _, f := range decl.Type.Results.List {
+			for _, name := range f.Names {
+				if v, ok := b.info.Defs[name].(*types.Var); ok {
+					if i, tracked := b.tracked[v]; tracked {
+						exitUse[i] = true
+					}
+				}
+			}
+		}
+		use[b.fn.Cfg.Exit] = orBits(use[b.fn.Cfg.Exit], exitUse, n)
+	}
+	liveIn := map[*Block][]bool{}
+	for changed := true; changed; {
+		changed = false
+		for k := len(blocks) - 1; k >= 0; k-- {
+			blk := blocks[k]
+			out := make([]bool, n)
+			for _, s := range blk.Succs {
+				out = orBits(out, liveIn[s], n)
+			}
+			in := make([]bool, n)
+			for i := 0; i < n; i++ {
+				in[i] = use[blk][i] || (out[i] && !defd[blk][i])
+			}
+			if !eqBits(liveIn[blk], in, n) {
+				liveIn[blk] = in
+				changed = true
+			}
+		}
+	}
+	res := make([]map[*Block]bool, n)
+	for i := range res {
+		res[i] = map[*Block]bool{}
+		for blk, in := range liveIn {
+			if in[i] {
+				res[i][blk] = true
+			}
+		}
+	}
+	return res
+}
+
+func orBits(a, b []bool, n int) []bool {
+	if a == nil {
+		a = make([]bool, n)
+	}
+	for i := range b {
+		if b[i] {
+			a[i] = true
+		}
+	}
+	return a
+}
+
+func eqBits(a, b []bool, n int) bool {
+	if a == nil {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// phiRecord is a placed phi before renaming fills its arguments.
+type phiRecord struct {
+	varIdx int
+	vid    VID
+}
+
+// placePhis inserts pruned phis: iterated dominance frontier of each
+// variable's def blocks, filtered by liveness.
+func (b *ssaBuilder) placePhis(defs []map[*Block]bool, live []map[*Block]bool) {
+	b.phiAt = map[*Block][]phiRecord{}
+	for i, v := range b.vars {
+		// Seed the worklist in reverse postorder so phi VID allocation is
+		// deterministic across runs.
+		work := make([]*Block, 0, len(defs[i]))
+		for _, blk := range b.fn.Dom.rpo {
+			if defs[i][blk] {
+				work = append(work, blk)
+			}
+		}
+		placed := map[*Block]bool{}
+		inWork := map[*Block]bool{}
+		for _, blk := range work {
+			inWork[blk] = true
+		}
+		for len(work) > 0 {
+			blk := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, f := range b.fn.Dom.frontier[blk] {
+				if placed[f] || !live[i][f] {
+					continue
+				}
+				placed[f] = true
+				vid := VID(len(b.fn.Vals))
+				b.fn.Vals = append(b.fn.Vals, ssaValue{Kind: vPhi, Obj: v, Block: f})
+				b.fn.Phis[f] = append(b.fn.Phis[f], vid)
+				b.phiAt[f] = append(b.phiAt[f], phiRecord{varIdx: i, vid: vid})
+				if !inWork[f] {
+					inWork[f] = true
+					work = append(work, f)
+				}
+			}
+		}
+	}
+}
+
+// rename runs the classic stack-based renaming over the dominator tree.
+func (b *ssaBuilder) rename(decl *ast.FuncDecl) {
+	b.stacks = make([][]VID, len(b.vars))
+	// Entry values for signature variables.
+	for v, i := range b.tracked {
+		if isSigVar(decl, b.info, v) {
+			vid := VID(len(b.fn.Vals))
+			b.fn.Vals = append(b.fn.Vals, ssaValue{Kind: vParam, Obj: v})
+			b.fn.EntryVals[v] = vid
+			b.stacks[i] = append(b.stacks[i], vid)
+		}
+	}
+	b.renameBlock(b.fn.Cfg.Entry)
+}
+
+func (b *ssaBuilder) top(i int) VID {
+	if s := b.stacks[i]; len(s) > 0 {
+		return s[len(s)-1]
+	}
+	return 0
+}
+
+func (b *ssaBuilder) renameBlock(blk *Block) {
+	pushed := make([]int, len(b.vars))
+	push := func(i int, vid VID) {
+		b.stacks[i] = append(b.stacks[i], vid)
+		pushed[i]++
+	}
+	for _, pr := range b.phiAt[blk] {
+		push(pr.varIdx, pr.vid)
+	}
+	for _, n := range blk.Nodes {
+		b.nodeUses(n, func(id *ast.Ident, v *types.Var) {
+			b.fn.Use[id] = b.top(b.tracked[v])
+		})
+		for _, d := range b.nodeDefs(n) {
+			if d.obj == nil {
+				continue
+			}
+			i := b.tracked[d.obj]
+			vid := VID(len(b.fn.Vals))
+			val := ssaValue{Kind: d.kind, Obj: d.obj, Block: blk, Rhs: d.rhs, Op: d.op, Range: d.rng}
+			if d.kind == vCompound {
+				val.Prev = b.top(i)
+			}
+			b.fn.Vals = append(b.fn.Vals, val)
+			b.fn.Def[d.id] = vid
+			push(i, vid)
+		}
+	}
+	// Fill phi arguments of the CFG successors.
+	for _, s := range blk.Succs {
+		for _, pr := range b.phiAt[s] {
+			v := &b.fn.Vals[pr.vid]
+			v.Args = append(v.Args, PhiArg{Pred: blk, Val: b.top(pr.varIdx)})
+		}
+	}
+	for _, c := range b.fn.Dom.children[blk] {
+		b.renameBlock(c)
+	}
+	for i, k := range pushed {
+		b.stacks[i] = b.stacks[i][:len(b.stacks[i])-k]
+	}
+}

@@ -1,0 +1,332 @@
+package lint
+
+import (
+	"go/ast"
+	"testing"
+)
+
+// ssaFor type-checks one source snippet and builds pruned SSA for the named
+// function.
+func ssaFor(t *testing.T, src, fname string) *SSAFunc {
+	t.Helper()
+	pkg := checkSource(t, src)
+	fd := funcNamed(t, pkg, fname)
+	if fd.Body == nil {
+		t.Fatalf("%s has no body", fname)
+	}
+	return BuildSSA(pkg.Info, fd)
+}
+
+// valsOf returns the VIDs (in allocation order, which is deterministic) of
+// the values bound to the variable with the given name, filtered by kind.
+func valsOf(fn *SSAFunc, name string, kinds ...vkind) []VID {
+	var out []VID
+	for vid := 1; vid < len(fn.Vals); vid++ {
+		v := &fn.Vals[vid]
+		if v.Obj == nil || v.Obj.Name() != name {
+			continue
+		}
+		if len(kinds) == 0 {
+			out = append(out, VID(vid))
+			continue
+		}
+		for _, k := range kinds {
+			if v.Kind == k {
+				out = append(out, VID(vid))
+				break
+			}
+		}
+	}
+	return out
+}
+
+// onlyPhi returns the unique phi of the named variable, failing the test on
+// any other count.
+func onlyPhi(t *testing.T, fn *SSAFunc, name string) *ssaValue {
+	t.Helper()
+	phis := valsOf(fn, name, vPhi)
+	if len(phis) != 1 {
+		t.Fatalf("want exactly one phi for %s, got %d", name, len(phis))
+	}
+	return &fn.Vals[phis[0]]
+}
+
+func TestDomDiamond(t *testing.T) {
+	fn := ssaFor(t, `package p
+func diamond(a, b int) int {
+	x := 0
+	if a > b {
+		x = a
+	} else {
+		x = b
+	}
+	return x
+}
+`, "diamond")
+
+	defs := valsOf(fn, "x", vExpr)
+	if len(defs) != 3 {
+		t.Fatalf("want 3 straight-line defs of x, got %d", len(defs))
+	}
+	entryBlk := fn.Vals[defs[0]].Block
+	thenBlk, elseBlk := fn.Vals[defs[1]].Block, fn.Vals[defs[2]].Block
+	phi := onlyPhi(t, fn, "x")
+	join := phi.Block
+	d := fn.Dom
+
+	// The join merges exactly the two branch definitions.
+	if len(phi.Args) != 2 {
+		t.Fatalf("want 2 phi args, got %d", len(phi.Args))
+	}
+	got := map[VID]bool{phi.Args[0].Val: true, phi.Args[1].Val: true}
+	if !got[defs[1]] || !got[defs[2]] {
+		t.Errorf("phi args %v do not merge the branch defs %v and %v", phi.Args, defs[1], defs[2])
+	}
+
+	// Dominance: the branch head dominates everything, the arms dominate
+	// only themselves, and the join's idom skips back to the head.
+	if d.Idom(join) != entryBlk {
+		t.Errorf("idom(join) = %p, want the branch head %p", d.Idom(join), entryBlk)
+	}
+	for _, blk := range []*Block{thenBlk, elseBlk, join} {
+		if !d.Dominates(entryBlk, blk) {
+			t.Errorf("branch head must dominate %p", blk)
+		}
+	}
+	if d.Dominates(thenBlk, join) || d.Dominates(elseBlk, join) {
+		t.Error("neither arm may dominate the join")
+	}
+	if d.Dominates(thenBlk, elseBlk) || d.Dominates(elseBlk, thenBlk) {
+		t.Error("the arms must not dominate each other")
+	}
+}
+
+func TestDomLoop(t *testing.T) {
+	fn := ssaFor(t, `package p
+func loop(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		s += i
+	}
+	return s
+}
+`, "loop")
+
+	iPhi := onlyPhi(t, fn, "i")
+	sPhi := onlyPhi(t, fn, "s")
+	head := iPhi.Block
+	if sPhi.Block != head {
+		t.Fatalf("the phis of i and s must share the loop head")
+	}
+	inc := valsOf(fn, "i", vCompound)
+	add := valsOf(fn, "s", vCompound)
+	if len(inc) != 1 || len(add) != 1 {
+		t.Fatalf("want one compound def each for i and s, got %d and %d", len(inc), len(add))
+	}
+
+	// Each head phi joins the init value with the back-edge compound def.
+	wantArgs := func(name string, phi *ssaValue, init, loop VID) {
+		if len(phi.Args) != 2 {
+			t.Fatalf("%s phi: want 2 args, got %d", name, len(phi.Args))
+		}
+		got := map[VID]bool{phi.Args[0].Val: true, phi.Args[1].Val: true}
+		if !got[init] || !got[loop] {
+			t.Errorf("%s phi args %v, want init %v and back edge %v", name, phi.Args, init, loop)
+		}
+	}
+	wantArgs("i", iPhi, valsOf(fn, "i", vExpr)[0], inc[0])
+	wantArgs("s", sPhi, valsOf(fn, "s", vExpr)[0], add[0])
+
+	// The compound def reads the phi (Prev links the cycle).
+	if fn.Vals[add[0]].Prev != valsOf(fn, "s", vPhi)[0] {
+		t.Errorf("s += i must read the head phi, reads %v", fn.Vals[add[0]].Prev)
+	}
+
+	d := fn.Dom
+	body := fn.Vals[add[0]].Block
+	if !d.Dominates(head, body) {
+		t.Error("the loop head must dominate the body")
+	}
+	if d.Dominates(body, head) {
+		t.Error("the body must not dominate the head")
+	}
+}
+
+func TestDomNestedLoop(t *testing.T) {
+	fn := ssaFor(t, `package p
+func nested(n int) int {
+	s := 0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s++
+		}
+	}
+	return s
+}
+`, "nested")
+
+	outerHead := onlyPhi(t, fn, "i").Block
+	innerHead := onlyPhi(t, fn, "j").Block
+	// s is redefined in the innermost block, so it needs a phi at BOTH loop
+	// heads — the pruned placement must keep both (s is live everywhere).
+	sPhis := valsOf(fn, "s", vPhi)
+	if len(sPhis) != 2 {
+		t.Fatalf("want 2 phis for s (one per loop head), got %d", len(sPhis))
+	}
+	heads := map[*Block]bool{fn.Vals[sPhis[0]].Block: true, fn.Vals[sPhis[1]].Block: true}
+	if !heads[outerHead] || !heads[innerHead] {
+		t.Errorf("s phis must sit at the two loop heads")
+	}
+
+	d := fn.Dom
+	body := fn.Vals[valsOf(fn, "s", vCompound)[0]].Block
+	if !d.Dominates(outerHead, innerHead) || !d.Dominates(innerHead, body) {
+		t.Error("dominance must nest: outer head over inner head over body")
+	}
+	if d.Dominates(innerHead, outerHead) || d.Dominates(body, innerHead) {
+		t.Error("dominance must not run backwards through the nest")
+	}
+	if d.depth[innerHead] <= d.depth[outerHead] {
+		t.Errorf("inner head depth %d must exceed outer head depth %d",
+			d.depth[innerHead], d.depth[outerHead])
+	}
+}
+
+// TestDomIrreducible drives the dominator fixpoint over a CFG no structured
+// statement produces: two mutually-reachable labeled blocks, each also
+// entered straight from the function head, form an irreducible loop with no
+// single header. Neither block may dominate the other, both idoms must fall
+// back to the branch head, and each needs a phi merging its two entries.
+func TestDomIrreducible(t *testing.T) {
+	fn := ssaFor(t, `package p
+func irr(a, b int) int {
+	x := 0
+	if a > b {
+		goto two
+	}
+one:
+	x++
+	if x < b {
+		goto two
+	}
+	return x
+two:
+	x += 2
+	if x < a {
+		goto one
+	}
+	return x
+}
+`, "irr")
+
+	phis := valsOf(fn, "x", vPhi)
+	if len(phis) != 2 {
+		t.Fatalf("want a phi in each irreducible-loop block, got %d", len(phis))
+	}
+	b1, b2 := fn.Vals[phis[0]].Block, fn.Vals[phis[1]].Block
+	entryBlk := fn.Vals[valsOf(fn, "x", vExpr)[0]].Block
+
+	d := fn.Dom
+	if d.Dominates(b1, b2) || d.Dominates(b2, b1) {
+		t.Error("neither block of an irreducible loop may dominate the other")
+	}
+	if d.Idom(b1) != entryBlk || d.Idom(b2) != entryBlk {
+		t.Errorf("both idoms must fall back to the branch head: got %p and %p, want %p",
+			d.Idom(b1), d.Idom(b2), entryBlk)
+	}
+	for _, vid := range phis {
+		if n := len(fn.Vals[vid].Args); n != 2 {
+			t.Errorf("phi %v: want 2 incoming values, got %d", vid, n)
+		}
+	}
+}
+
+// TestWideningTermination runs the interval fixpoint over a loop whose
+// counter has no provable upper bound (the exit test is a disequality, which
+// refines nothing upward). Without widening the counter's interval would
+// climb forever; the test passes iff buildValueFlow converges and the
+// converged fact is the widened [0, +inf].
+func TestWideningTermination(t *testing.T) {
+	pkg := checkSource(t, `package p
+func count(n int) int {
+	s := 0
+	for i := 0; i != n; i++ {
+		s += 2
+	}
+	return s
+}
+`)
+	fd := funcNamed(t, pkg, "count")
+	vf := buildValueFlow(pkg, fd)
+	if vf == nil {
+		t.Fatal("buildValueFlow returned nil")
+	}
+	var got *ival
+	var gotEnv intervalFact
+	vf.walk(func(_ *Block, n ast.Node, env intervalFact) {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok {
+			return
+		}
+		id, ok := inc.X.(*ast.Ident)
+		if !ok {
+			return
+		}
+		if vid, ok := vf.ssa.Use[id]; ok {
+			if iv, ok := env[vid]; ok {
+				got, gotEnv = &iv, env.clone()
+			}
+		}
+	})
+	if got == nil {
+		t.Fatal("no interval fact for the loop counter at i++")
+	}
+	if lo, ok := vf.resolveMin(gotEnv, got.Lo, 0); !ok || lo != 0 {
+		t.Errorf("counter lower bound: got %+v (resolves to %d, %v), want 0", got.Lo, lo, ok)
+	}
+	if got.Hi.Inf <= 0 {
+		t.Errorf("counter upper bound: got %+v, want widened +inf", got.Hi)
+	}
+}
+
+// BenchmarkSSABuild measures pruned-SSA construction on a kernel-shaped
+// function (nested loops, guards, compound assignments) — the cost the
+// value-flow analyzers pay per function before any interval propagation.
+func BenchmarkSSABuild(b *testing.B) {
+	src := `package p
+func kernel(xs []int64, offsets []int64, bound int) int64 {
+	best := int64(1 << 62)
+	n := len(offsets)
+	if bound < n {
+		n = bound
+	}
+	for ci := 0; ci < n; ci++ {
+		o := offsets[ci]
+		if o < 0 {
+			continue
+		}
+		var acc int64
+		for j := 0; j < len(xs); j++ {
+			if xs[j] > o {
+				acc += xs[j]
+			}
+		}
+		if acc < best {
+			best = acc
+		}
+	}
+	return best
+}
+`
+	t := &testing.T{}
+	pkg := checkSource(t, src)
+	if t.Failed() {
+		b.Fatal("checkSource failed")
+	}
+	fd := funcNamed(t, pkg, "kernel")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BuildSSA(pkg.Info, fd)
+	}
+}

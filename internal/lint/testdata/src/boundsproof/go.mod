@@ -1,0 +1,3 @@
+module example.com/boundsproof
+
+go 1.22

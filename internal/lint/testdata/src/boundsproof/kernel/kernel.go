@@ -1,0 +1,73 @@
+// Package kernel exercises the bounds prover: every index and slice
+// expression in a //lint:hotpath function must be provably in bounds from
+// dominating guards, loop conditions or length bindings.
+package kernel
+
+type table struct{ vals []int64 }
+
+// Unproven indexes with a raw parameter; nothing bounds it.
+//
+//lint:hotpath unguarded parameter index
+func Unproven(xs []int64, i int) int64 {
+	return xs[i] // want "cannot prove index in bounds"
+}
+
+// Guarded is the same access behind the canonical dominating guard.
+//
+//lint:hotpath guard dominates the index
+func Guarded(xs []int64, i int) int64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i]
+}
+
+// Sum's loop condition is the proof.
+//
+//lint:hotpath loop bound proves the index
+func Sum(xs []int64) int64 {
+	var total int64
+	for i := 0; i < len(xs); i++ {
+		total += xs[i]
+	}
+	return total
+}
+
+// Field indexes through a field selector: the prover cannot name that
+// length, guard or not.
+//
+//lint:hotpath field lengths cannot be tracked
+func Field(t *table, i int) int64 {
+	if i < 0 || i >= len(t.vals) {
+		return 0
+	}
+	return t.vals[i] // want "length the prover cannot track"
+}
+
+// FieldBound binds the field to a local first; now the guard carries.
+//
+//lint:hotpath binding the field makes it provable
+func FieldBound(t *table, i int) int64 {
+	vals := t.vals
+	if i < 0 || i >= len(vals) {
+		return 0
+	}
+	return vals[i]
+}
+
+// Window slices with raw parameters.
+//
+//lint:hotpath unguarded slice bounds
+func Window(xs []int64, lo, hi int) []int64 {
+	return xs[lo:hi] // want "cannot prove slice"
+}
+
+// WindowGuarded establishes 0 <= lo <= hi <= len(xs) first.
+//
+//lint:hotpath guarded slice bounds
+func WindowGuarded(xs []int64, lo, hi int) []int64 {
+	if lo < 0 || hi < lo || hi > len(xs) {
+		return nil
+	}
+	return xs[lo:hi]
+}

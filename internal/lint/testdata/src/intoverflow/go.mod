@@ -1,0 +1,3 @@
+module example.com/intoverflow
+
+go 1.22

@@ -1,0 +1,76 @@
+// Package reader exercises the overflow prover on the parse boundary:
+// arithmetic reachable from a //lint:parseroot function computes with
+// attacker-controlled integers and must be guarded against documented caps.
+package reader
+
+import "errors"
+
+var errRange = errors.New("value out of range")
+
+const (
+	maxVal   int64 = 1 << 50
+	maxTotal int64 = 1 << 60
+)
+
+// ParseSum accumulates untrusted values with no cap in sight.
+//
+//lint:parseroot values arrive from an untrusted decoder
+func ParseSum(vals []int64) int64 {
+	var sum int64
+	for _, v := range vals {
+		sum += v // want "possible int64 overflow in addition"
+	}
+	return sum
+}
+
+// ParseSumGuarded is the same loop behind the documented caps: the
+// per-value check bounds each operand and the post-add check bounds the
+// running total, so the addition is provably within int64.
+//
+//lint:parseroot guarded twin of ParseSum
+func ParseSumGuarded(vals []int64) (int64, error) {
+	var sum int64
+	for _, v := range vals {
+		if v <= 0 {
+			return 0, errRange
+		}
+		if v > maxVal {
+			return 0, errRange
+		}
+		sum += v
+		if sum > maxTotal {
+			return 0, errRange
+		}
+	}
+	return sum, nil
+}
+
+// ParseScaled pulls two helpers into the reachable set: one raw, one
+// guarded.
+//
+//lint:parseroot scaled values arrive from an untrusted decoder
+func ParseScaled(v int64) (int64, int64) {
+	return scale(v), scaleGuarded(v)
+}
+
+// scale multiplies an unbounded parse result; reachable, so it is checked.
+func scale(v int64) int64 {
+	return v * 16 // want "possible int64 overflow in multiplication"
+}
+
+// scaleGuarded caps the value first; 2^50 << 3 is far inside int64.
+func scaleGuarded(v int64) int64 {
+	if v < 0 || v > maxVal {
+		return 0
+	}
+	return v << 3
+}
+
+// Unreached never runs on parse input; its raw arithmetic is trusted and
+// stays quiet.
+func Unreached(a, b int64) int64 {
+	return a + b
+}
+
+//lint:parseroot floating directive // want "stray //lint:parseroot"
+var decoderName = "text"

@@ -2,6 +2,7 @@ package pcmax
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,15 @@ func FuzzReadText(f *testing.F) {
 		"m 2\nr 0 4\nr 1 2\n5 3 7 2\n",
 		"m 1\nvariant w\nw 0 0 5 10 13\n3 4\n",
 		"m 2\nvariant plain\n5 3\n",
+		// Near-MaxInt64 and cap-boundary values: every accepted instance
+		// must clear Validate's MaxTimeValue/MaxTotalTime caps, so these
+		// exercise the overflow guards at the parse boundary.
+		"m 1\n9223372036854775807\n",
+		"m 1\n9223372036854775806 1\n",
+		"m 2\n1125899906842624 1125899906842624\n",
+		"m 1\n1125899906842625\n",
+		"m 1\nvariant r\nr 0 9223372036854775807\n5\n",
+		"m 1\nvariant w\nw 0 1 9223372036854775807\n5\n",
 		"m 0\n\n",
 		"m 2\nw 0 1\n5 3\n",
 		"m 2\nvariant q\n5 3\n",
@@ -61,6 +71,63 @@ func FuzzReadText(f *testing.F) {
 		}
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatalf("write->reparse->write not a fixed point:\nfirst:  %q\nsecond: %q", first.String(), second.String())
+		}
+		if got, want := back.Variant(), in.Variant(); got != want {
+			t.Fatalf("variant changed across round trip: %v -> %v", want, got)
+		}
+	})
+}
+
+// FuzzReadJSON mirrors FuzzReadText for the JSON format: every instance the
+// reader accepts must validate (in particular, clear the MaxTimeValue and
+// MaxTotalTime overflow caps), and marshal->reread->marshal must be a fixed
+// point. The seed corpus covers the plain object, every optional section,
+// malformed input, and cap-boundary values near MaxInt64.
+func FuzzReadJSON(f *testing.F) {
+	seeds := []string{
+		`{"m":2,"times":[5,3,7]}`,
+		`{"m":1,"times":[5]}`,
+		`{"m":2,"times":[5,3],"release":[0,4],"setup":[1,0]}`,
+		`{"m":2,"times":[5,3],"windows":[[{"start":0,"end":40}],[]]}`,
+		`{"m":2,"times":[5,3],"release":[0,4],"setup":[1,0],"windows":[[{"start":0,"end":40}],[{"start":2,"end":10},{"start":15,"end":60}]]}`,
+		`{"m":0,"times":[]}`,
+		`{"m":2,"times":[5,-3]}`,
+		// Cap-boundary and near-MaxInt64 values.
+		`{"m":1,"times":[9223372036854775807]}`,
+		`{"m":1,"times":[9223372036854775806,1]}`,
+		`{"m":1,"times":[1125899906842624]}`,
+		`{"m":1,"times":[1125899906842625]}`,
+		`{"m":2,"times":[4611686018427387904,4611686018427387904,4611686018427387904]}`,
+		`{"m":1,"times":[5],"release":[9223372036854775807]}`,
+		`{"m":1,"times":[5],"windows":[[{"start":1,"end":9223372036854775807}]]}`,
+		`not json`,
+		``,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadJSON(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting is always fine; not crashing is the point
+		}
+		if verr := in.Validate(); verr != nil {
+			t.Fatalf("ReadJSON accepted an invalid instance: %v\ninput: %q", verr, data)
+		}
+		first, err := json.Marshal(in)
+		if err != nil {
+			t.Fatalf("Marshal failed on accepted instance: %v\ninput: %q", err, data)
+		}
+		back, err := ReadJSON(bytes.NewReader(first))
+		if err != nil {
+			t.Fatalf("ReadJSON rejected Marshal output: %v\noutput: %q", err, first)
+		}
+		second, err := json.Marshal(back)
+		if err != nil {
+			t.Fatalf("Marshal failed on reread instance: %v", err)
+		}
+		if !bytes.Equal(first, second) {
+			t.Fatalf("marshal->reread->marshal not a fixed point:\nfirst:  %q\nsecond: %q", first, second)
 		}
 		if got, want := back.Variant(), in.Variant(); got != want {
 			t.Fatalf("variant changed across round trip: %v -> %v", want, got)

@@ -42,11 +42,32 @@ type Instance struct {
 	Windows [][]Window
 }
 
+// Validation caps. Instances arrive from untrusted files, and everything
+// downstream — bounds, bisection probes, DP table sizing — sums and scales
+// processing times as int64. The caps make that arithmetic provably
+// overflow-free: with every value at most MaxTimeValue and the running
+// total at most MaxTotalTime, any sum the solvers form stays far inside
+// the int64 range. The schedlint intoverflow analyzer checks exactly this:
+// Validate's guards are what dominate the arithmetic reachable from the
+// parse roots.
+const (
+	// MaxTimeValue caps every accepted time-like value (processing, release,
+	// setup and window bounds).
+	MaxTimeValue Time = 1 << 50
+	// MaxTotalTime caps the sum of all processing times of an instance.
+	MaxTotalTime Time = 1 << 60
+	// MaxJobs caps the number of jobs an instance may carry.
+	MaxJobs = 1 << 30
+)
+
 // Common validation errors.
 var (
 	ErrNoMachines      = errors.New("pcmax: instance needs at least one machine")
 	ErrNonPositiveTime = errors.New("pcmax: job processing times must be positive")
 	ErrNilInstance     = errors.New("pcmax: nil instance")
+	ErrTimeTooLarge    = errors.New("pcmax: time value exceeds MaxTimeValue")
+	ErrTotalTooLarge   = errors.New("pcmax: total processing time exceeds MaxTotalTime")
+	ErrTooManyJobs     = errors.New("pcmax: instance exceeds MaxJobs jobs")
 )
 
 // NewInstance builds a validated instance. The job times are copied.
@@ -61,7 +82,11 @@ func NewInstance(m int, times []Time) (*Instance, error) {
 // N returns the number of jobs.
 func (in *Instance) N() int { return len(in.Times) }
 
-// Validate checks that the instance is well formed.
+// Validate checks that the instance is well formed and within the
+// documented caps: every time positive and at most MaxTimeValue, at most
+// MaxJobs jobs, and a total of at most MaxTotalTime. The per-iteration
+// cap checks dominate the running sum, so the accumulation is overflow-free
+// by construction (MaxTotalTime + MaxTimeValue is far below MaxInt64).
 func (in *Instance) Validate() error {
 	if in == nil {
 		return ErrNilInstance
@@ -69,9 +94,20 @@ func (in *Instance) Validate() error {
 	if in.M < 1 {
 		return fmt.Errorf("%w (m=%d)", ErrNoMachines, in.M)
 	}
+	if len(in.Times) > MaxJobs {
+		return fmt.Errorf("%w (n=%d)", ErrTooManyJobs, len(in.Times))
+	}
+	var sum Time
 	for j, t := range in.Times {
 		if t <= 0 {
 			return fmt.Errorf("%w (job %d has t=%d)", ErrNonPositiveTime, j, t)
+		}
+		if t > MaxTimeValue {
+			return fmt.Errorf("%w (job %d has t=%d)", ErrTimeTooLarge, j, t)
+		}
+		sum += t
+		if sum > MaxTotalTime {
+			return fmt.Errorf("%w (first %d jobs already sum past %d)", ErrTotalTooLarge, j+1, Time(MaxTotalTime))
 		}
 	}
 	return in.validateVariant()

@@ -182,7 +182,7 @@ func (in *Instance) validateVariant() error {
 		return fmt.Errorf("%w (have %d values for %d jobs)", ErrBadRelease, len(in.Release), len(in.Times))
 	}
 	for j, r := range in.Release {
-		if r < 0 {
+		if r < 0 || r > MaxTimeValue {
 			return fmt.Errorf("%w (job %d has r=%d)", ErrBadRelease, j, r)
 		}
 	}
@@ -190,7 +190,7 @@ func (in *Instance) validateVariant() error {
 		return fmt.Errorf("%w (have %d values for %d machines)", ErrBadSetup, len(in.Setup), in.M)
 	}
 	for i, s := range in.Setup {
-		if s < 0 {
+		if s < 0 || s > MaxTimeValue {
 			return fmt.Errorf("%w (machine %d has s=%d)", ErrBadSetup, i, s)
 		}
 	}
@@ -199,7 +199,7 @@ func (in *Instance) validateVariant() error {
 	}
 	for i, ws := range in.Windows {
 		for k, w := range ws {
-			if w.Start < 0 || w.End <= w.Start {
+			if w.Start < 0 || w.End <= w.Start || w.End > MaxTimeValue {
 				return fmt.Errorf("%w (machine %d window %d is [%d,%d))", ErrBadWindow, i, k, w.Start, w.End)
 			}
 			if k > 0 && w.Start < ws[k-1].End {

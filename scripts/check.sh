@@ -24,16 +24,25 @@ go vet ./...
 go vet ./cmd/...
 
 # schedlint enforces the repo's concurrency/determinism invariants with all
-# eleven analyzers, including the dataflow-based concurrency checks
-# (ALGORITHM.md sections 9 and 11). Exit 1 on any finding is a hard failure.
+# fourteen analyzers, including the dataflow-based concurrency checks
+# (ALGORITHM.md sections 9 and 11) and the value-flow provers (section 14).
+# Exit 1 on any finding is a hard failure.
 go run ./cmd/schedlint ./...
+
+# The value-flow gate gets its own named invocation: a regression in the
+# overflow, bounds-proof or escape certification of the DP kernels and the
+# parse boundary fails here under its own heading.
+go run ./cmd/schedlint -only intoverflow,boundsproof,escape ./...
 
 go test -shuffle=on -timeout 10m ./...
 
-# Fuzz smoke over the instance text parser: five seconds of random streams
-# against the accept->validate->round-trip invariants of pcmax.FuzzReadText.
-# Catches format-grammar regressions the fixed test corpus misses.
+# Fuzz smoke over both instance parsers: five seconds of random streams each
+# against the accept->validate->round-trip invariants of pcmax.FuzzReadText
+# and pcmax.FuzzReadJSON (the corpora include near-MaxInt64 values, so the
+# Validate overflow caps are exercised). Catches format-grammar regressions
+# the fixed test corpus misses.
 go test -timeout 5m -run '^$' -fuzz 'FuzzReadText' -fuzztime 5s ./pcmax
+go test -timeout 5m -run '^$' -fuzz 'FuzzReadJSON' -fuzztime 5s ./pcmax
 
 # internal/lint rides along in the race pass: its loader and runner fan out
 # over the worker pool and must stay clean under the detector.
