@@ -49,20 +49,29 @@ func run(args []string) error {
 		baseline = fs.String("baseline", "", "dp: diff ns/op against this committed BENCH_dp.json and exit nonzero on regressions")
 		baseTol  = fs.Float64("baseline-threshold", 0.30, "dp: allowed fractional slowdown vs -baseline before failing")
 		baseRpt  = fs.Bool("baseline-report-only", false, "dp: print -baseline regressions without failing (for cross-host CI runs)")
-		gateSpd  = fs.Float64("gate-speedup", 0, "dp: fail when any auto cell's same-run speedup_vs_seq falls below this floor (0 = off)")
+		gateSpd  = fs.Float64("gate-speedup", 0, "dp: fail when any auto cell's same-run speedup_vs_seq falls below this floor; delta: floor on speedup_vs_cold (0 = off)")
 		windows  = fs.Int("windows", 5, "dp: measurement windows per cell (lower = faster, noisier)")
+		steps    = fs.Int("steps", 12, "delta: 1-job mutations per stream")
 		enum     = fs.String("enum", "both", "dp: configuration enumeration modes to bench {faithful|sparse|both}")
 		deadline = fs.Duration("deadline", 0, "overall deadline for the whole run (0 = none)")
 		cpuProf  = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|dp|variants|all}")
+		fmt.Fprintln(fs.Output(), "usage: schedbench [flags] {fig2|fig3|fig4|figS|ratios|epsilon|hard|ablations|dp|delta|variants|all}")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// The -out default names the dp artifact; the delta subcommand writes its
+	// own artifact unless the caller set -out explicitly.
+	outSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outSet = true
+		}
+	})
 	if fs.NArg() != 1 {
 		fs.Usage()
 		return fmt.Errorf("expected exactly one experiment name, got %d args", fs.NArg())
@@ -182,6 +191,17 @@ func run(args []string) error {
 			MinSpeedup:     *gateSpd,
 			Windows:        *windows,
 			Enum:           *enum,
+		})
+	case "delta":
+		out := *jsonPath
+		if !outSet {
+			out = deltaJSONName
+		}
+		return runDeltaBench(ctx, cfg.Epsilon, cfg.Seed, deltaBenchConfig{
+			WriteJSON:  *jsonOut,
+			Out:        out,
+			MinSpeedup: *gateSpd,
+			Steps:      *steps,
 		})
 	case "hard":
 		res, err := cfg.RunHard(ctx, nil, 0)

@@ -169,8 +169,18 @@ type Options struct {
 	// enumerations and level-bucket indexes. When nil, Solve creates a
 	// per-call cache — the bisection still reuses work across its own
 	// probes (the converged target is always attempted twice, and counts
-	// vectors repeat between probes).
+	// vectors repeat between probes). Stats.Cache reports this solve's own
+	// traffic even on a shared cache (a before/after snapshot delta).
 	Cache *dp.Cache
+	// WarmBracket optionally tightens the bisection's initial interval with
+	// knowledge from a previous solve of a related instance (see
+	// solver.Session). Its LB must be a certified lower bound on this
+	// instance's OPT and its UB the makespan of some valid schedule of this
+	// instance; Solve intersects it with the fresh [LB0, UB0] bounds and
+	// ignores it entirely when the intersection is empty (an inconsistent
+	// bracket would break the bisection invariants, and emptiness means one
+	// side was wrong). Stats.WarmStart reports whether it was applied.
+	WarmBracket *Bracket
 	// Profile, when non-nil, receives the work profile of every DP fill
 	// (anti-diagonal level sizes, configuration-set sizes and total fill
 	// time) for the simulated-multicore model in package simsched. Profiles
@@ -182,6 +192,15 @@ type Options struct {
 // sequential execution, LPT short-job rule.
 func DefaultOptions() Options {
 	return Options{Epsilon: 0.3, Workers: 1}
+}
+
+// Bracket is a [LB, UB] interval bracketing the optimal makespan, used to
+// warm-start the bisection (Options.WarmBracket). LB must be a certified
+// lower bound on OPT (so the converged target retains its OPT-witness
+// meaning) and UB must be achieved by some valid schedule of the instance
+// (so the probe at UB is guaranteed feasible).
+type Bracket struct {
+	LB, UB pcmax.Time
 }
 
 // groupDelta resolves the effective geometric-grouping band: 0 unless
@@ -240,6 +259,10 @@ type Stats struct {
 	// 4/3 - 1/(3m) — which absorbs the +k additive slop of integer rounding
 	// (see round.go) whenever eps >= 1/3.
 	UsedLPTFallback bool
+	// WarmStart reports that Options.WarmBracket was supplied and consistent
+	// with the fresh bounds, so the bisection started from the intersected
+	// (tighter) interval. LB0/UB0 hold the intersected bracket.
+	WarmStart bool
 	// Cache reports DP-cache traffic for the solve (enumeration and
 	// level-index reuse across bisection probes).
 	Cache dp.CacheStats
@@ -345,6 +368,25 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 	if lptMS < ubT {
 		ubT = lptMS
 	}
+	// A warm bracket (Options.WarmBracket) narrows the interval further when
+	// it is consistent with the fresh bounds. Intersecting keeps both
+	// invariants intact — the warm LB is certified <= OPT by contract, the
+	// warm UB is some valid schedule's makespan (>= OPT, hence feasible) —
+	// and an empty intersection means the caller's bracket was wrong for
+	// this instance, so it is ignored wholesale rather than half-applied.
+	if wb := opts.WarmBracket; wb != nil {
+		wlb, wub := lbT, ubT
+		if wb.LB > wlb {
+			wlb = wb.LB
+		}
+		if wb.UB < wub {
+			wub = wb.UB
+		}
+		if wlb <= wub {
+			lbT, ubT = wlb, wub
+			stats.WarmStart = true
+		}
+	}
 	stats.LB0, stats.UB0 = lbT, ubT
 
 	var (
@@ -374,7 +416,11 @@ func Solve(ctx context.Context, in *pcmax.Instance, opts Options) (*pcmax.Schedu
 	if opts.Cache == nil {
 		opts.Cache = dp.NewCache()
 	}
-	defer func() { stats.Cache = opts.Cache.Stats() }()
+	// Report this solve's own cache traffic: on a caller-shared cache the
+	// lifetime counters keep growing across solves, so snapshot them here
+	// and store the delta on the way out.
+	cacheBefore := opts.Cache.Stats()
+	defer func() { stats.Cache = opts.Cache.Stats().Sub(cacheBefore) }()
 
 	// The legacy TimeLimit option becomes a context deadline, so the DP
 	// fills' cooperative checks honor it mid-fill.

@@ -1,0 +1,141 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/dp"
+	"repro/internal/workload"
+	"repro/pcmax"
+)
+
+// warmTestInstance builds a mid-sized instance whose cold bracket is wide
+// enough for a warm bracket to visibly shrink it.
+func warmTestInstance(t testing.TB) *pcmax.Instance {
+	t.Helper()
+	in, err := workload.Generate(workload.Spec{Family: workload.U1_100, M: 10, N: 50, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestWarmBracketTightensAndPreservesResult(t *testing.T) {
+	in := warmTestInstance(t)
+	opts := Options{Epsilon: 0.2, Workers: 1}
+	coldSched, cold, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmStart {
+		t.Fatal("cold solve reported WarmStart")
+	}
+	coldMS := coldSched.Makespan(in)
+
+	// The converged target of a faithful solve is a certified lower bound
+	// (infeasibility at FinalT-1 witnesses OPT >= FinalT) and any valid
+	// schedule's makespan is an upper bound — the exact contract WarmBracket
+	// documents.
+	wopts := opts
+	wopts.WarmBracket = &Bracket{LB: cold.FinalT, UB: coldMS}
+	warmSched, warm, err := Solve(context.Background(), in, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmStart {
+		t.Fatal("warm solve did not report WarmStart")
+	}
+	if warm.LB0 < cold.LB0 || warm.UB0 > cold.UB0 {
+		t.Fatalf("warm bracket [%d,%d] not within cold [%d,%d]",
+			warm.LB0, warm.UB0, cold.LB0, cold.UB0)
+	}
+	if warm.Iterations > cold.Iterations {
+		t.Fatalf("warm solve took %d iterations, cold took %d", warm.Iterations, cold.Iterations)
+	}
+	if warm.FinalT != cold.FinalT {
+		t.Fatalf("warm FinalT = %d, cold FinalT = %d", warm.FinalT, cold.FinalT)
+	}
+	if got := warmSched.Makespan(in); got != coldMS {
+		t.Fatalf("warm makespan = %d, cold = %d", got, coldMS)
+	}
+}
+
+func TestWarmBracketExactPinSkipsBisection(t *testing.T) {
+	in := warmTestInstance(t)
+	opts := Options{Epsilon: 0.2, Workers: 1}
+	_, cold, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinning LB == UB == FinalT collapses the interval: zero bisection
+	// iterations, one direct attempt at the converged target.
+	wopts := opts
+	wopts.WarmBracket = &Bracket{LB: cold.FinalT, UB: cold.FinalT}
+	sched, warm, err := Solve(context.Background(), in, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Iterations != 0 {
+		t.Fatalf("pinned bracket still ran %d bisection iterations", warm.Iterations)
+	}
+	if warm.FinalT != cold.FinalT {
+		t.Fatalf("pinned FinalT = %d, want %d", warm.FinalT, cold.FinalT)
+	}
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmBracketInconsistentIsIgnored(t *testing.T) {
+	in := warmTestInstance(t)
+	opts := Options{Epsilon: 0.2, Workers: 1}
+	_, cold, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A bracket entirely below the fresh lower bound has an empty
+	// intersection with [LB0, UB0]; Solve must ignore it and still converge
+	// to the cold answer.
+	wopts := opts
+	wopts.WarmBracket = &Bracket{LB: 1, UB: cold.LB0 - 1}
+	_, warm, err := Solve(context.Background(), in, wopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmStart {
+		t.Fatal("inconsistent bracket was applied")
+	}
+	if warm.FinalT != cold.FinalT || warm.LB0 != cold.LB0 || warm.UB0 != cold.UB0 {
+		t.Fatalf("ignored bracket changed the solve: warm %+v vs cold %+v", warm, cold)
+	}
+}
+
+func TestSharedCacheStatsArePerSolve(t *testing.T) {
+	in := warmTestInstance(t)
+	cache := dp.NewCache()
+	opts := Options{Epsilon: 0.2, Workers: 1, Cache: cache}
+	_, first, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, second, err := Solve(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := cache.Stats()
+	firstLookups := first.Cache.ConfigHits + first.Cache.ConfigMisses
+	secondLookups := second.Cache.ConfigHits + second.Cache.ConfigMisses
+	if firstLookups+secondLookups != total.ConfigHits+total.ConfigMisses {
+		t.Fatalf("per-solve deltas %d + %d do not sum to cache total %d",
+			firstLookups, secondLookups, total.ConfigHits+total.ConfigMisses)
+	}
+	// The second solve repeats the first's probe targets, so on a shared
+	// cache its enumerations must all be hits.
+	if second.Cache.ConfigMisses != 0 {
+		t.Fatalf("second solve on shared cache missed %d times (stats %+v)",
+			second.Cache.ConfigMisses, second.Cache)
+	}
+	if second.Cache.ConfigHits == 0 {
+		t.Fatal("second solve reported no cache traffic at all")
+	}
+}

@@ -1,7 +1,7 @@
 package dp
 
 import (
-	"strconv"
+	"encoding/binary"
 	"sync"
 
 	"repro/internal/conf"
@@ -11,14 +11,39 @@ import (
 // Cache memoizes the two expensive table-independent artifacts of a DP
 // build across bisection iterations:
 //
-//   - configuration sets, keyed by (sizes, counts, T, maxConfigs): the
-//     bisection re-attempts its converged target (always one repeated key
-//     per solve), speculative probing revisits targets across rounds, and a
-//     production caller solving many similar instances repeats keys freely;
+//   - configuration sets, keyed by the *canonical profile* of the
+//     enumeration inputs (see below): the bisection re-attempts its converged
+//     target (always one repeated key per solve), speculative probing
+//     revisits targets across rounds, warm-started delta solves revisit the
+//     previous solution's neighborhood, and a production caller solving many
+//     similar instances repeats keys freely;
 //   - level-bucket indexes, keyed by the counts vector alone: the bucket
 //     order of FillParallel depends only on the per-class counts, which
 //     repeat across probes even when T (and therefore sizes and the
 //     configuration set) differ.
+//
+// # Profile-canonical configuration keys
+//
+// A configuration (s_1, ..., s_d) is feasible iff sum_i s_i*size_i <= T.
+// With g = gcd(size_1, ..., size_d) every weight sum is a multiple of g, so
+// the inequality is equivalent to sum_i s_i*(size_i/g) <= floor(T/g): the
+// whole enumeration — faithful or sparse, dominance checks included, since
+// every comparison it makes is of the form weight + size_i <= T — depends
+// only on the reduced sizes and the reduced capacity. Config sets are
+// therefore cached under (sizes/g, counts, floor(T/g), limits, mode) and
+// built from those canonical values, which makes the cached artifact a pure
+// function of the key regardless of which probe built it. Two probes at
+// different targets whose rounded job profiles coincide after reduction —
+// the common case for the warm re-solves of an incremental session, where
+// the rounding unit shifts with T but the class structure does not — share
+// one enumeration instead of repeating it. Note the canonical build leaves
+// conf.Config.Weight expressed in units of g; the DP fills, packing kernels
+// and reconstruction consume only Counts, Jobs and Offset, which are
+// scale-invariant.
+//
+// Keys are compact binary strings assembled in a buffer reused across
+// lookups (guarded by mu), so the hit path performs no allocation — lookups
+// happen once per bisection probe on the solve hot path.
 //
 // All cached artifacts are immutable and shared by reference; a Cache is
 // safe for concurrent use (speculative bisection probes hit it from many
@@ -33,6 +58,9 @@ type Cache struct {
 	// dominant memory cost (8 bytes each).
 	levelElems int64
 	stats      CacheStats
+	// keyBuf is the shared key-assembly buffer; it is only touched while mu
+	// is held and must be copied (string conversion) before the lock drops.
+	keyBuf []byte
 }
 
 // configsEntry pairs a Jobs-sorted configuration list with its flat scan
@@ -67,6 +95,18 @@ type CacheStats struct {
 	LevelHits, LevelMisses int64
 }
 
+// Sub returns the per-counter difference s - prev. Callers sharing one cache
+// across solves snapshot the stats before a solve and subtract afterwards to
+// report that solve's own traffic rather than the cache's lifetime totals.
+func (s CacheStats) Sub(prev CacheStats) CacheStats {
+	return CacheStats{
+		ConfigHits:   s.ConfigHits - prev.ConfigHits,
+		ConfigMisses: s.ConfigMisses - prev.ConfigMisses,
+		LevelHits:    s.LevelHits - prev.LevelHits,
+		LevelMisses:  s.LevelMisses - prev.LevelMisses,
+	}
+}
+
 // Stats returns a snapshot of the cache counters. A nil cache reports zeros.
 func (c *Cache) Stats() CacheStats {
 	if c == nil {
@@ -77,68 +117,105 @@ func (c *Cache) Stats() CacheStats {
 	return c.stats
 }
 
-// configKey serializes the enumeration inputs, including the enumeration
-// mode and (when sparse) every sparsification parameter: a mixed-mode caller
-// — the ptas-sparse driver re-verifies its converged target with a faithful
-// table at the same (sizes, counts, T) — must never be handed the other
-// mode's configuration set. Strides derive from counts, so they carry no
-// extra information.
-func configKey(sizes []pcmax.Time, counts []int, T pcmax.Time, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) string {
-	b := make([]byte, 0, 32+8*len(sizes))
-	b = strconv.AppendInt(b, int64(T), 10)
-	b = append(b, '|')
-	b = strconv.AppendInt(b, int64(maxConfigs), 10)
-	if mode == EnumSparse {
-		b = append(b, "|s:"...)
-		b = strconv.AppendInt(b, int64(sopts.MaxSupport), 10)
-		b = append(b, ':')
-		b = strconv.AppendInt(b, int64(sopts.KeepJobs), 10)
-		b = append(b, ':')
-		if sopts.NoDominance {
-			b = append(b, '1')
-		} else {
-			b = append(b, '0')
-		}
+// gcdTime returns gcd(a, b) for a, b >= 0.
+func gcdTime(a, b pcmax.Time) pcmax.Time {
+	for b != 0 {
+		a, b = b, a%b
 	}
-	for i := range sizes {
-		b = append(b, '|')
-		b = strconv.AppendInt(b, int64(sizes[i]), 10)
-		b = append(b, ':')
-		b = strconv.AppendInt(b, int64(counts[i]), 10)
-	}
-	return string(b)
+	return a
 }
 
-// countsKey serializes a counts vector.
-func countsKey(counts []int) string {
-	b := make([]byte, 0, 4*len(counts))
-	for i, n := range counts {
-		if i > 0 {
-			b = append(b, ',')
+// sizesGCD returns the greatest common divisor of the (positive) sizes, or 1
+// for an empty profile.
+func sizesGCD(sizes []pcmax.Time) pcmax.Time {
+	var g pcmax.Time
+	for _, s := range sizes {
+		g = gcdTime(g, s)
+		if g == 1 {
+			return 1
 		}
-		b = strconv.AppendInt(b, int64(n), 10)
 	}
-	return string(b)
+	if g == 0 {
+		return 1
+	}
+	return g
+}
+
+// appendConfigKey assembles the canonical binary configuration-set key into
+// b: enumeration mode and (when sparse) every sparsification parameter — a
+// mixed-mode caller, e.g. the ptas-sparse driver re-verifying its converged
+// target with a faithful table at the same profile, must never be handed the
+// other mode's configuration set — followed by the limit and the
+// gcd-reduced capacity and sizes. Strides derive from counts, so they carry
+// no extra information. Every component is length-prefixed or fixed-order
+// varint, so the encoding is unambiguous.
+func appendConfigKey(b []byte, sizes []pcmax.Time, g pcmax.Time, counts []int, cT pcmax.Time, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) []byte {
+	b = append(b, byte(mode))
+	if mode == EnumSparse {
+		b = binary.AppendUvarint(b, uint64(max64(int64(sopts.MaxSupport), 0)))
+		b = binary.AppendUvarint(b, uint64(max64(int64(sopts.KeepJobs), 0)))
+		if sopts.NoDominance {
+			b = append(b, 1)
+		} else {
+			b = append(b, 0)
+		}
+	}
+	b = binary.AppendUvarint(b, uint64(max64(int64(maxConfigs), 0)))
+	b = binary.AppendUvarint(b, uint64(cT))
+	b = binary.AppendUvarint(b, uint64(len(sizes)))
+	for i := range sizes {
+		b = binary.AppendUvarint(b, uint64(sizes[i]/g))
+		b = binary.AppendUvarint(b, uint64(counts[i]))
+	}
+	return b
+}
+
+// appendCountsKey assembles the binary level-index key: the counts vector,
+// length-prefixed.
+func appendCountsKey(b []byte, counts []int) []byte {
+	b = binary.AppendUvarint(b, uint64(len(counts)))
+	for _, n := range counts {
+		b = binary.AppendUvarint(b, uint64(max64(int64(n), 0)))
+	}
+	return b
+}
+
+// max64 returns the larger of a and b.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // configSet returns the Jobs-sorted configuration list, its flat view and
 // the sparsification counters for the given enumeration inputs, consulting
-// the cache when non-nil. Errors (e.g. conf.ErrTooMany) are never cached.
+// the cache when non-nil. Cached sets are built from the gcd-canonical
+// profile (see the Cache doc comment), so their Config.Weight values are in
+// canonical units; everything the fills and reconstruction consume is
+// scale-invariant. Errors (e.g. conf.ErrTooMany) are never cached.
 func (c *Cache) configSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int64, maxConfigs int, mode EnumMode, sopts conf.SparseOptions) ([]conf.Config, *conf.Set, conf.SparseStats, error) {
 	if c == nil {
 		return buildConfigSet(sizes, counts, T, stride, maxConfigs, mode, sopts)
 	}
-	key := configKey(sizes, counts, T, maxConfigs, mode, sopts)
+	g := sizesGCD(sizes)
+	cT := T / g
 	c.mu.Lock()
-	if e, ok := c.configs[key]; ok {
+	c.keyBuf = appendConfigKey(c.keyBuf[:0], sizes, g, counts, cT, maxConfigs, mode, sopts)
+	if e, ok := c.configs[string(c.keyBuf)]; ok {
 		c.stats.ConfigHits++
 		c.mu.Unlock()
 		return e.configs, e.set, e.sstats, nil
 	}
 	c.stats.ConfigMisses++
+	key := string(c.keyBuf) // materialize: keyBuf is shared and mu drops next
 	c.mu.Unlock()
 
-	configs, set, sstats, err := buildConfigSet(sizes, counts, T, stride, maxConfigs, mode, sopts)
+	csizes := make([]pcmax.Time, len(sizes))
+	for i, s := range sizes {
+		csizes[i] = s / g
+	}
+	configs, set, sstats, err := buildConfigSet(csizes, counts, cT, stride, maxConfigs, mode, sopts)
 	if err != nil {
 		return nil, nil, sstats, err
 	}
@@ -173,14 +250,15 @@ func buildConfigSet(sizes []pcmax.Time, counts []int, T pcmax.Time, stride []int
 // both build; the last store wins — the artifact is deterministic, so either
 // copy is correct.
 func (c *Cache) levelIndexFor(counts []int, build func() *levelIndex) *levelIndex {
-	key := countsKey(counts)
 	c.mu.Lock()
-	if li, ok := c.levels[key]; ok {
+	c.keyBuf = appendCountsKey(c.keyBuf[:0], counts)
+	if li, ok := c.levels[string(c.keyBuf)]; ok {
 		c.stats.LevelHits++
 		c.mu.Unlock()
 		return li
 	}
 	c.stats.LevelMisses++
+	key := string(c.keyBuf)
 	c.mu.Unlock()
 
 	li := build()

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/conf"
 	"repro/internal/par"
 	"repro/pcmax"
 )
@@ -121,5 +122,133 @@ func TestNilCacheStats(t *testing.T) {
 	var c *Cache
 	if st := c.Stats(); st != (CacheStats{}) {
 		t.Fatalf("nil cache stats = %+v", st)
+	}
+}
+
+func TestCacheProfileCanonicalization(t *testing.T) {
+	// (sizes, T) pairs that reduce to the same canonical profile must share
+	// one cached configuration set: {6,12}@30, {3,6}@15 and {1,2}@5 all
+	// reduce to sizes {1,2} with capacity 5.
+	cache := NewCache()
+	counts := []int{2, 3}
+	a, err := NewCached([]pcmax.Time{6, 12}, counts, 30, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewCached([]pcmax.Time{3, 6}, counts, 15, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCached([]pcmax.Time{1, 2}, counts, 5, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &a.Configs[0] != &b.Configs[0] || &a.Configs[0] != &c.Configs[0] {
+		t.Fatal("canonically equal profiles should share one cached config set")
+	}
+	st := cache.Stats()
+	if st.ConfigHits != 2 || st.ConfigMisses != 1 {
+		t.Fatalf("stats = %+v, want 2 hits / 1 miss", st)
+	}
+
+	// floor(T/g) is what matters: T=34 with g=6 still reduces to capacity 5.
+	if _, err := NewCached([]pcmax.Time{6, 12}, counts, 34, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigHits != 3 {
+		t.Fatalf("stats = %+v, want 3 hits", st)
+	}
+
+	// A capacity crossing a multiple of g is a genuinely different profile.
+	if _, err := NewCached([]pcmax.Time{6, 12}, counts, 36, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigMisses != 2 {
+		t.Fatalf("stats = %+v, want 2 misses", st)
+	}
+}
+
+func TestCacheCanonicalTablesFillIdentically(t *testing.T) {
+	// A table built through a canonical cache hit (scaled profile) must fill
+	// and reconstruct exactly like a cold table at the original scale.
+	cache := NewCache()
+	sizes := []pcmax.Time{6, 12, 18}
+	counts := []int{3, 2, 2}
+	// Prime the cache with the reduced-scale twin.
+	if _, err := NewCached([]pcmax.Time{1, 2, 3}, counts, 9, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := NewCached(sizes, counts, 54, 0, 0, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.ConfigHits != 1 {
+		t.Fatalf("stats = %+v, want the scaled build to hit", st)
+	}
+	ref, err := New(sizes, counts, 54, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl.FillSequential()
+	ref.FillSequential()
+	for i := range tbl.Opt {
+		if tbl.Opt[i] != ref.Opt[i] {
+			t.Fatalf("entry %d = %d, want %d", i, tbl.Opt[i], ref.Opt[i])
+		}
+	}
+}
+
+func TestCacheStatsSub(t *testing.T) {
+	cache := NewCache()
+	sizes := []pcmax.Time{6, 11}
+	counts := []int{2, 3}
+	if _, err := NewCached(sizes, counts, 30, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	before := cache.Stats()
+	if _, err := NewCached(sizes, counts, 30, 0, 0, cache); err != nil {
+		t.Fatal(err)
+	}
+	delta := cache.Stats().Sub(before)
+	want := CacheStats{ConfigHits: 1}
+	if delta != want {
+		t.Fatalf("delta = %+v, want %+v", delta, want)
+	}
+}
+
+func TestCacheHitPathDoesNotAllocate(t *testing.T) {
+	cache := NewCache()
+	sizes := []pcmax.Time{6, 11}
+	counts := []int{2, 3}
+	stride := []int64{1, 3}
+	if _, _, _, err := cache.configSet(sizes, counts, 30, stride, 0, EnumFaithful, conf.SparseOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, _, err := cache.configSet(sizes, counts, 30, stride, 0, EnumFaithful, conf.SparseOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache hit allocated %.1f objects per lookup, want 0", allocs)
+	}
+}
+
+func BenchmarkCacheLookup(b *testing.B) {
+	// Steady-state cost of one configuration-set lookup on the hit path —
+	// the per-probe cache overhead of a warm bisection.
+	cache := NewCache()
+	sizes := []pcmax.Time{13, 17, 19, 23, 29, 31}
+	counts := []int{4, 4, 3, 3, 2, 2}
+	stride := []int64{1, 5, 25, 100, 400, 1200}
+	if _, _, _, err := cache.configSet(sizes, counts, 120, stride, 0, EnumFaithful, conf.SparseOptions{}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := cache.configSet(sizes, counts, 120, stride, 0, EnumFaithful, conf.SparseOptions{}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -1,0 +1,29 @@
+package lb
+
+import "repro/pcmax"
+
+// FromPrevious carries a certified lower bound across an instance mutation.
+//
+// Let OPT_old be the optimum of the previous instance and prevLB <= OPT_old a
+// certified bound on it. Removing jobs whose processing times total
+// removedTotal lowers the optimum by at most removedTotal: take an optimal
+// schedule of the new instance and place each removed job back on any
+// machine — the makespan grows by at most removedTotal, and the result
+// schedules the old job set, so OPT_old <= OPT_new + removedTotal, i.e.
+// OPT_new >= prevLB - removedTotal. Added jobs never decrease the optimum
+// (dropping them from any schedule of the grown instance never raises its
+// makespan), so they cannot invalidate the bound and do not appear in it.
+//
+// The returned value is therefore a certified lower bound on the mutated
+// instance's optimum, floored at zero. Callers combine it (max) with the
+// instance's fresh bounds; after heavy removals the fresh bounds dominate.
+func FromPrevious(prevLB, removedTotal pcmax.Time) pcmax.Time {
+	if removedTotal < 0 {
+		removedTotal = 0
+	}
+	b := prevLB - removedTotal
+	if b < 0 {
+		return 0
+	}
+	return b
+}

@@ -1,0 +1,98 @@
+package lb_test
+
+// External test package: the theorem check compares against internal/exact,
+// which itself imports lb for pruning bounds — an in-package test would be
+// an import cycle.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/exact"
+	"repro/internal/lb"
+	"repro/internal/rng"
+	"repro/pcmax"
+)
+
+func TestFromPreviousValues(t *testing.T) {
+	cases := []struct {
+		prev, removed, want pcmax.Time
+	}{
+		{100, 0, 100},  // no removals: bound carries over unchanged
+		{100, 30, 70},  // removals shift it down by their total
+		{100, 150, 0},  // bound can drop to the floor, never below
+		{100, -5, 100}, // defensive: negative totals are treated as zero
+		{0, 10, 0},
+	}
+	for _, c := range cases {
+		if got := lb.FromPrevious(c.prev, c.removed); got != c.want {
+			t.Fatalf("FromPrevious(%d, %d) = %d, want %d", c.prev, c.removed, got, c.want)
+		}
+	}
+}
+
+func optimalMakespan(t *testing.T, in *pcmax.Instance) pcmax.Time {
+	t.Helper()
+	_, res, err := exact.Solve(context.Background(), in, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Optimal {
+		t.Fatal("exact solve did not prove optimality")
+	}
+	return res.Makespan
+}
+
+func TestFromPreviousBoundsNewOptimum(t *testing.T) {
+	// The theorem behind FromPrevious: with prevLB = OPT_old (the strongest
+	// certified bound available), removing jobs totalling R must leave
+	// OPT_new >= OPT_old - R. Exercise it with exact optima over random
+	// small instances and every removal prefix.
+	src := rng.New(3)
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + int(src.Uint64()%3)
+		n := m + 2 + int(src.Uint64()%5)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Uint64()%50)
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		optOld := optimalMakespan(t, in)
+		for cut := 1; cut < n; cut++ {
+			var removed pcmax.Time
+			for _, tt := range times[n-cut:] {
+				removed += tt
+			}
+			sub := &pcmax.Instance{M: m, Times: times[:n-cut]}
+			bound := lb.FromPrevious(optOld, removed)
+			if bound == 0 {
+				continue
+			}
+			if optNew := optimalMakespan(t, sub); optNew < bound {
+				t.Fatalf("trial %d cut %d: OPT_new=%d below carried bound %d (OPT_old=%d, removed=%d)",
+					trial, cut, optNew, bound, optOld, removed)
+			}
+		}
+	}
+}
+
+func TestFromPreviousAdditionsOnlyHelp(t *testing.T) {
+	// Adding jobs never lowers the optimum, so a bound carried with
+	// removedTotal = 0 across pure additions stays valid.
+	src := rng.New(9)
+	for trial := 0; trial < 10; trial++ {
+		m := 2 + int(src.Uint64()%3)
+		n := m + 2 + int(src.Uint64()%4)
+		times := make([]pcmax.Time, n)
+		for j := range times {
+			times[j] = pcmax.Time(1 + src.Uint64()%40)
+		}
+		in := &pcmax.Instance{M: m, Times: times}
+		optOld := optimalMakespan(t, in)
+		grown := append(append([]pcmax.Time(nil), times...), pcmax.Time(1+src.Uint64()%40))
+		gin := &pcmax.Instance{M: m, Times: grown}
+		if optNew := optimalMakespan(t, gin); optNew < lb.FromPrevious(optOld, 0) {
+			t.Fatalf("trial %d: adding a job dropped OPT from %d to %d", trial, optOld, optNew)
+		}
+	}
+}

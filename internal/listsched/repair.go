@@ -1,0 +1,43 @@
+package listsched
+
+import (
+	"sort"
+
+	"repro/pcmax"
+)
+
+// Repair incrementally rebuilds a schedule after an instance mutation: keep
+// maps every job of in to the machine it kept from the previous solution
+// (0..M-1) or -1 for jobs that need (re)placement — added jobs, or jobs
+// whose previous machine no longer exists. Kept jobs stay where they were;
+// the unplaced ones are appended in LPT order (non-increasing time, ties by
+// index) onto the least-loaded machines, exactly the greedy primitive the
+// PTAS short-job phase uses.
+//
+// The repaired makespan is a valid upper bound for warm-starting a
+// bisection, and when the delta is small it is frequently already within the
+// (1+eps) certificate of the updated lower bound — the caller decides by
+// comparing against its bound (see solver.Session). The returned schedule is
+// always complete and valid; Repair never returns nil. keep must have length
+// in.N(); entries outside [0, M) are treated as -1.
+func Repair(in *pcmax.Instance, keep []int) *pcmax.Schedule {
+	n, m := in.N(), in.M
+	sched := pcmax.NewSchedule(m, n)
+	var loose []int
+	for j := 0; j < n; j++ {
+		if j < len(keep) && keep[j] >= 0 && keep[j] < m {
+			sched.Assignment[j] = keep[j]
+		} else {
+			loose = append(loose, j)
+		}
+	}
+	sort.SliceStable(loose, func(a, b int) bool {
+		ta, tb := in.Times[loose[a]], in.Times[loose[b]]
+		if ta != tb {
+			return ta > tb
+		}
+		return loose[a] < loose[b]
+	})
+	AssignGreedy(in, sched, loose)
+	return sched
+}

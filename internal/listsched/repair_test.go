@@ -1,0 +1,76 @@
+package listsched
+
+import (
+	"testing"
+
+	"repro/pcmax"
+)
+
+func TestRepairKeepsAssignmentsAndPlacesRest(t *testing.T) {
+	in := &pcmax.Instance{M: 3, Times: []pcmax.Time{8, 6, 5, 4, 3}}
+	keep := []int{0, 1, 2, -1, -1}
+	sched := Repair(in, keep)
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		if sched.Assignment[j] != keep[j] {
+			t.Fatalf("kept job %d moved to machine %d", j, sched.Assignment[j])
+		}
+	}
+	// Loose jobs 3 (t=4) and 4 (t=3) go LPT-first onto the least-loaded
+	// machines: loads after keeps are [8,6,5], so job 3 -> machine 2 (5+4=9),
+	// job 4 -> machine 1 (6+3=9).
+	if sched.Assignment[3] != 2 || sched.Assignment[4] != 1 {
+		t.Fatalf("loose placement = %v, want jobs 3,4 on machines 2,1", sched.Assignment)
+	}
+}
+
+func TestRepairAllLooseMatchesLPT(t *testing.T) {
+	in := &pcmax.Instance{M: 4, Times: []pcmax.Time{9, 7, 7, 5, 4, 3, 2, 2, 1}}
+	keep := make([]int, in.N())
+	for j := range keep {
+		keep[j] = -1
+	}
+	got := Repair(in, keep)
+	want := LPT(in)
+	for j := range want.Assignment {
+		if got.Assignment[j] != want.Assignment[j] {
+			t.Fatalf("job %d: Repair -> %d, LPT -> %d", j, got.Assignment[j], want.Assignment[j])
+		}
+	}
+}
+
+func TestRepairOutOfRangeKeepsTreatedAsLoose(t *testing.T) {
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{5, 5, 5}}
+	// Machine 7 does not exist and -3 is nonsense; both jobs must be placed
+	// fresh rather than leaving holes or panicking.
+	sched := Repair(in, []int{7, -3, 0})
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Assignment[2] != 0 {
+		t.Fatalf("valid keep was not honored: %v", sched.Assignment)
+	}
+}
+
+func TestRepairShortKeepSlice(t *testing.T) {
+	// keep shorter than n (e.g. jobs appended since the snapshot): the tail
+	// jobs are loose.
+	in := &pcmax.Instance{M: 2, Times: []pcmax.Time{6, 4, 3}}
+	sched := Repair(in, []int{1})
+	if err := sched.Validate(in); err != nil {
+		t.Fatal(err)
+	}
+	if sched.Assignment[0] != 1 {
+		t.Fatalf("kept job moved: %v", sched.Assignment)
+	}
+}
+
+func TestRepairEmptyInstance(t *testing.T) {
+	in := &pcmax.Instance{M: 2}
+	sched := Repair(in, nil)
+	if got := len(sched.Assignment); got != 0 {
+		t.Fatalf("empty repair produced %d assignments", got)
+	}
+}

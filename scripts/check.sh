@@ -51,6 +51,12 @@ go test -timeout 5m -run '^$' -fuzz 'FuzzReadJSON' -fuzztime 5s ./pcmax
 # also covers the variant dispatch layer in front of them.
 go test -race -timeout 15m ./internal/par ./internal/dp ./internal/exact ./internal/core ./internal/lint ./internal/trsched ./solver
 
+# Dedicated pass over the incremental-solving layer: the session
+# differential harness (warm-vs-cold certificates, adversarial mutation
+# streams, concurrent mutators and readers on one Session) must hold under
+# the race detector.
+go test -race -timeout 10m -run 'Session' ./solver
+
 # Dedicated stress pass over the barrier pool: its park/wake, panic and
 # cancellation handoffs are the trickiest lock-free code in the tree, so run
 # the Barrier suite twice more under the race detector.

@@ -1,0 +1,292 @@
+package solver_test
+
+// Warm-vs-cold differential harness for solver.Session: every warm result
+// must be certified within (1+eps) of a cold solve of the same mutated
+// instance, across all six workload families, eps in {0.5, 0.2, 0.1}, and
+// adversarial mutation streams. Runs under -race via scripts/check.sh.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+	"repro/pcmax"
+	"repro/solver"
+)
+
+// coldSolve runs the plain cold PTAS on the instance at eps.
+func coldSolve(t *testing.T, in *pcmax.Instance, eps float64) pcmax.Time {
+	t.Helper()
+	opts := solver.DefaultPTASOptions()
+	opts.Epsilon = eps
+	sched, _, err := solver.PTAS(context.Background(), in, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched.Makespan(in)
+}
+
+// checkWarmResult asserts the invariants every accepted SolveDelta result
+// must satisfy on the session's current instance: a valid non-stale
+// schedule, a certified lower bound no larger than any achievable makespan,
+// and a makespan within (1+eps) of a cold solve of the identical instance.
+func checkWarmResult(t *testing.T, s *solver.Session, sched *pcmax.Schedule, st *solver.DeltaStats, eps float64, tag string) {
+	t.Helper()
+	cur := s.Instance()
+	if err := sched.Validate(cur); err != nil {
+		t.Fatalf("%s: stale or invalid schedule: %v", tag, err)
+	}
+	if got := sched.Makespan(cur); got != st.Makespan {
+		t.Fatalf("%s: reported makespan %d, schedule has %d", tag, st.Makespan, got)
+	}
+	held, heldMS, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if heldMS != st.Makespan || len(held.Assignment) != cur.N() {
+		t.Fatalf("%s: session state (%d jobs, ms %d) does not match accepted result (%d jobs, ms %d)",
+			tag, len(held.Assignment), heldMS, cur.N(), st.Makespan)
+	}
+	coldMS := coldSolve(t, cur, eps)
+	if float64(st.Makespan) > (1+eps)*float64(coldMS)+1e-9 {
+		t.Fatalf("%s: warm makespan %d exceeds (1+eps) of cold %d (path %v, LB %d)",
+			tag, st.Makespan, coldMS, st.Path, st.LowerBound)
+	}
+	// The certified bound must stay a true lower bound: no schedule beats
+	// OPT, and coldMS >= OPT >= LowerBound.
+	if st.LowerBound > coldMS {
+		t.Fatalf("%s: certified LB %d exceeds a cold solve's makespan %d", tag, st.LowerBound, coldMS)
+	}
+}
+
+// TestSessionDifferentialAgainstExactOptima mirrors the sparse pipeline's
+// differential anchor: across all six families and eps in {0.5, 0.2, 0.1},
+// every warm re-solve after a mutation stays within (1+eps) of the certified
+// branch-and-bound optimum of the mutated instance.
+func TestSessionDifferentialAgainstExactOptima(t *testing.T) {
+	for _, eps := range []float64{0.5, 0.2, 0.1} {
+		for _, fam := range workload.Families {
+			m, n := 3, 12
+			if fam == workload.Um_2m1 {
+				// Same carve-out as the sparse anchor: U(m, 2m-1) sizes leave
+				// OPT comparable to k for small m at eps=0.1, where integer
+				// rounding's additive slop exceeds the multiplicative band;
+				// m=12 keeps the strict ratio certifiable.
+				m = 12
+				n = 2*m + 1
+			}
+			in := workload.MustGenerate(workload.Spec{Family: fam, M: m, N: n, Seed: 11})
+			lo, hi, err := fam.Bounds(m, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mid := pcmax.Time((lo + hi) / 2)
+			if mid < 1 {
+				mid = 1
+			}
+
+			opts := solver.DefaultSessionOptions()
+			opts.PTAS.Epsilon = eps
+			s, err := solver.NewSession(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Solve(context.Background(), in); err != nil {
+				t.Fatal(err)
+			}
+
+			steps := []struct {
+				name   string
+				add    []pcmax.Time
+				remove []int
+			}{
+				{"add1", []pcmax.Time{mid}, nil},
+				{"swap1", []pcmax.Time{mid + 1}, []int{0}},
+				{"remove2", nil, []int{1, 2}},
+			}
+			for _, step := range steps {
+				sched, st, err := s.SolveDelta(context.Background(), step.add, step.remove)
+				if err != nil {
+					t.Fatalf("%v eps=%v %s: %v", fam, eps, step.name, err)
+				}
+				cur := s.Instance()
+				if err := sched.Validate(cur); err != nil {
+					t.Fatalf("%v eps=%v %s: %v", fam, eps, step.name, err)
+				}
+				_, res, err := solver.Exact(context.Background(), cur, solver.ExactOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Optimal {
+					t.Fatalf("%v eps=%v %s: exact did not certify", fam, eps, step.name)
+				}
+				if st.Makespan < res.Makespan {
+					t.Fatalf("%v eps=%v %s: warm makespan %d below optimum %d",
+						fam, eps, step.name, st.Makespan, res.Makespan)
+				}
+				if float64(st.Makespan) > (1+eps)*float64(res.Makespan)+1e-9 {
+					t.Fatalf("%v eps=%v %s: warm makespan %d exceeds (1+eps)*opt = %.1f (path %v, LB %d)",
+						fam, eps, step.name, st.Makespan, (1+eps)*float64(res.Makespan), st.Path, st.LowerBound)
+				}
+				if st.LowerBound > res.Makespan {
+					t.Fatalf("%v eps=%v %s: certified LB %d above optimum %d",
+						fam, eps, step.name, st.LowerBound, res.Makespan)
+				}
+			}
+		}
+	}
+}
+
+// TestSessionAdversarialStreams drives the session through the mutation
+// patterns most likely to break warm-start bookkeeping — remove-then-readd,
+// drain-to-empty-and-regrow, and 10x growth — checking the warm-vs-cold
+// certificate after every accepted delta.
+func TestSessionAdversarialStreams(t *testing.T) {
+	const eps = 0.2
+	for _, fam := range []workload.Family{workload.U1_100, workload.U95_105} {
+		in := workload.MustGenerate(workload.Spec{Family: fam, M: 5, N: 40, Seed: 17})
+		newSession := func() *solver.Session {
+			opts := solver.DefaultSessionOptions()
+			opts.PTAS.Epsilon = eps
+			s, err := solver.NewSession(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := s.Solve(context.Background(), in); err != nil {
+				t.Fatal(err)
+			}
+			return s
+		}
+
+		t.Run(fam.String()+"/remove-then-readd", func(t *testing.T) {
+			s := newSession()
+			removedTimes := []pcmax.Time{in.Times[0], in.Times[7], in.Times[13]}
+			sched, st, err := s.SolveDelta(context.Background(), nil, []int{0, 7, 13})
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWarmResult(t, s, sched, st, eps, "remove")
+			sched, st, err = s.SolveDelta(context.Background(), removedTimes, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWarmResult(t, s, sched, st, eps, "readd")
+			// Re-adding the exact jobs restores the original multiset; the
+			// session must match a cold solve's quality on it (checked
+			// above) and its instance must have the original total.
+			if got := s.Instance().TotalTime(); got != in.TotalTime() {
+				t.Fatalf("readd total %d, want %d", got, in.TotalTime())
+			}
+		})
+
+		t.Run(fam.String()+"/drain-to-empty", func(t *testing.T) {
+			s := newSession()
+			// Drain in three unequal waves, then regrow.
+			waves := [][]int{make([]int, 15), make([]int, 20), make([]int, 5)}
+			next := 0
+			for w := range waves {
+				cur := s.Instance().N()
+				for i := range waves[w] {
+					waves[w][i] = cur - 1 - i // remove from the tail
+				}
+				next += len(waves[w])
+				sched, st, err := s.SolveDelta(context.Background(), nil, waves[w])
+				if err != nil {
+					t.Fatalf("wave %d: %v", w, err)
+				}
+				checkWarmResult(t, s, sched, st, eps, "drain")
+			}
+			if n := s.Instance().N(); n != 0 {
+				t.Fatalf("drained session still has %d jobs", n)
+			}
+			sched, st, err := s.SolveDelta(context.Background(), in.Times[:10], nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkWarmResult(t, s, sched, st, eps, "regrow")
+		})
+
+		t.Run(fam.String()+"/grow-10x", func(t *testing.T) {
+			s := newSession()
+			lo, hi, err := fam.Bounds(5, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Ten waves of 36 jobs each take n from 40 to 400. Times sweep
+			// the family's band deterministically.
+			for w := 0; w < 10; w++ {
+				batch := make([]pcmax.Time, 36)
+				for i := range batch {
+					batch[i] = pcmax.Time(lo + int64(w*36+i)%(hi-lo+1))
+				}
+				sched, st, err := s.SolveDelta(context.Background(), batch, nil)
+				if err != nil {
+					t.Fatalf("wave %d: %v", w, err)
+				}
+				checkWarmResult(t, s, sched, st, eps, "grow")
+			}
+			if n := s.Instance().N(); n != 400 {
+				t.Fatalf("grown session has %d jobs, want 400", n)
+			}
+		})
+	}
+}
+
+// TestSessionConcurrentUse hammers one session from mutators and readers
+// concurrently; run under -race (scripts/check.sh does) to verify the
+// locking, and check afterwards that the surviving state is consistent.
+func TestSessionConcurrentUse(t *testing.T) {
+	in := workload.MustGenerate(workload.Spec{Family: workload.U1_100, M: 5, N: 60, Seed: 23})
+	s, err := solver.NewSession(solver.DefaultSessionOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Solve(context.Background(), in); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				// Swap one job for another; index 0 always exists because
+				// every delta is size-preserving.
+				if _, _, err := s.SolveDelta(context.Background(), []pcmax.Time{pcmax.Time(1 + (g*5+i)%100)}, []int{0}); err != nil {
+					panic(err)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if sched, ms, err := s.Schedule(); err == nil {
+					if len(sched.Assignment) == 0 || ms <= 0 {
+						panic("inconsistent snapshot")
+					}
+				}
+				_ = s.Counters()
+				_ = s.LowerBound()
+			}
+		}()
+	}
+	wg.Wait()
+	cur := s.Instance()
+	sched, ms, err := s.Schedule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.Validate(cur); err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Makespan(cur); got != ms {
+		t.Fatalf("final state makespan %d, reported %d", got, ms)
+	}
+	if c := s.Counters(); c.Solves != 21 {
+		t.Fatalf("counters = %+v, want 21 solves", c)
+	}
+}

@@ -196,8 +196,13 @@ type PTASStats struct {
 	// UsedLPTFallback reports that plain LPT beat the PTAS construction and
 	// its (never worse) schedule was returned.
 	UsedLPTFallback bool
-	// Cache reports DP-cache traffic: how often the bisection reused
-	// configuration enumerations and level-bucket indexes across probes.
+	// WarmStart reports that the solve started from a warm bracket (a
+	// Session re-solve) consistent with the fresh bounds; LB0/UB0 then hold
+	// the tightened interval.
+	WarmStart bool
+	// Cache reports DP-cache traffic for this solve alone: how often the
+	// bisection reused configuration enumerations and level-bucket indexes
+	// (within the solve, and across solves on a Session's shared cache).
 	Cache dp.CacheStats
 
 	// Sparse-pipeline observability (PTASOptions.Sparsify / the ptas-sparse
@@ -227,6 +232,22 @@ type PTASStats struct {
 // stats, and an error matching ErrCanceled/ErrDeadline that carries the
 // progress made (see Interruption).
 func PTAS(ctx context.Context, in *pcmax.Instance, opts PTASOptions) (*pcmax.Schedule, *PTASStats, error) {
+	sched, st, err := core.Solve(ctx, in, coreOptions(opts))
+	var pst *PTASStats
+	if st != nil {
+		p := PTASStats(*st)
+		pst = &p
+	}
+	// On cancellation core.Solve already degraded to the LPT fallback
+	// schedule; pass it through next to the structured error.
+	return sched, pst, err
+}
+
+// coreOptions maps the public PTAS options onto the internal driver's
+// configuration. Shared by the cold path (PTAS) and the warm path
+// (Session.SolveDelta), which additionally threads its persistent cache and
+// warm bracket through the returned value.
+func coreOptions(opts PTASOptions) core.Options {
 	copts := core.Options{
 		Epsilon:           opts.Epsilon,
 		Workers:           opts.Workers,
@@ -251,15 +272,7 @@ func PTAS(ctx context.Context, in *pcmax.Instance, opts PTASOptions) (*pcmax.Sch
 		copts.LevelMode = dp.LevelScan
 		copts.PerEntryConfigs = true
 	}
-	sched, st, err := core.Solve(ctx, in, copts)
-	var pst *PTASStats
-	if st != nil {
-		p := PTASStats(*st)
-		pst = &p
-	}
-	// On cancellation core.Solve already degraded to the LPT fallback
-	// schedule; pass it through next to the structured error.
-	return sched, pst, err
+	return copts
 }
 
 // ExactOptions bounds the exact solver.
