@@ -1,5 +1,5 @@
-// Command schedlint runs the repository's static-analysis suite: fourteen
-// analyzers (see internal/lint and ALGORITHM.md §9/§11/§14) that
+// Command schedlint runs the repository's static-analysis suite: sixteen
+// analyzers (see internal/lint and ALGORITHM.md §9/§11/§14/§16) that
 // machine-check the concurrency, determinism and value-flow invariants the
 // scheduler depends on — deterministic RNG only through internal/rng,
 // context threaded through every blocking solver entry point, no unjoined
@@ -10,12 +10,18 @@
 // reachable from exported functions, WaitGroup accounting balanced on every
 // path, non-escaping allocation in //lint:hotpath kernels (escape, with
 // hotalloc covering append and interface boxing), provably in-bounds
-// indexing in those kernels (boundsproof), and provably overflow-free
-// arithmetic reachable from the //lint:parseroot readers (intoverflow).
+// indexing in those kernels (boundsproof), provably overflow-free
+// arithmetic reachable from the //lint:parseroot readers (intoverflow),
+// every write reachable from a parallel region proven race-free under the
+// may-happen-in-parallel model (sharedwrite, with //lint:hbimpl excusing
+// synchronization the model cannot see), and every loop on a
+// solver-entry-to-//lint:hotpath path polling cancellation with a proven
+// stride of at most 2^16 iterations (cancelpoll).
 //
 // Usage:
 //
-//	schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v] [packages]
+//	schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v]
+//	          [-suppressions] [-mhp-dump file] [-time-budget d] [packages]
 //
 // schedlint always analyzes the whole module containing the working
 // directory; package arguments (./...) are accepted for command-line
@@ -29,6 +35,13 @@
 //	//lint:ignore <check> <reason>
 //
 // The reason is mandatory; malformed directives are themselves findings.
+// -suppressions audits the directives instead of reporting findings: every
+// //lint:ignore that no longer suppresses anything is stale, printed, and
+// makes the exit status 1 (scripts/check.sh gates on zero stale).
+// -mhp-dump writes the may-happen-in-parallel engine's region/access
+// classification to a JSON file — the auditable artifact behind
+// sharedwrite's verdicts. -time-budget fails the run (exit 3) if any single
+// analyzer exceeds the given wall-time budget.
 package main
 
 import (
@@ -50,11 +63,14 @@ func main() {
 
 // config is one schedlint invocation's parsed flags.
 type config struct {
-	jsonOut  bool
-	outFile  string
-	only     string
-	parallel int
-	verbose  bool
+	jsonOut      bool
+	outFile      string
+	only         string
+	parallel     int
+	verbose      bool
+	suppressions bool
+	mhpDump      string
+	timeBudget   time.Duration
 }
 
 // run is the testable entry point: parses flags, runs the suite, writes the
@@ -68,9 +84,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.StringVar(&cfg.only, "only", "", "report only findings of these comma-separated checks (others still run; the suite is module-wide)")
 	fs.IntVar(&cfg.parallel, "parallel", 0, "analysis worker goroutines (0 = GOMAXPROCS)")
 	fs.BoolVar(&cfg.verbose, "v", false, "print load and per-analyzer wall time to stderr")
+	fs.BoolVar(&cfg.suppressions, "suppressions", false, "audit //lint:ignore directives: print stale ones (suppressing nothing) and exit 1 if any")
+	fs.StringVar(&cfg.mhpDump, "mhp-dump", "", "write the may-happen-in-parallel region/access classification to this JSON file")
+	fs.DurationVar(&cfg.timeBudget, "time-budget", 0, "fail (exit 3) if any single analyzer exceeds this wall-time budget")
 	listChecks := fs.Bool("checks", false, "list the analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v] [packages]\n")
+		fmt.Fprintf(stderr, "usage: schedlint [-json] [-out file] [-only check,...] [-parallel N] [-v] [-suppressions] [-mhp-dump file] [-time-budget d] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -118,12 +137,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	loadTime := time.Since(loadStart)
-	diags, timings := lint.RunOnModuleOpts(mod, analyzers, cfg.parallel)
+	diags, timings, sups := lint.RunOnModuleFull(mod, analyzers, cfg.parallel)
 	if cfg.verbose {
 		fmt.Fprintf(stderr, "schedlint: load %8.1fms  (%d packages)\n", millis(loadTime), len(mod.Packages))
 		for _, t := range timings {
 			fmt.Fprintf(stderr, "schedlint: %-12s %8.1fms\n", t.Name, millis(t.Elapsed))
 		}
+	}
+	if cfg.mhpDump != "" {
+		if err := writeMHPDump(cfg.mhpDump, mod); err != nil {
+			fmt.Fprintf(stderr, "schedlint: %v\n", err)
+			return 2
+		}
+	}
+	if cfg.timeBudget > 0 {
+		over := false
+		for _, t := range timings {
+			if t.Elapsed > cfg.timeBudget {
+				fmt.Fprintf(stderr, "schedlint: analyzer %s spent %.1fms, over the %s budget\n", t.Name, millis(t.Elapsed), cfg.timeBudget)
+				over = true
+			}
+		}
+		if over {
+			return 3
+		}
+	}
+	if cfg.suppressions {
+		stale := 0
+		for _, s := range sups {
+			if s.Used {
+				continue
+			}
+			stale++
+			fmt.Fprintf(stdout, "%s:%d:%d: stale suppression: //lint:ignore %s %s suppresses nothing; delete it\n",
+				s.File, s.Line, s.Col, s.Check, s.Reason)
+		}
+		if stale > 0 {
+			return 1
+		}
+		return 0
 	}
 	if len(only) > 0 {
 		kept := diags[:0]
@@ -159,6 +211,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// writeMHPDump writes the MHP engine's region/access classification as
+// indented JSON — the auditable artifact behind sharedwrite's verdicts.
+func writeMHPDump(path string, mod *lint.Module) error {
+	regions := lint.MHPDumpModule(mod)
+	if regions == nil {
+		regions = []lint.MHPRegionDump{}
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	err = enc.Encode(regions)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 // writeReport renders the findings: one line per finding, or an indented
 // JSON array (never null — an empty run is []) when jsonOut is set.

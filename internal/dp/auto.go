@@ -194,7 +194,12 @@ func (t *Table) FillAutoCtx(ctx context.Context, bp *par.BarrierPool) error {
 			}
 			dc := &decs[0]
 			dc.reset()
-			for _, idx := range bucket {
+			for j, idx := range bucket {
+				if j&4095 == 0 {
+					if err := cancel.Check(ctx); err != nil {
+						return err
+					}
+				}
 				t.computeEntry(idx, dc.at(idx), int32(l))
 			}
 			t.AutoStats.LevelsInline++

@@ -443,6 +443,7 @@ func (dc *decoder) at(idx int64) []int32 {
 // must be final.
 //
 //lint:hotpath the DP recurrence kernel, millions of calls per probe
+//lint:hbimpl wavefront ordering: every dependency read Opt[idx-Offset] targets a strictly smaller digit sum, and the fill loops separate levels with a full dispatch (or in-degree) barrier, so each read is ordered after its write by the level boundary
 func (t *Table) computeEntry(idx int64, v []int32, level int32) {
 	if t.PerEntryEnum {
 		t.computeEntryPerEnum(idx, v)

@@ -39,10 +39,65 @@ var atomicFuncs = map[string]bool{
 func runAtomicMix(pass *ModulePass) {
 	mod := pass.Mod
 
+	// Pass 0: resolve the two indirections that used to hide atomic use.
+	// ptrAlias binds a local pointer to the shared word it addresses
+	// (p := &g.n), so atomic calls through p still track n and plain derefs
+	// of p still count as plain accesses of n. fnLocal marks locals bound
+	// to a sync/atomic function value (f := atomic.AddInt64), so calls
+	// through f count as atomic calls. aliasBind exempts the binding
+	// statements themselves: taking an address or a func value reads
+	// neither the word nor its value.
+	ptrAlias := map[*types.Var]*types.Var{}
+	fnLocal := map[*types.Var]bool{}
+	aliasBind := map[*ast.Ident]bool{}
+	for _, pkg := range mod.Packages {
+		if pkg.Types == nil {
+			continue
+		}
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				as, ok := n.(*ast.AssignStmt)
+				if !ok || len(as.Lhs) != len(as.Rhs) || (as.Tok != token.ASSIGN && as.Tok != token.DEFINE) {
+					return true
+				}
+				for i, lhs := range as.Lhs {
+					lid, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					lv, _ := pkg.Info.Defs[lid].(*types.Var)
+					if lv == nil {
+						lv, _ = pkg.Info.Uses[lid].(*types.Var)
+					}
+					if lv == nil {
+						continue
+					}
+					switch rhs := ast.Unparen(as.Rhs[i]).(type) {
+					case *ast.UnaryExpr:
+						if rhs.Op != token.AND {
+							continue
+						}
+						if v, id := addressedVar(pkg, rhs.X); v != nil && sharedWord(v) {
+							ptrAlias[lv] = v
+							aliasBind[id] = true
+						}
+					case *ast.SelectorExpr:
+						if fn, ok := pkg.Info.Uses[rhs.Sel].(*types.Func); ok &&
+							fn.Pkg() != nil && fn.Pkg().Path() == "sync/atomic" && atomicFuncs[fn.Name()] {
+							fnLocal[lv] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
 	// Pass 1: record every struct field and package-level variable whose
-	// address reaches a sync/atomic function, keeping the first such site as
-	// the witness the diagnostics cite, and remembering the exact idents
-	// used inside atomic arguments so pass 2 does not flag them.
+	// address reaches a sync/atomic function — directly or through a
+	// tracked pointer alias — keeping the first such site as the witness
+	// the diagnostics cite, and remembering the exact idents used inside
+	// atomic arguments so pass 2 does not flag them.
 	witness := map[*types.Var]token.Pos{}
 	atomicUse := map[*ast.Ident]bool{}
 	for _, pkg := range mod.Packages {
@@ -52,21 +107,33 @@ func runAtomicMix(pass *ModulePass) {
 		for _, f := range pkg.Files {
 			ast.Inspect(f, func(n ast.Node) bool {
 				call, ok := n.(*ast.CallExpr)
-				if !ok || !isAtomicCall(pkg, call) {
+				if !ok || !isAtomicCall(pkg, call, fnLocal) {
 					return true
 				}
 				for _, arg := range call.Args {
-					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
-					if !ok || un.Op != token.AND {
-						continue
-					}
-					v, id := addressedVar(pkg, un.X)
-					if v == nil || !sharedWord(v) {
-						continue
-					}
-					atomicUse[id] = true
-					if _, seen := witness[v]; !seen {
-						witness[v] = un.Pos()
+					switch a := ast.Unparen(arg).(type) {
+					case *ast.UnaryExpr:
+						if a.Op != token.AND {
+							continue
+						}
+						v, id := addressedVar(pkg, a.X)
+						if v == nil || !sharedWord(v) {
+							continue
+						}
+						atomicUse[id] = true
+						if _, seen := witness[v]; !seen {
+							witness[v] = a.Pos()
+						}
+					case *ast.Ident:
+						pv, _ := pkg.Info.Uses[a].(*types.Var)
+						v := ptrAlias[pv]
+						if v == nil {
+							continue
+						}
+						atomicUse[a] = true
+						if _, seen := witness[v]; !seen {
+							witness[v] = a.Pos()
+						}
 					}
 				}
 				return true
@@ -96,8 +163,27 @@ func runAtomicMix(pass *ModulePass) {
 							}
 						}
 					}
+				case *ast.StarExpr:
+					// A plain deref of a pointer that aliases a tracked
+					// word reads or writes the word without the atomic.
+					id, ok := ast.Unparen(n.X).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					pv, _ := pkg.Info.Uses[id].(*types.Var)
+					v := ptrAlias[pv]
+					if v == nil {
+						return true
+					}
+					at, tracked := witness[v]
+					if !tracked {
+						return true
+					}
+					pass.Reportf(n.Pos(), "%s is accessed with sync/atomic (%s) but read or written plainly here through %s; mixing the two races",
+						v.Name(), mod.Fset.Position(at), pv.Name())
+					return false
 				case *ast.Ident:
-					if atomicUse[n] || litKey[n] {
+					if atomicUse[n] || litKey[n] || aliasBind[n] {
 						return true
 					}
 					v, _ := pkg.Info.Uses[n].(*types.Var)
@@ -118,17 +204,21 @@ func runAtomicMix(pass *ModulePass) {
 }
 
 // isAtomicCall reports whether the call is one of sync/atomic's
-// address-taking functions.
-func isAtomicCall(pkg *Package, call *ast.CallExpr) bool {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
+// address-taking functions, called directly or through a local bound to the
+// function value (f := atomic.AddInt64; f(&word, 1)).
+func isAtomicCall(pkg *Package, call *ast.CallExpr, fnLocal map[*types.Var]bool) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		fn, ok := pkg.Info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return false
+		}
+		return atomicFuncs[fn.Name()]
+	case *ast.Ident:
+		v, _ := pkg.Info.Uses[fun].(*types.Var)
+		return v != nil && fnLocal[v]
 	}
-	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
-	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
-		return false
-	}
-	return atomicFuncs[fn.Name()]
+	return false
 }
 
 // addressedVar resolves the operand of an address-of expression to the

@@ -102,9 +102,24 @@ func reportAt(mod *Module, check string, pos token.Pos, diags *[]Diagnostic, for
 
 // ignoreDirective is one parsed //lint:ignore comment.
 type ignoreDirective struct {
-	file  string // module-relative path
-	line  int
-	check string
+	file   string // module-relative path
+	line   int
+	col    int
+	check  string
+	reason string
+}
+
+// Suppression is one well-formed //lint:ignore directive together with
+// whether it actually suppressed a diagnostic in this run. A directive with
+// Used == false is stale: the finding it once excused is gone, and keeping
+// the comment would teach readers to ignore directives.
+type Suppression struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Col    int    `json:"col"`
+	Check  string `json:"check"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
 }
 
 // DirectiveCheck is the pseudo-check name under which malformed or unknown
@@ -157,7 +172,10 @@ func collectDirectives(mod *Module, known map[string]bool, diags *[]Diagnostic) 
 							Message: fmt.Sprintf("directive names unknown check %q", fields[0]),
 						})
 					default:
-						out = append(out, ignoreDirective{file: file, line: pos.Line, check: fields[0]})
+						out = append(out, ignoreDirective{
+							file: file, line: pos.Line, col: pos.Column,
+							check: fields[0], reason: strings.Join(fields[1:], " "),
+						})
 					}
 				}
 			}
@@ -168,26 +186,32 @@ func collectDirectives(mod *Module, known map[string]bool, diags *[]Diagnostic) 
 
 // suppress filters diagnostics covered by a directive on the same line or
 // the line directly above (the "trailing comment" and "comment above"
-// placements). The lintdirective pseudo-check is never suppressible.
-func suppress(diags []Diagnostic, directives []ignoreDirective) []Diagnostic {
+// placements). The lintdirective pseudo-check is never suppressible. The
+// returned bitmap records, per directive, whether it suppressed anything —
+// the raw material of the stale-suppression audit.
+func suppress(diags []Diagnostic, directives []ignoreDirective) ([]Diagnostic, []bool) {
 	type key struct {
 		file  string
 		line  int
 		check string
 	}
-	idx := make(map[key]bool, 2*len(directives))
-	for _, d := range directives {
-		idx[key{d.file, d.line, d.check}] = true
-		idx[key{d.file, d.line + 1, d.check}] = true
+	idx := make(map[key][]int, 2*len(directives))
+	for i, d := range directives {
+		idx[key{d.file, d.line, d.check}] = append(idx[key{d.file, d.line, d.check}], i)
+		idx[key{d.file, d.line + 1, d.check}] = append(idx[key{d.file, d.line + 1, d.check}], i)
 	}
+	used := make([]bool, len(directives))
 	out := diags[:0]
 	for _, d := range diags {
-		if d.Check != DirectiveCheck && idx[key{d.File, d.Line, d.Check}] {
+		if hits := idx[key{d.File, d.Line, d.Check}]; d.Check != DirectiveCheck && len(hits) > 0 {
+			for _, i := range hits {
+				used[i] = true
+			}
 			continue
 		}
 		out = append(out, d)
 	}
-	return out
+	return out, used
 }
 
 // RunAnalyzers loads the module at root and runs the given analyzers over
@@ -223,6 +247,14 @@ type AnalyzerTiming struct {
 // the returned diagnostics are bit-identical to a sequential run. Timings
 // come back in analyzer order.
 func RunOnModuleOpts(mod *Module, analyzers []*Analyzer, workers int) ([]Diagnostic, []AnalyzerTiming) {
+	diags, timings, _ := RunOnModuleFull(mod, analyzers, workers)
+	return diags, timings
+}
+
+// RunOnModuleFull is RunOnModuleOpts plus the suppression audit: every
+// well-formed //lint:ignore directive in the tree, sorted by position, with
+// Used reporting whether it suppressed a diagnostic in this run.
+func RunOnModuleFull(mod *Module, analyzers []*Analyzer, workers int) ([]Diagnostic, []AnalyzerTiming, []Suppression) {
 	type unit struct {
 		a   *Analyzer
 		ai  int
@@ -268,7 +300,7 @@ func RunOnModuleOpts(mod *Module, analyzers []*Analyzer, workers int) ([]Diagnos
 		known[a.Name] = true
 	}
 	directives := collectDirectives(mod, known, &diags)
-	diags = suppress(diags, directives)
+	diags, used := suppress(diags, directives)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -282,11 +314,25 @@ func RunOnModuleOpts(mod *Module, analyzers []*Analyzer, workers int) ([]Diagnos
 		}
 		return a.Check < b.Check
 	})
+	sups := make([]Suppression, len(directives))
+	for i, d := range directives {
+		sups[i] = Suppression{File: d.file, Line: d.line, Col: d.col, Check: d.check, Reason: d.reason, Used: used[i]}
+	}
+	sort.Slice(sups, func(i, j int) bool {
+		a, b := sups[i], sups[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Check < b.Check
+	})
 	timings := make([]AnalyzerTiming, len(analyzers))
 	for ai, a := range analyzers {
 		timings[ai] = AnalyzerTiming{Name: a.Name, Elapsed: time.Duration(nanos[ai].load())}
 	}
-	return diags, timings
+	return diags, timings, sups
 }
 
 // atomicInt64 is a tiny wrapper so the timing accumulation stays readable.
@@ -312,5 +358,7 @@ func All() []*Analyzer {
 		IntOverflow,
 		BoundsProof,
 		Escape,
+		SharedWrite,
+		CancelPoll,
 	}
 }

@@ -97,7 +97,29 @@ func TestCtxFirst(t *testing.T) {
 func TestAtomicMix(t *testing.T) {
 	diags := runCase(t, "atomicmix", AtomicMix)
 	// The two plain accesses in gate (the PR 4 barrier-handoff regression
-	// shape) and the cross-package plain read in reader.
+	// shape), the cross-package plain read in reader, and the four
+	// indirect shapes (through-local pointer, func-value local, plain
+	// deref of the alias, promoted embedded word).
+	if len(diags) != 7 {
+		t.Errorf("want 7 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestSharedWrite(t *testing.T) {
+	diags := runCase(t, "sharedwrite", SharedWrite)
+	// Handoff (self-parallel + spawner window, both on the write line),
+	// SlotMix, Counter, Sibling, HalfLocked, the unexcused hbimpl twin and
+	// the stray directive. The mini pool and every clean package certify.
+	if len(diags) != 8 {
+		t.Errorf("want 8 diagnostics, got %d: %v", len(diags), diags)
+	}
+}
+
+func TestCancelPoll(t *testing.T) {
+	diags := runCase(t, "cancelpoll", CancelPoll)
+	// SolveBad never polls, SolveHuge's stride overflows the bound, and
+	// SolveOpaque's guard is unprovable; the budget, modulo, mask and
+	// delegate idioms all certify.
 	if len(diags) != 3 {
 		t.Errorf("want 3 diagnostics, got %d: %v", len(diags), diags)
 	}
@@ -241,6 +263,34 @@ func TestSuppression(t *testing.T) {
 	}
 	if !strings.Contains(directive[1].Message, `unknown check "nosuchcheck"`) {
 		t.Errorf("second directive diagnostic should flag the unknown check, got %q", directive[1].Message)
+	}
+}
+
+// TestStaleSuppressions proves the suppression audit: directives that
+// suppressed a finding come back Used, the one whose finding is gone comes
+// back stale, and malformed directives are not part of the audit at all
+// (they are findings in their own right).
+func TestStaleSuppressions(t *testing.T) {
+	mod, err := LoadModule(filepath.Join("testdata", "src", "suppress"))
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	_, _, sups := RunOnModuleFull(mod, All(), 1)
+	var used, stale int
+	for _, s := range sups {
+		if s.Used {
+			used++
+			continue
+		}
+		stale++
+		if s.Check != "gohygiene" || !strings.Contains(s.Reason, "outlived") {
+			t.Errorf("unexpected stale suppression: %+v", s)
+		}
+	}
+	// Detach and DetachTrailing are used; Stale is not. NoReason and
+	// WrongCheck are malformed and never become suppressions.
+	if used != 2 || stale != 1 {
+		t.Errorf("want 2 used / 1 stale suppressions, got %d used / %d stale: %v", used, stale, sups)
 	}
 }
 

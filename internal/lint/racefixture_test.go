@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRaceFixtures cross-checks the sharedwrite prover against the runtime
+// race detector: the fixture patterns the analyzer rejects must actually
+// race when executed under `go test -race`, and the patterns it certifies
+// must stay green. A static prover whose positive fixtures don't race, or
+// whose clean fixtures do, is testing its own model instead of the world.
+func TestRaceFixtures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping go test -race subprocesses in -short mode")
+	}
+	goTool, err := exec.LookPath("go")
+	if err != nil {
+		t.Skipf("go tool not on PATH: %v", err)
+	}
+	fixture, err := filepath.Abs(filepath.Join("testdata", "src", "sharedwrite"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(pkg string) (string, error) {
+		cmd := exec.Command(goTool, "test", "-race", "-count=1", "./"+pkg)
+		cmd.Dir = fixture
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	out, err := run("racy")
+	if err == nil {
+		t.Errorf("racy fixtures passed under -race; the rejected patterns should actually race:\n%s", out)
+	} else if !strings.Contains(out, "DATA RACE") {
+		// A build error or unrelated failure is not a confirmation.
+		t.Errorf("racy fixtures failed without a detected race: %v\n%s", err, out)
+	}
+
+	out, err = run("clean")
+	if err != nil {
+		t.Errorf("clean fixtures failed under -race; a certified pattern raced or broke: %v\n%s", err, out)
+	}
+}

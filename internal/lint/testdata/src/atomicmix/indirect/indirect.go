@@ -1,0 +1,58 @@
+// Package indirect holds the shapes that used to slip past the check: an
+// atomic op reaching the word through a local pointer, through a func-value
+// local bound to a sync/atomic function, a plain deref of the aliasing
+// pointer, and a word promoted from an embedded struct.
+package indirect
+
+import "sync/atomic"
+
+type inner struct {
+	seq int64
+}
+
+type Outer struct {
+	inner
+	n int64
+}
+
+// BumpViaPointer feeds &g.n to the atomic through a local: the word is
+// atomic-tracked even though no call argument spells &g.n.
+func BumpViaPointer(g *Outer) {
+	p := &g.n
+	atomic.AddInt64(p, 1)
+}
+
+// ReadPlain is the false negative this fixture pins: without the alias
+// pass, n never becomes tracked and this plain read goes unflagged.
+func ReadPlain(g *Outer) int64 {
+	return g.n // want "n is accessed with sync/atomic"
+}
+
+// BumpViaFuncValue reaches the atomic through a func-value local.
+func BumpViaFuncValue(g *Outer) {
+	f := atomic.AddInt64
+	f(&g.seq, 1)
+}
+
+// ReadMissPlain reads the func-value-bumped word plainly.
+func ReadMissPlain(g *Outer) int64 {
+	return g.seq // want "seq is accessed with sync/atomic"
+}
+
+// DerefPlain reads the word plainly through the aliasing pointer itself.
+func DerefPlain(g *Outer) int64 {
+	p := &g.n
+	return *p // want "n is accessed with sync/atomic"
+}
+
+// BumpEmbedded uses the promoted selector for the embedded word; the
+// selection resolves to the same field object as the explicit g.inner.seq,
+// so both spellings share one tracked identity.
+func BumpEmbedded(g *Outer) {
+	atomic.AddInt64(&g.seq, 1)
+}
+
+// ReadEmbeddedPlain reads the promoted word through the explicit path.
+func ReadEmbeddedPlain(g *Outer) int64 {
+	return g.inner.seq // want "seq is accessed with sync/atomic"
+}

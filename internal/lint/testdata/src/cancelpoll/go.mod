@@ -1,0 +1,3 @@
+module example.com/cancelpoll
+
+go 1.22

@@ -1,0 +1,11 @@
+// Package kernel is the fixture's hot inner loop: the target every
+// solver-to-hotpath path must reach with a bounded poll stride.
+package kernel
+
+//lint:hotpath fixture DP fill kernel; loops here are the amortized unit itself
+func Entry(xs []int64, i int) int64 {
+	if i < 0 || i >= len(xs) {
+		return 0
+	}
+	return xs[i] * 3
+}

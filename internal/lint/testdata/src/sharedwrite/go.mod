@@ -1,0 +1,3 @@
+module example.com/sharedwrite
+
+go 1.22

@@ -1,0 +1,33 @@
+// Package hbimpl exercises the //lint:hbimpl escape hatch: functions that
+// implement the happens-before edges themselves (barriers, pools) sit below
+// the MHP model and are excused with a mandatory reason, while stray or
+// unexcused directives are reported.
+package hbimpl
+
+// Flag is written by an intentionally unmodeled publisher.
+type Flag struct {
+	V int64
+}
+
+//lint:hbimpl fixture stand-in for a sense-reversing barrier whose ordering the MHP model cannot see
+func Publish(f *Flag) {
+	for i := 0; i < 2; i++ {
+		go func() {
+			f.V++
+		}()
+	}
+}
+
+//lint:hbimpl floating directive attached to no function // want "stray //lint:hbimpl"
+var marker = 0
+
+// Unexcused shows the same shape without the directive: still reported.
+func Unexcused(f *Flag) {
+	for i := 0; i < 2; i++ {
+		go func() {
+			f.V++ // want "write to V"
+		}()
+	}
+}
+
+func init() { _ = marker }

@@ -1,0 +1,46 @@
+// Package par is a miniature worker pool mirroring the repo's parallel
+// substrate. It is written to be statically race-free under the sharedwrite
+// model — the only shared state the workers touch is handed to them through
+// the distinguishing closure parameters — so the analyzer certifies it
+// without any //lint:hbimpl escape hatch, and the -race stress harness can
+// execute fixtures through it for real.
+package par
+
+import "sync"
+
+// Pool fans work out over a fixed set of goroutines.
+type Pool struct {
+	n int
+}
+
+// NewPool returns a pool of n workers (at least one).
+func NewPool(n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	return &Pool{n: n}
+}
+
+// Workers reports the pool size.
+func (p *Pool) Workers() int { return p.n }
+
+// ForWorker runs fn(w, i) for every i in [0, items), statically partitioned
+// so worker w handles i = w, w+n, w+2n, ...
+func (p *Pool) ForWorker(items int, fn func(w, i int)) {
+	var wg sync.WaitGroup
+	for w := 0; w < p.n; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < items; i += p.n {
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// For runs fn(i) for every i in [0, items) without exposing the worker id.
+func (p *Pool) For(items int, fn func(i int)) {
+	p.ForWorker(items, func(_, i int) { fn(i) })
+}

@@ -1,0 +1,66 @@
+// Package racy holds parallel regions the sharedwrite prover must reject.
+// Every pattern here is cross-confirmed by the -race stress harness in
+// racy_stress_test.go: the analyzer's verdict and the runtime detector agree.
+package racy
+
+import (
+	"sync"
+
+	"example.com/sharedwrite/par"
+)
+
+// Gate is the PR-4 shape: a result field handed from workers back to the
+// spawner.
+type Gate struct {
+	Out int64
+	mu  sync.Mutex
+}
+
+// Handoff distills the PR-4 barrier handoff bug: goroutines spawned in a
+// loop write a shared field with no join, and the spawner reads it while
+// they may still be running.
+func Handoff(g *Gate, xs []int64) int64 {
+	for _, x := range xs {
+		go func(x int64) {
+			g.Out += x // want "write to Out"
+		}(x)
+	}
+	return g.Out
+}
+
+// SlotMix indexes by w%2: the interval engine cannot prove the slot equals
+// the worker id, so two workers may collide on one element.
+func SlotMix(p *par.Pool, slots []int64, items int) {
+	p.ForWorker(items, func(w, i int) {
+		slots[w%2]++ // want "write to slots"
+	})
+}
+
+// Counter bumps a plain captured counter from every instance.
+func Counter(p *par.Pool, items int) int {
+	total := 0
+	p.For(items, func(i int) {
+		total++ // want "write to total"
+	})
+	return total
+}
+
+// Sibling spawns two goroutines that are only joined after both writes: the
+// regions are unordered with each other.
+func Sibling(g *Gate) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); g.Out = 1 }() // want "write to Out"
+	go func() { defer wg.Done(); g.Out = 2 }()
+	wg.Wait()
+}
+
+// HalfLocked takes the mutex on only one side of the conflict.
+func HalfLocked(p *par.Pool, g *Gate, items int) {
+	p.For(items, func(i int) {
+		g.mu.Lock()
+		g.Out++ // want "write to Out"
+		g.mu.Unlock()
+		_ = g.Out // the unguarded read defeats the lock
+	})
+}
